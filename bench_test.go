@@ -1,0 +1,179 @@
+// Benchmarks regenerating every table and figure of the reconstructed
+// evaluation (DESIGN.md §4), plus micro-benchmarks of the simulator's
+// hot paths. Each experiment benchmark runs the corresponding sweep at
+// a reduced-but-meaningful scale per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// and use `go run ./cmd/dmsweep -exp <id>` for the full-scale numbers
+// recorded in EXPERIMENTS.md.
+package dismem_test
+
+import (
+	"testing"
+
+	"dismem"
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/des"
+	"dismem/internal/memmodel"
+	"dismem/internal/sweep"
+	"dismem/internal/workload"
+)
+
+// benchOptions is the per-iteration experiment scale: large enough that
+// queueing dynamics are real, small enough to iterate.
+var benchOptions = sweep.Options{Jobs: 800, Seeds: 2}
+
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := sweep.Run(id, benchOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no data", id)
+		}
+	}
+}
+
+// --- one benchmark per table and figure -----------------------------------
+
+// BenchmarkTable1Workload regenerates the workload-characteristics table.
+func BenchmarkTable1Workload(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Policies regenerates the headline policy comparison.
+func BenchmarkTable2Policies(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3Ablation regenerates the memaware mechanism ablation.
+func BenchmarkTable3Ablation(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig1Stranding regenerates the memory-stranding CDF.
+func BenchmarkFig1Stranding(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2PoolSweep regenerates the wait-vs-pool-size sweep.
+func BenchmarkFig2PoolSweep(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3PenaltySweep regenerates the remote-penalty sweep.
+func BenchmarkFig3PenaltySweep(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4Utilization regenerates the per-policy utilization bars.
+func BenchmarkFig4Utilization(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5Downsize regenerates the DRAM-downsizing sweep.
+func BenchmarkFig5Downsize(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6Topology regenerates the rack-vs-global pool comparison.
+func BenchmarkFig6Topology(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Estimates regenerates the estimate-accuracy sensitivity.
+func BenchmarkFig7Estimates(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8DilationCDF regenerates the per-job dilation CDF.
+func BenchmarkFig8DilationCDF(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkVal1Queueing regenerates the Erlang-C validation table.
+func BenchmarkVal1Queueing(b *testing.B) { benchExperiment(b, "val1") }
+
+// BenchmarkFig9LoadSweep regenerates the offered-load scaling sweep.
+func BenchmarkFig9LoadSweep(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Failures regenerates the failure-injection sweep.
+func BenchmarkFig10Failures(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTable4Fairness regenerates the per-user fairness table.
+func BenchmarkTable4Fairness(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkVal2Lublin regenerates the workload-model robustness check.
+func BenchmarkVal2Lublin(b *testing.B) { benchExperiment(b, "val2") }
+
+// --- micro-benchmarks of the simulator's hot paths -------------------------
+
+// BenchmarkEventQueue measures raw DES schedule+fire throughput.
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	s := des.New()
+	noop := func(des.Time) {}
+	for i := 0; i < b.N; i++ {
+		// Keep ~1k events in flight, firing one per scheduled.
+		s.Schedule(s.Now()+des.Time(i%1000), noop)
+		s.Step()
+	}
+}
+
+// BenchmarkMachineAllocRelease measures the cluster bookkeeping cycle.
+func BenchmarkMachineAllocRelease(b *testing.B) {
+	b.ReportAllocs()
+	m := cluster.MustNew(cluster.DefaultConfig())
+	a := &cluster.Allocation{JobID: 1, Shares: []cluster.NodeShare{
+		{Node: 0, LocalMiB: 64 * 1024, RemoteMiB: 32 * 1024, Pool: 0},
+		{Node: 1, LocalMiB: 64 * 1024, RemoteMiB: 32 * 1024, Pool: 0},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Allocate(a); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Release(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemAwarePlan measures one placement decision on a half-loaded
+// machine (the scheduler's inner loop).
+func BenchmarkMemAwarePlan(b *testing.B) {
+	b.ReportAllocs()
+	m := cluster.MustNew(cluster.DefaultConfig())
+	// Occupy half the machine.
+	for i := 0; i < 128; i++ {
+		a := &cluster.Allocation{JobID: 1000 + i, Shares: []cluster.NodeShare{
+			{Node: cluster.NodeID(i * 2), LocalMiB: 32 * 1024, Pool: cluster.NoPool},
+		}}
+		if err := m.Allocate(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	placer := core.New()
+	model := memmodel.Bandwidth{Beta: 1, Gamma: 1}
+	j := &workload.Job{ID: 1, Nodes: 16, MemPerNode: 96 * 1024, Estimate: 3600, BaseRuntime: 1800}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if placer.Plan(j, m, model) == nil {
+			b.Fatal("plan failed")
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerate measures synthetic trace generation.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	b.ReportAllocs()
+	cfg := workload.DefaultGenConfig(1000, 1, 256)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := workload.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulation measures end-to-end simulated-jobs-per-second for
+// the full memaware stack under the contention-sensitive model.
+func BenchmarkSimulation(b *testing.B) {
+	b.ReportAllocs()
+	wl := dismem.SyntheticWorkload(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dismem.Simulate(dismem.Options{
+			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Jobs() == 0 {
+			b.Fatal("no jobs ran")
+		}
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -1,0 +1,195 @@
+// Command dmsched runs one batch-scheduling simulation and prints the
+// resulting report.
+//
+// The workload is either synthetic (default) or an SWF trace given with
+// -swf. The machine, policy and memory model are set with flags:
+//
+//	dmsched -policy memaware -local 64 -pool 4096 -model linear:0.5
+//	dmsched -swf trace.swf -node-cores 32 -policy easy-oblivious
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dismem"
+	"dismem/internal/config"
+	"dismem/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "memaware", "scheduling policy: "+strings.Join(dismem.Policies(), ", "))
+		model    = flag.String("model", "linear:0.5", "memory model spec (linear:b | step:b0,b | bandwidth:b,g)")
+		topology = flag.String("topology", "rack", "pool topology: none | rack | global")
+		racks    = flag.Int("racks", 16, "racks")
+		nodes    = flag.Int("nodes", 16, "nodes per rack")
+		cores    = flag.Int("cores", 32, "cores per node")
+		localGiB = flag.Int64("local", 64, "local DRAM per node (GiB)")
+		poolGiB  = flag.Int64("pool", 4096, "pool capacity (GiB; per rack, or total for -topology global)")
+		fabric   = flag.Float64("fabric", 64, "fabric bandwidth per pool (GiB/s)")
+		jobs     = flag.Int("jobs", 5000, "synthetic workload size")
+		seed     = flag.Uint64("seed", 1, "synthetic workload seed")
+		swf      = flag.String("swf", "", "SWF trace file (overrides synthetic workload)")
+		swfCores = flag.Int("node-cores", 0, "SWF import: processors per node (0 = processors are nodes)")
+		strict   = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
+		verbose  = flag.Bool("v", false, "also print workload summary")
+		cfgPath  = flag.String("config", "", "JSON experiment config (overrides the flags above)")
+		writeCfg = flag.Bool("write-config", false, "print a starter config JSON and exit")
+	)
+	flag.Parse()
+
+	if *writeCfg {
+		def := config.Default()
+		if err := def.Write(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *cfgPath != "" {
+		runFromConfig(*cfgPath, *verbose)
+		return
+	}
+
+	mc := dismem.DefaultMachine()
+	mc.Racks, mc.NodesPerRack, mc.CoresPerNode = *racks, *nodes, *cores
+	mc.LocalMemMiB = *localGiB * 1024
+	mc.PoolMiB = *poolGiB * 1024
+	mc.FabricGiBps = *fabric
+	switch *topology {
+	case "none":
+		mc.Topology = dismem.TopologyNone
+		mc.PoolMiB = 0
+	case "rack":
+		mc.Topology = dismem.TopologyRack
+	case "global":
+		mc.Topology = dismem.TopologyGlobal
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
+
+	var wl *dismem.Workload
+	if *swf != "" {
+		f, err := os.Open(*swf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		var skipped int
+		wl, skipped, err = workload.ReadSWF(f, workload.SWFReadOptions{
+			NodeCores:         *swfCores,
+			DefaultMemPerNode: mc.LocalMemMiB / 2,
+		})
+		if err != nil {
+			fatalf("reading %s: %v", *swf, err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "note: skipped %d unusable SWF records\n", skipped)
+		}
+	} else {
+		var err error
+		wl, err = dismem.GenerateWorkload(dismem.DefaultGen(*jobs, *seed, mc))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *verbose {
+		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
+		fmt.Println()
+	}
+
+	res, err := dismem.Simulate(dismem.Options{
+		Machine:    mc,
+		Policy:     *policy,
+		Model:      *model,
+		Workload:   wl,
+		StrictKill: *strict,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printReport(*policy, res)
+}
+
+// runFromConfig executes a JSON-configured experiment.
+func runFromConfig(path string, verbose bool) {
+	exp, err := config.Load(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mc, err := exp.MachineConfig()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var wl *dismem.Workload
+	if exp.Workload.SWF != "" {
+		f, err := os.Open(exp.Workload.SWF)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		wl, _, err = workload.ReadSWF(f, workload.SWFReadOptions{
+			NodeCores:         exp.Workload.NodeCores,
+			DefaultMemPerNode: mc.LocalMemMiB / 2,
+		})
+		if err != nil {
+			fatalf("reading %s: %v", exp.Workload.SWF, err)
+		}
+	} else {
+		gen := dismem.DefaultGen(exp.Workload.Jobs, exp.Workload.Seed, mc)
+		if exp.Workload.EstimateAccuracy > 0 {
+			gen.EstimateAccuracy = exp.Workload.EstimateAccuracy
+		}
+		if exp.Workload.LargeMemFraction > 0 {
+			gen.LargeMemFraction = exp.Workload.LargeMemFraction
+		}
+		wl, err = dismem.GenerateWorkload(gen)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if verbose {
+		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
+		fmt.Println()
+	}
+	res, err := dismem.Simulate(dismem.Options{
+		Machine:    mc,
+		Policy:     exp.Policy,
+		Model:      exp.Model,
+		Workload:   wl,
+		StrictKill: exp.StrictKill,
+		Failures:   exp.FailureConfig(),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printReport(exp.Policy, res)
+}
+
+func printReport(policy string, res *dismem.Result) {
+	r := res.Report
+	fmt.Printf("policy            %s\n", policy)
+	fmt.Printf("jobs              %d completed, %d killed, %d rejected\n", r.Completed, r.Killed, r.Rejected)
+	fmt.Printf("makespan          %.1f h (%d DES events)\n", float64(r.MakespanSec)/3600, res.Events)
+	fmt.Printf("wait              mean %.0f s, p95 %.0f s, p99 %.0f s\n", r.Wait.Mean(), r.P95Wait, r.P99Wait)
+	fmt.Printf("bounded slowdown  mean %.1f, p95 %.1f\n", r.BSld.Mean(), r.P95BSld)
+	fmt.Printf("node utilization  %.1f%%\n", 100*r.NodeUtil)
+	fmt.Printf("local mem util    %.1f%%\n", 100*r.LocalMemUtil)
+	fmt.Printf("pool util         %.1f%% (mean fabric demand %.1f GiB/s)\n", 100*r.PoolUtil, r.MeanFabricDemand)
+	fmt.Printf("throughput        %.1f jobs/h (%.0f node-hours delivered)\n", r.ThroughputPerHour, r.NodeHours)
+	fmt.Printf("pool-using jobs   %.1f%% (mean dilation %.2f, p95 %.2f)\n",
+		100*r.RemoteJobFraction, r.DilationRemote.Mean(), r.P95DilationRemote)
+	if r.NodeFailures > 0 {
+		fmt.Printf("failures          %d node failures, %d jobs killed by them\n",
+			r.NodeFailures, r.FailureKills)
+	}
+	fair := res.Recorder.Fairness()
+	fmt.Printf("fairness          Jain(wait) %.3f over %d users\n", fair.JainWait, len(fair.Users))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dmsched: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command dmsweep regenerates the paper's evaluation tables and
+// figures. Each experiment is a parameter sweep over the simulator; see
+// DESIGN.md §4 for the experiment inventory and EXPERIMENTS.md for the
+// recorded results.
+//
+// Usage:
+//
+//	dmsweep -exp fig3                 # one experiment
+//	dmsweep -exp all -jobs 8000       # the full evaluation
+//	dmsweep -exp table2 -csv          # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dismem/internal/sweep"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(sweep.IDs(), ", "))
+		jobs  = flag.Int("jobs", 0, "jobs per simulation (0 = experiment default)")
+		seeds = flag.Int("seeds", 0, "seeds per cell (0 = experiment default)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot  = flag.Bool("plot", false, "also render figure sweeps as ASCII charts")
+	)
+	flag.Parse()
+
+	o := sweep.Options{Jobs: *jobs, Seeds: *seeds}
+	var tables []*sweep.Table
+	if *exp == "all" {
+		tables = sweep.RunAll(o)
+	} else {
+		var err error
+		tables, err = sweep.Run(*exp, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+			if *plot {
+				if c := t.Chart(); c != nil {
+					fmt.Println()
+					fmt.Print(c.Render())
+				}
+			}
+		}
+	}
+}

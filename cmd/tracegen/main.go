@@ -1,0 +1,82 @@
+// Command tracegen generates a synthetic workload in the Standard
+// Workload Format (SWF) on stdout or into a file:
+//
+//	tracegen -jobs 10000 -seed 7 -o trace.swf
+//	tracegen -jobs 2000 -accuracy 0.8 | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dismem"
+	"dismem/internal/workload"
+)
+
+func main() {
+	var (
+		jobs     = flag.Int("jobs", 10000, "number of jobs")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		maxNodes = flag.Int("max-nodes", 256, "largest job width (nodes)")
+		arrival  = flag.Float64("interarrival", 90, "mean inter-arrival time (s)")
+		accuracy = flag.Float64("accuracy", 0.4, "mean user estimate accuracy in (0,1]")
+		largeMem = flag.Float64("large-mem", 0.18, "fraction of data-intensive (large-memory) jobs")
+		model    = flag.String("model", "calibrated", "workload model: calibrated | lublin")
+		out      = flag.String("o", "", "output file (default stdout)")
+		summary  = flag.Bool("summary", false, "print a workload summary to stderr")
+	)
+	flag.Parse()
+
+	var wl *dismem.Workload
+	var err error
+	switch *model {
+	case "calibrated":
+		cfg := workloadDefault(*jobs, *seed, *maxNodes)
+		cfg.MeanInterarrival = *arrival
+		cfg.EstimateAccuracy = *accuracy
+		cfg.LargeMemFraction = *largeMem
+		wl, err = dismem.GenerateWorkload(cfg)
+	case "lublin":
+		cfg := workload.DefaultLublinConfig(*jobs, *seed, *maxNodes)
+		cfg.MeanInterarrival = *arrival
+		cfg.EstimateAccuracy = *accuracy
+		cfg.LargeMemFraction = *largeMem
+		wl, err = workload.GenerateLublin(cfg)
+	default:
+		fatalf("unknown workload model %q", *model)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := workload.WriteSWF(w, wl); err != nil {
+		fatalf("%v", err)
+	}
+	if *summary {
+		fmt.Fprint(os.Stderr, workload.Summarize(wl, 64*1024))
+	}
+}
+
+func workloadDefault(jobs int, seed uint64, maxNodes int) dismem.GenConfig {
+	return workload.DefaultGenConfig(jobs, seed, maxNodes)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,256 @@
+// Package dismem is a simulator and scheduling library for batch job
+// scheduling on HPC systems with disaggregated memory resources.
+//
+// It reproduces the system of the CLUSTER 2024 paper "Job Scheduling in
+// High Performance Computing Systems with Disaggregated Memory
+// Resources": a discrete-event simulation of racks of nodes with
+// reduced local DRAM plus rack-level (or global) memory pools, batch
+// schedulers ranging from classic FCFS/EASY/conservative baselines to
+// the disaggregation-aware policy, and the metrics the paper's
+// evaluation reports.
+//
+// Quick start:
+//
+//	wl := dismem.SyntheticWorkload(5000, 1)
+//	res, err := dismem.Simulate(dismem.Options{
+//		Machine:  dismem.DefaultMachine(),
+//		Policy:   "memaware",
+//		Model:    "linear:0.5",
+//		Workload: wl,
+//	})
+//
+// See the examples directory for complete programs and DESIGN.md for
+// the architecture and experiment inventory.
+package dismem
+
+import (
+	"fmt"
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/memmodel"
+	"dismem/internal/metrics"
+	"dismem/internal/sched"
+	"dismem/internal/sim"
+	"dismem/internal/workload"
+)
+
+// Re-exported types: the public API surface wraps the internal packages
+// so downstream users never import dismem/internal/... directly.
+type (
+	// MachineConfig describes the simulated machine (see
+	// internal/cluster.Config for field documentation).
+	MachineConfig = cluster.Config
+	// Workload is an ordered batch of jobs.
+	Workload = workload.Workload
+	// Job is one batch job.
+	Job = workload.Job
+	// GenConfig parameterises the synthetic workload generator.
+	GenConfig = workload.GenConfig
+	// LublinConfig parameterises the Lublin-Feitelson workload model.
+	LublinConfig = workload.LublinConfig
+	// Report is the reduced result of one simulation.
+	Report = metrics.Report
+	// JobRecord is the per-job outcome.
+	JobRecord = metrics.JobRecord
+	// Result bundles report, per-job records and event counts.
+	Result = sim.Result
+	// Scheduler is the scheduling-policy interface.
+	Scheduler = sched.Scheduler
+	// MemoryModel maps remote fraction and congestion to dilation.
+	MemoryModel = memmodel.Model
+	// FailureConfig parameterises node failure injection.
+	FailureConfig = sim.FailureConfig
+)
+
+// Topology constants for MachineConfig.
+const (
+	TopologyNone   = cluster.TopologyNone
+	TopologyRack   = cluster.TopologyRack
+	TopologyGlobal = cluster.TopologyGlobal
+)
+
+// DefaultMachine returns the evaluation machine: 16 racks x 16 nodes x
+// 32 cores with 64 GiB local DRAM and 4 TiB rack pools.
+func DefaultMachine() MachineConfig { return cluster.DefaultConfig() }
+
+// BaselineMachine returns a conventional machine with localMiB DRAM per
+// node and no pool.
+func BaselineMachine(localMiB int64) MachineConfig { return cluster.BaselineConfig(localMiB) }
+
+// SyntheticWorkload generates the default calibrated workload of n jobs
+// for the default machine.
+func SyntheticWorkload(n int, seed uint64) *Workload {
+	return workload.MustGenerate(workload.DefaultGenConfig(n, seed, cluster.DefaultConfig().TotalNodes()))
+}
+
+// GenerateWorkload generates a workload from an explicit configuration.
+func GenerateWorkload(cfg GenConfig) (*Workload, error) { return workload.Generate(cfg) }
+
+// DefaultGen returns the calibrated workload-generator configuration
+// for n jobs on machine mc (job widths scale with the machine).
+func DefaultGen(n int, seed uint64, mc MachineConfig) GenConfig {
+	return workload.DefaultGenConfig(n, seed, mc.TotalNodes())
+}
+
+// LublinWorkload generates a trace from the Lublin-Feitelson (JPDC
+// 2003) model with the published constants, sized for machine mc.
+func LublinWorkload(n int, seed uint64, mc MachineConfig) (*Workload, error) {
+	return workload.GenerateLublin(workload.DefaultLublinConfig(n, seed, mc.TotalNodes()))
+}
+
+// ParseModel builds a memory model from a spec like "linear:0.5",
+// "step:0.1,0.5" or "bandwidth:0.5,1".
+func ParseModel(spec string) (MemoryModel, error) { return memmodel.Parse(spec) }
+
+// Options configures Simulate.
+type Options struct {
+	// Machine is the machine configuration (DefaultMachine if zero).
+	Machine MachineConfig
+	// Policy is a registered policy name; see Policies. Ignored when
+	// SchedulerImpl is set.
+	Policy string
+	// SchedulerImpl overrides Policy with a concrete scheduler.
+	SchedulerImpl Scheduler
+	// Model is a memory-model spec (ParseModel syntax); default
+	// "linear:0.5". Ignored when ModelImpl is set.
+	Model string
+	// ModelImpl overrides Model with a concrete implementation.
+	ModelImpl MemoryModel
+	// Workload is the trace to run.
+	Workload *Workload
+	// StrictKill disables the dilation-extended walltime limit: jobs
+	// are killed at the raw user estimate even when the system itself
+	// slowed them down.
+	StrictKill bool
+	// Failures optionally injects node failures.
+	Failures *FailureConfig
+	// CheckInvariants enables O(machine) state validation per event.
+	CheckInvariants bool
+}
+
+// Simulate runs one simulation to completion.
+func Simulate(o Options) (*Result, error) {
+	if o.Workload == nil {
+		return nil, fmt.Errorf("dismem: nil workload")
+	}
+	mc := o.Machine
+	if mc.Racks == 0 {
+		mc = DefaultMachine()
+	}
+	model := o.ModelImpl
+	if model == nil {
+		spec := o.Model
+		if spec == "" {
+			spec = "linear:0.5"
+		}
+		var err error
+		model, err = memmodel.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := o.SchedulerImpl
+	if s == nil {
+		var err error
+		s, err = NewScheduler(o.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sim.Run(sim.Config{
+		Machine:         mc,
+		Model:           model,
+		Scheduler:       s,
+		ExtendLimit:     !o.StrictKill,
+		CheckInvariants: o.CheckInvariants,
+		Failures:        o.Failures,
+	}, o.Workload)
+}
+
+// policyFactories maps policy names to constructors. Each call builds a
+// fresh scheduler so concurrent simulations never share state.
+var policyFactories = map[string]func() sched.Scheduler{
+	// Conventional baselines: local DRAM only.
+	"fcfs-local": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "fcfs-local", Order: sched.FCFS{}, Backfill: sched.BackfillNone, Placer: sched.LocalOnly{}}
+	},
+	"easy-local": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "easy-local", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: sched.LocalOnly{}}
+	},
+	"cons-local": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "cons-local", Order: sched.FCFS{}, Backfill: sched.BackfillConservative, Placer: sched.LocalOnly{}}
+	},
+	"sjf-local": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "sjf-local", Order: sched.SJF{}, Backfill: sched.BackfillEASY, Placer: sched.LocalOnly{}}
+	},
+	"wfp-local": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "wfp-local", Order: sched.WFP{}, Backfill: sched.BackfillEASY, Placer: sched.LocalOnly{}}
+	},
+	// Disaggregation-oblivious spill: uses the pool, ignores slowdown.
+	"easy-oblivious": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "easy-oblivious", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: sched.Spill{}}
+	},
+	"cons-oblivious": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "cons-oblivious", Order: sched.FCFS{}, Backfill: sched.BackfillConservative, Placer: sched.Spill{}}
+	},
+	// The paper's contribution and its ablations.
+	"memaware": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "memaware", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: core.New()}
+	},
+	"memaware-cons": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "memaware-cons", Order: sched.FCFS{}, Backfill: sched.BackfillConservative, Placer: core.New()}
+	},
+	"memaware-nocap": func() sched.Scheduler {
+		p := core.New()
+		p.SlowdownCap = 0
+		return &sched.Batch{PolicyName: "memaware-nocap", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p}
+	},
+	"memaware-nobal": func() sched.Scheduler {
+		p := core.New()
+		p.Balance = false
+		return &sched.Batch{PolicyName: "memaware-nobal", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p}
+	},
+	"memaware-noshape": func() sched.Scheduler {
+		p := core.New()
+		p.Shape = false
+		return &sched.Batch{PolicyName: "memaware-noshape", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p}
+	},
+	// Patience: prefer waiting up to 30 min for local capacity before
+	// accepting a dilated remote placement.
+	"memaware-patient": func() sched.Scheduler {
+		return &sched.Batch{PolicyName: "memaware-patient", Order: sched.FCFS{}, Backfill: sched.BackfillEASY,
+			Placer: core.New(), SpillPatience: 1800}
+	},
+}
+
+// Policies returns the registered policy names, sorted.
+func Policies() []string {
+	out := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewScheduler builds a fresh scheduler for a registered policy name.
+func NewScheduler(name string) (Scheduler, error) {
+	f, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("dismem: unknown policy %q (known: %v)", name, Policies())
+	}
+	return f(), nil
+}
+
+// NewSchedulerWithCap builds the memaware policy with a custom slowdown
+// cap, for sensitivity sweeps.
+func NewSchedulerWithCap(cap float64) Scheduler {
+	p := core.New()
+	p.SlowdownCap = cap
+	return &sched.Batch{
+		PolicyName: fmt.Sprintf("memaware(cap=%.2g)", cap),
+		Order:      sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p,
+	}
+}

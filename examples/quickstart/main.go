@@ -1,0 +1,42 @@
+// Quickstart: simulate one synthetic day of batch jobs on the default
+// disaggregated machine with the memory-aware scheduler and print the
+// headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dismem"
+)
+
+func main() {
+	// 2000 jobs on the default machine: 16 racks x 16 nodes, 64 GiB
+	// local DRAM per node, a 4 TiB disaggregated pool per rack.
+	wl := dismem.SyntheticWorkload(2000, 1)
+
+	res, err := dismem.Simulate(dismem.Options{
+		Machine:  dismem.DefaultMachine(),
+		Policy:   "memaware",
+		Model:    "linear:0.5", // CXL-class remote penalty
+		Workload: wl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := res.Report
+	fmt.Println("dismem quickstart — memory-aware scheduling on a disaggregated machine")
+	fmt.Printf("  jobs:             %d completed, %d killed, %d rejected\n",
+		r.Completed, r.Killed, r.Rejected)
+	fmt.Printf("  mean wait:        %.0f s (p95 %.0f s)\n", r.Wait.Mean(), r.P95Wait)
+	fmt.Printf("  bounded slowdown: %.1f (mean)\n", r.BSld.Mean())
+	fmt.Printf("  node utilization: %.1f%%\n", 100*r.NodeUtil)
+	fmt.Printf("  pool utilization: %.1f%%\n", 100*r.PoolUtil)
+	fmt.Printf("  pool-using jobs:  %.1f%% (mean dilation %.2fx)\n",
+		100*r.RemoteJobFraction, r.DilationRemote.Mean())
+	fmt.Printf("  makespan:         %.1f h (%d simulation events)\n",
+		float64(r.MakespanSec)/3600, res.Events)
+}

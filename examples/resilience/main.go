@@ -1,0 +1,56 @@
+// Resilience: inject node failures at several MTBF levels and watch
+// their toll on the memory-aware machine — node failures kill the jobs
+// above them, the site resubmits (up to 3 restarts), and waits inflate
+// from lost capacity plus redone work. Also prints per-user fairness,
+// which degrades as restarts hit some users harder than others.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dismem"
+)
+
+func main() {
+	const jobs = 1000
+
+	fmt.Println("Node failures on the disaggregated machine (memaware, repair 1 h)")
+	fmt.Printf("%-14s %10s %10s %12s %10s %12s\n",
+		"MTBF h/node", "failures", "restarts", "wait (s)", "killed", "Jain(wait)")
+
+	for _, mtbfHours := range []int64{0, 1000, 250, 50} {
+		var failures *dismem.FailureConfig
+		if mtbfHours > 0 {
+			failures = &dismem.FailureConfig{
+				MTBFPerNodeSec: mtbfHours * 3600,
+				RepairSec:      3600,
+				Seed:           1,
+			}
+		}
+		wl := dismem.SyntheticWorkload(jobs, 21)
+		res, err := dismem.Simulate(dismem.Options{
+			Machine:  dismem.DefaultMachine(),
+			Policy:   "memaware",
+			Model:    "linear:0.5",
+			Workload: wl,
+			Failures: failures,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Report
+		fair := res.Recorder.Fairness()
+		label := "reliable"
+		if mtbfHours > 0 {
+			label = fmt.Sprintf("%d", mtbfHours)
+		}
+		fmt.Printf("%-14s %10d %10d %12.0f %9.1f%% %12.3f\n",
+			label, r.NodeFailures, r.FailureKills,
+			r.Wait.Mean(), 100*r.KilledFraction(), fair.JainWait)
+	}
+	fmt.Println("\n(restarts = failure kills that were resubmitted; a job is abandoned")
+	fmt.Println(" and counted killed after 3 restarts)")
+}

@@ -1,0 +1,450 @@
+package cluster
+
+import "fmt"
+
+// NodeID identifies a node; node IDs are dense in [0, TotalNodes).
+type NodeID int
+
+// PoolID identifies a memory pool; -1 means "no pool reachable".
+type PoolID int
+
+// NoPool is the PoolID for nodes without a reachable pool.
+const NoPool PoolID = -1
+
+// Node is one compute node. Exported fields are read-only snapshots for
+// schedulers; all mutation goes through Machine.
+type Node struct {
+	ID   NodeID
+	Rack int
+	// Busy is the ID of the job occupying the node, or 0 (nodes are
+	// allocated exclusively, one job per node).
+	Busy int
+	// Down marks a failed node: it cannot be allocated until repaired.
+	Down bool
+	// UsedLocalMiB is the local DRAM charged to the occupying job.
+	UsedLocalMiB int64
+}
+
+// Available reports whether the node can accept an allocation.
+func (n Node) Available() bool { return n.Busy == 0 && !n.Down }
+
+// Pool is one disaggregated memory pool.
+type Pool struct {
+	ID          PoolID
+	CapacityMiB int64
+	UsedMiB     int64
+	// FabricGiBps is the pool's aggregate fabric bandwidth.
+	FabricGiBps float64
+	// DemandGiBps is the current aggregate traffic demand from all
+	// allocations borrowing from this pool.
+	DemandGiBps float64
+}
+
+// FreeMiB returns the unallocated pool capacity.
+func (p Pool) FreeMiB() int64 { return p.CapacityMiB - p.UsedMiB }
+
+// Congestion returns demand/bandwidth; > 1 means the fabric is
+// oversubscribed and remote accesses slow down.
+func (p Pool) Congestion() float64 {
+	if p.FabricGiBps <= 0 {
+		return 0
+	}
+	return p.DemandGiBps / p.FabricGiBps
+}
+
+// NodeShare is one node's slice of an allocation.
+type NodeShare struct {
+	Node NodeID
+	// LocalMiB + RemoteMiB equals the job's per-node footprint.
+	LocalMiB, RemoteMiB int64
+	// Pool is the pool backing RemoteMiB (NoPool iff RemoteMiB is 0).
+	Pool PoolID
+}
+
+// Allocation is a job's committed placement. Construct with a planner
+// (package sched / core) and commit with Machine.Allocate.
+type Allocation struct {
+	JobID  int
+	Shares []NodeShare
+}
+
+// RemoteMiB returns the total pool memory the allocation borrows.
+func (a *Allocation) RemoteMiB() int64 {
+	var sum int64
+	for _, s := range a.Shares {
+		sum += s.RemoteMiB
+	}
+	return sum
+}
+
+// TotalMiB returns the allocation's whole footprint.
+func (a *Allocation) TotalMiB() int64 {
+	var sum int64
+	for _, s := range a.Shares {
+		sum += s.LocalMiB + s.RemoteMiB
+	}
+	return sum
+}
+
+// RemoteFraction returns RemoteMiB/TotalMiB (0 for an empty alloc).
+func (a *Allocation) RemoteFraction() float64 {
+	t := a.TotalMiB()
+	if t == 0 {
+		return 0
+	}
+	return float64(a.RemoteMiB()) / float64(t)
+}
+
+// Machine owns all resource state. It is not safe for concurrent use;
+// the simulation kernel is single-threaded (see package des).
+type Machine struct {
+	cfg       Config
+	nodes     []Node
+	pools     []Pool
+	freeNodes int
+	downNodes int
+	allocs    map[int]*Allocation // by job ID
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:       cfg,
+		nodes:     make([]Node, cfg.TotalNodes()),
+		freeNodes: cfg.TotalNodes(),
+		allocs:    make(map[int]*Allocation),
+	}
+	for i := range m.nodes {
+		m.nodes[i] = Node{ID: NodeID(i), Rack: i / cfg.NodesPerRack}
+	}
+	switch cfg.Topology {
+	case TopologyRack:
+		m.pools = make([]Pool, cfg.Racks)
+		for r := range m.pools {
+			m.pools[r] = Pool{ID: PoolID(r), CapacityMiB: cfg.PoolMiB, FabricGiBps: cfg.FabricGiBps}
+		}
+	case TopologyGlobal:
+		m.pools = []Pool{{ID: 0, CapacityMiB: cfg.PoolMiB, FabricGiBps: cfg.FabricGiBps}}
+	}
+	return m, nil
+}
+
+// MustNew is New for known-valid configs; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Nodes returns a read-only view of all nodes. Callers must not retain
+// the slice across mutations.
+func (m *Machine) Nodes() []Node { return m.nodes }
+
+// Pools returns a read-only view of all pools.
+func (m *Machine) Pools() []Pool { return m.pools }
+
+// Pool returns a read-only copy of the pool with the given ID.
+func (m *Machine) Pool(id PoolID) (Pool, bool) {
+	if id < 0 || int(id) >= len(m.pools) {
+		return Pool{}, false
+	}
+	return m.pools[id], true
+}
+
+// PoolOf returns the pool reachable from node n (NoPool for
+// TopologyNone).
+func (m *Machine) PoolOf(n NodeID) PoolID {
+	switch m.cfg.Topology {
+	case TopologyRack:
+		return PoolID(m.nodes[n].Rack)
+	case TopologyGlobal:
+		return 0
+	default:
+		return NoPool
+	}
+}
+
+// FreeNodes returns the number of nodes available for allocation
+// (neither busy nor down).
+func (m *Machine) FreeNodes() int { return m.freeNodes }
+
+// DownNodes returns the number of failed nodes.
+func (m *Machine) DownNodes() int { return m.downNodes }
+
+// SetDown marks a free node as failed. Failing a busy node is an
+// engine-level operation: kill and release the occupant first.
+func (m *Machine) SetDown(id NodeID) error {
+	if id < 0 || int(id) >= len(m.nodes) {
+		return fmt.Errorf("cluster: SetDown: node %d out of range", id)
+	}
+	n := &m.nodes[id]
+	if n.Busy != 0 {
+		return fmt.Errorf("cluster: SetDown: node %d busy with job %d", id, n.Busy)
+	}
+	if n.Down {
+		return fmt.Errorf("cluster: SetDown: node %d already down", id)
+	}
+	n.Down = true
+	m.freeNodes--
+	m.downNodes++
+	return nil
+}
+
+// SetUp returns a failed node to service.
+func (m *Machine) SetUp(id NodeID) error {
+	if id < 0 || int(id) >= len(m.nodes) {
+		return fmt.Errorf("cluster: SetUp: node %d out of range", id)
+	}
+	n := &m.nodes[id]
+	if !n.Down {
+		return fmt.Errorf("cluster: SetUp: node %d is not down", id)
+	}
+	n.Down = false
+	m.freeNodes++
+	m.downNodes--
+	return nil
+}
+
+// RunningJobs returns the number of committed allocations.
+func (m *Machine) RunningJobs() int { return len(m.allocs) }
+
+// AllocationOf returns job's live allocation, if any.
+func (m *Machine) AllocationOf(jobID int) (*Allocation, bool) {
+	a, ok := m.allocs[jobID]
+	return a, ok
+}
+
+// Allocate validates and commits an allocation atomically: on error the
+// machine is unchanged.
+func (m *Machine) Allocate(a *Allocation) error {
+	if err := m.check(a); err != nil {
+		return err
+	}
+	for _, s := range a.Shares {
+		n := &m.nodes[s.Node]
+		n.Busy = a.JobID
+		n.UsedLocalMiB = s.LocalMiB
+		if s.RemoteMiB > 0 {
+			p := &m.pools[s.Pool]
+			p.UsedMiB += s.RemoteMiB
+			p.DemandGiBps += m.shareDemand(s)
+		}
+	}
+	m.freeNodes -= len(a.Shares)
+	m.allocs[a.JobID] = a
+	return nil
+}
+
+// check validates a without mutating state.
+func (m *Machine) check(a *Allocation) error {
+	if a == nil || a.JobID <= 0 {
+		return fmt.Errorf("cluster: invalid allocation (nil or bad job id)")
+	}
+	if len(a.Shares) == 0 {
+		return fmt.Errorf("cluster: job %d: empty allocation", a.JobID)
+	}
+	if _, dup := m.allocs[a.JobID]; dup {
+		return fmt.Errorf("cluster: job %d: already allocated", a.JobID)
+	}
+	poolNeed := make(map[PoolID]int64)
+	seen := make(map[NodeID]bool, len(a.Shares))
+	for _, s := range a.Shares {
+		if s.Node < 0 || int(s.Node) >= len(m.nodes) {
+			return fmt.Errorf("cluster: job %d: node %d out of range", a.JobID, s.Node)
+		}
+		if seen[s.Node] {
+			return fmt.Errorf("cluster: job %d: node %d listed twice", a.JobID, s.Node)
+		}
+		seen[s.Node] = true
+		n := &m.nodes[s.Node]
+		if n.Busy != 0 {
+			return fmt.Errorf("cluster: job %d: node %d busy with job %d", a.JobID, s.Node, n.Busy)
+		}
+		if n.Down {
+			return fmt.Errorf("cluster: job %d: node %d is down", a.JobID, s.Node)
+		}
+		if s.LocalMiB < 0 || s.RemoteMiB < 0 {
+			return fmt.Errorf("cluster: job %d: negative share on node %d", a.JobID, s.Node)
+		}
+		if s.LocalMiB > m.cfg.LocalMemMiB {
+			return fmt.Errorf("cluster: job %d: node %d local %d exceeds DRAM %d",
+				a.JobID, s.Node, s.LocalMiB, m.cfg.LocalMemMiB)
+		}
+		if s.RemoteMiB > 0 {
+			want := m.PoolOf(s.Node)
+			if s.Pool != want {
+				return fmt.Errorf("cluster: job %d: node %d borrows from pool %d, reachable pool is %d",
+					a.JobID, s.Node, s.Pool, want)
+			}
+			if want == NoPool {
+				return fmt.Errorf("cluster: job %d: node %d has no reachable pool", a.JobID, s.Node)
+			}
+			poolNeed[s.Pool] += s.RemoteMiB
+		} else if s.Pool != NoPool {
+			return fmt.Errorf("cluster: job %d: node %d names pool %d without remote memory",
+				a.JobID, s.Node, s.Pool)
+		}
+	}
+	for pid, need := range poolNeed {
+		if free := m.pools[pid].FreeMiB(); need > free {
+			return fmt.Errorf("cluster: job %d: pool %d needs %d MiB, only %d free",
+				a.JobID, pid, need, free)
+		}
+	}
+	return nil
+}
+
+// Release frees job's allocation, restoring all counters exactly.
+func (m *Machine) Release(jobID int) error {
+	a, ok := m.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %d: no allocation to release", jobID)
+	}
+	for _, s := range a.Shares {
+		n := &m.nodes[s.Node]
+		n.Busy = 0
+		n.UsedLocalMiB = 0
+		if s.RemoteMiB > 0 {
+			p := &m.pools[s.Pool]
+			p.UsedMiB -= s.RemoteMiB
+			p.DemandGiBps -= m.shareDemand(s)
+			if p.DemandGiBps < 1e-9 {
+				p.DemandGiBps = 0 // absorb float drift at idle
+			}
+		}
+	}
+	m.freeNodes += len(a.Shares)
+	delete(m.allocs, jobID)
+	return nil
+}
+
+// shareDemand converts one node share into fabric demand (GiB/s):
+// linear in the node's remote fraction.
+func (m *Machine) shareDemand(s NodeShare) float64 {
+	tot := s.LocalMiB + s.RemoteMiB
+	if tot == 0 || s.RemoteMiB == 0 {
+		return 0
+	}
+	return m.cfg.TrafficGiBpsPerNode * float64(s.RemoteMiB) / float64(tot)
+}
+
+// DemandOf returns the total fabric demand (GiB/s) allocation a would
+// add (or currently adds) to its pools.
+func (m *Machine) DemandOf(a *Allocation) float64 {
+	var d float64
+	for _, s := range a.Shares {
+		d += m.shareDemand(s)
+	}
+	return d
+}
+
+// Usage is a point-in-time resource snapshot used by the metrics
+// recorder.
+type Usage struct {
+	BusyNodes   int
+	UsedCores   int
+	UsedLocal   int64 // MiB
+	UsedPool    int64 // MiB
+	PoolDemand  float64
+	MaxPoolUtil float64 // max over pools of used/capacity
+	MaxCongest  float64 // max over pools of demand/bandwidth
+}
+
+// Usage returns the current snapshot. Cores are charged as fully used
+// on busy nodes (exclusive allocation).
+func (m *Machine) Usage() Usage {
+	u := Usage{}
+	for i := range m.nodes {
+		if m.nodes[i].Busy != 0 {
+			u.BusyNodes++
+			u.UsedCores += m.cfg.CoresPerNode
+			u.UsedLocal += m.nodes[i].UsedLocalMiB
+		}
+	}
+	for i := range m.pools {
+		p := &m.pools[i]
+		u.UsedPool += p.UsedMiB
+		u.PoolDemand += p.DemandGiBps
+		if p.CapacityMiB > 0 {
+			if util := float64(p.UsedMiB) / float64(p.CapacityMiB); util > u.MaxPoolUtil {
+				u.MaxPoolUtil = util
+			}
+		}
+		if c := p.Congestion(); c > u.MaxCongest {
+			u.MaxCongest = c
+		}
+	}
+	return u
+}
+
+// CheckInvariants verifies conservation: per-node and per-pool usage
+// derived from live allocations matches the counters. It is O(machine)
+// and intended for tests and debug builds.
+func (m *Machine) CheckInvariants() error {
+	busy := make(map[NodeID]int)
+	poolUsed := make(map[PoolID]int64)
+	poolDemand := make(map[PoolID]float64)
+	for id, a := range m.allocs {
+		if a.JobID != id {
+			return fmt.Errorf("cluster: alloc map key %d != job id %d", id, a.JobID)
+		}
+		for _, s := range a.Shares {
+			if prev, clash := busy[s.Node]; clash {
+				return fmt.Errorf("cluster: node %d shared by jobs %d and %d", s.Node, prev, id)
+			}
+			busy[s.Node] = id
+			if s.RemoteMiB > 0 {
+				poolUsed[s.Pool] += s.RemoteMiB
+				poolDemand[s.Pool] += m.shareDemand(s)
+			}
+		}
+	}
+	free, down := 0, 0
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		if want := busy[n.ID]; want != n.Busy {
+			return fmt.Errorf("cluster: node %d busy=%d, allocations say %d", n.ID, n.Busy, want)
+		}
+		if n.Busy != 0 && n.Down {
+			return fmt.Errorf("cluster: node %d both busy and down", n.ID)
+		}
+		if n.Down {
+			down++
+		}
+		if n.Busy == 0 {
+			if !n.Down {
+				free++
+			}
+			if n.UsedLocalMiB != 0 {
+				return fmt.Errorf("cluster: free node %d has %d MiB charged", n.ID, n.UsedLocalMiB)
+			}
+		}
+	}
+	if free != m.freeNodes {
+		return fmt.Errorf("cluster: freeNodes=%d, counted %d", m.freeNodes, free)
+	}
+	if down != m.downNodes {
+		return fmt.Errorf("cluster: downNodes=%d, counted %d", m.downNodes, down)
+	}
+	for i := range m.pools {
+		p := &m.pools[i]
+		if p.UsedMiB != poolUsed[p.ID] {
+			return fmt.Errorf("cluster: pool %d used=%d, allocations say %d", p.ID, p.UsedMiB, poolUsed[p.ID])
+		}
+		if p.UsedMiB < 0 || p.UsedMiB > p.CapacityMiB {
+			return fmt.Errorf("cluster: pool %d used %d outside [0,%d]", p.ID, p.UsedMiB, p.CapacityMiB)
+		}
+		if diff := p.DemandGiBps - poolDemand[p.ID]; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("cluster: pool %d demand=%g, allocations say %g", p.ID, p.DemandGiBps, poolDemand[p.ID])
+		}
+	}
+	return nil
+}

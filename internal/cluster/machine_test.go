@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dismem/internal/stats"
+)
+
+// testConfig: 2 racks x 4 nodes, 1000 MiB local, 4000 MiB rack pools.
+func testConfig() Config {
+	return Config{
+		Racks: 2, NodesPerRack: 4, CoresPerNode: 8, LocalMemMiB: 1000,
+		Topology: TopologyRack, PoolMiB: 4000, FabricGiBps: 10,
+		TrafficGiBpsPerNode: 2,
+	}
+}
+
+func localAlloc(jobID int, nodes []NodeID, mem int64) *Allocation {
+	a := &Allocation{JobID: jobID}
+	for _, n := range nodes {
+		a.Shares = append(a.Shares, NodeShare{Node: n, LocalMiB: mem, Pool: NoPool})
+	}
+	return a
+}
+
+func TestAllocateReleaseRestoresState(t *testing.T) {
+	m := MustNew(testConfig())
+	before := m.Usage()
+	a := &Allocation{JobID: 1, Shares: []NodeShare{
+		{Node: 0, LocalMiB: 1000, RemoteMiB: 500, Pool: 0},
+		{Node: 4, LocalMiB: 800, RemoteMiB: 700, Pool: 1},
+	}}
+	if err := m.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	u := m.Usage()
+	if u.BusyNodes != 2 || u.UsedLocal != 1800 || u.UsedPool != 1200 {
+		t.Fatalf("usage after alloc = %+v", u)
+	}
+	if m.FreeNodes() != 6 {
+		t.Fatalf("FreeNodes = %d, want 6", m.FreeNodes())
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Usage()
+	if after != before {
+		t.Fatalf("release did not restore state: %+v vs %+v", after, before)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	m := MustNew(testConfig())
+	if err := m.Allocate(localAlloc(1, []NodeID{0, 1}, 500)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		a    *Allocation
+		want string
+	}{
+		{"nil", nil, "invalid allocation"},
+		{"bad job id", &Allocation{JobID: 0, Shares: []NodeShare{{Node: 2}}}, "invalid allocation"},
+		{"empty", &Allocation{JobID: 5}, "empty allocation"},
+		{"duplicate job", localAlloc(1, []NodeID{2}, 1), "already allocated"},
+		{"node out of range", localAlloc(6, []NodeID{99}, 1), "out of range"},
+		{"node listed twice", localAlloc(7, []NodeID{3, 3}, 1), "listed twice"},
+		{"busy node", localAlloc(8, []NodeID{0}, 1), "busy"},
+		{"negative share", &Allocation{JobID: 9, Shares: []NodeShare{
+			{Node: 2, LocalMiB: -5, Pool: NoPool}}}, "negative share"},
+		{"local exceeds DRAM", localAlloc(10, []NodeID{2}, 1001), "exceeds DRAM"},
+		{"wrong pool", &Allocation{JobID: 11, Shares: []NodeShare{
+			{Node: 2, LocalMiB: 1000, RemoteMiB: 10, Pool: 1}}}, "reachable pool"},
+		{"pool named without remote", &Allocation{JobID: 12, Shares: []NodeShare{
+			{Node: 2, LocalMiB: 100, Pool: 0}}}, "without remote memory"},
+		{"pool exhausted", &Allocation{JobID: 13, Shares: []NodeShare{
+			{Node: 2, LocalMiB: 1000, RemoteMiB: 4001, Pool: 0}}}, "only"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			before := m.Usage()
+			err := m.Allocate(c.a)
+			if err == nil {
+				t.Fatal("invalid allocation accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if m.Usage() != before {
+				t.Fatal("failed Allocate mutated machine state")
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReleaseUnknownJob(t *testing.T) {
+	m := MustNew(testConfig())
+	if err := m.Release(42); err == nil {
+		t.Fatal("releasing unknown job succeeded")
+	}
+}
+
+func TestPoolAccounting(t *testing.T) {
+	m := MustNew(testConfig())
+	a := &Allocation{JobID: 1, Shares: []NodeShare{
+		{Node: 0, LocalMiB: 500, RemoteMiB: 1500, Pool: 0}, // f = 0.75
+	}}
+	if err := m.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m.Pool(0)
+	if !ok {
+		t.Fatal("pool 0 missing")
+	}
+	if p.UsedMiB != 1500 || p.FreeMiB() != 2500 {
+		t.Fatalf("pool used/free = %d/%d, want 1500/2500", p.UsedMiB, p.FreeMiB())
+	}
+	// Demand = 2 GiB/s * 0.75 = 1.5; congestion = 1.5/10.
+	if math.Abs(p.DemandGiBps-1.5) > 1e-9 {
+		t.Fatalf("demand = %g, want 1.5", p.DemandGiBps)
+	}
+	if math.Abs(p.Congestion()-0.15) > 1e-9 {
+		t.Fatalf("congestion = %g, want 0.15", p.Congestion())
+	}
+	if d := m.DemandOf(a); math.Abs(d-1.5) > 1e-9 {
+		t.Fatalf("DemandOf = %g, want 1.5", d)
+	}
+}
+
+func TestPoolOfByTopology(t *testing.T) {
+	rackM := MustNew(testConfig())
+	if rackM.PoolOf(0) != 0 || rackM.PoolOf(5) != 1 {
+		t.Fatalf("rack PoolOf: %d, %d", rackM.PoolOf(0), rackM.PoolOf(5))
+	}
+	cfg := testConfig()
+	cfg.Topology = TopologyGlobal
+	globalM := MustNew(cfg)
+	if globalM.PoolOf(0) != 0 || globalM.PoolOf(7) != 0 {
+		t.Fatal("global PoolOf must always be 0")
+	}
+	noneM := MustNew(BaselineConfig(1000))
+	if noneM.PoolOf(3) != NoPool {
+		t.Fatal("PoolOf on TopologyNone must be NoPool")
+	}
+}
+
+func TestAllocationDerived(t *testing.T) {
+	a := &Allocation{JobID: 1, Shares: []NodeShare{
+		{Node: 0, LocalMiB: 600, RemoteMiB: 400, Pool: 0},
+		{Node: 1, LocalMiB: 1000, RemoteMiB: 0, Pool: NoPool},
+	}}
+	if a.RemoteMiB() != 400 {
+		t.Fatalf("RemoteMiB = %d, want 400", a.RemoteMiB())
+	}
+	if a.TotalMiB() != 2000 {
+		t.Fatalf("TotalMiB = %d, want 2000", a.TotalMiB())
+	}
+	if f := a.RemoteFraction(); f != 0.2 {
+		t.Fatalf("RemoteFraction = %g, want 0.2", f)
+	}
+	empty := &Allocation{JobID: 2}
+	if empty.RemoteFraction() != 0 {
+		t.Fatal("empty allocation remote fraction must be 0")
+	}
+}
+
+func TestUsageSnapshot(t *testing.T) {
+	m := MustNew(testConfig())
+	u := m.Usage()
+	if u.BusyNodes != 0 || u.UsedCores != 0 || u.UsedPool != 0 {
+		t.Fatalf("fresh machine usage = %+v", u)
+	}
+	a := &Allocation{JobID: 1, Shares: []NodeShare{
+		{Node: 0, LocalMiB: 1000, RemoteMiB: 3000, Pool: 0},
+	}}
+	if err := m.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	u = m.Usage()
+	if u.UsedCores != 8 {
+		t.Fatalf("UsedCores = %d, want 8 (exclusive node)", u.UsedCores)
+	}
+	if u.MaxPoolUtil != 0.75 {
+		t.Fatalf("MaxPoolUtil = %g, want 0.75", u.MaxPoolUtil)
+	}
+	if u.MaxCongest <= 0 {
+		t.Fatal("MaxCongest must be positive with remote traffic")
+	}
+}
+
+// TestRandomAllocReleaseProperty drives the machine with random valid
+// allocate/release sequences and checks conservation invariants hold at
+// every step and that full drain restores the pristine state.
+func TestRandomAllocReleaseProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := stats.NewRNG(uint64(seed))
+		cfg := testConfig()
+		m := MustNew(cfg)
+		live := map[int]bool{}
+		next := 1
+		for step := 0; step < 200; step++ {
+			if rng.Float64() < 0.55 && m.FreeNodes() > 0 {
+				// Build a random valid allocation on free nodes.
+				var free []NodeID
+				for _, n := range m.Nodes() {
+					if n.Busy == 0 {
+						free = append(free, n.ID)
+					}
+				}
+				rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+				want := int(rng.Intn(len(free))) + 1
+				a := &Allocation{JobID: next}
+				poolLeft := map[PoolID]int64{}
+				for _, p := range m.Pools() {
+					poolLeft[p.ID] = p.FreeMiB()
+				}
+				for _, nid := range free[:want] {
+					local := rng.Int63n(cfg.LocalMemMiB + 1)
+					var remote int64
+					pool := NoPool
+					if rng.Float64() < 0.5 {
+						pid := m.PoolOf(nid)
+						if avail := poolLeft[pid]; avail > 0 {
+							remote = rng.Int63n(avail + 1)
+							if remote > 0 {
+								pool = pid
+								poolLeft[pid] -= remote
+							}
+						}
+					}
+					a.Shares = append(a.Shares, NodeShare{
+						Node: nid, LocalMiB: local, RemoteMiB: remote, Pool: pool,
+					})
+				}
+				if err := m.Allocate(a); err != nil {
+					t.Logf("allocate: %v", err)
+					return false
+				}
+				live[next] = true
+				next++
+			} else if len(live) > 0 {
+				// Release a random live job (deterministic order scan).
+				target := int(rng.Intn(len(live)))
+				for id := 1; id < next; id++ {
+					if live[id] {
+						if target == 0 {
+							if err := m.Release(id); err != nil {
+								t.Logf("release: %v", err)
+								return false
+							}
+							delete(live, id)
+							break
+						}
+						target--
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		// Drain and verify pristine state.
+		for id := 1; id < next; id++ {
+			if live[id] {
+				if err := m.Release(id); err != nil {
+					return false
+				}
+			}
+		}
+		u := m.Usage()
+		return u == Usage{} && m.FreeNodes() == cfg.TotalNodes() && m.RunningJobs() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationOf(t *testing.T) {
+	m := MustNew(testConfig())
+	if _, ok := m.AllocationOf(1); ok {
+		t.Fatal("AllocationOf on empty machine returned something")
+	}
+	a := localAlloc(1, []NodeID{0}, 10)
+	if err := m.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.AllocationOf(1)
+	if !ok || got != a {
+		t.Fatal("AllocationOf did not return the committed allocation")
+	}
+}

@@ -1,0 +1,95 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dismem/internal/cluster"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	d := Default()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := Default()
+	d.Failures = &Failures{MTBFPerNodeSec: 360000, RepairSec: 3600, Seed: 9}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Policy != d.Policy || got.Machine != d.Machine {
+		t.Fatalf("round trip lost data:\n got %+v\nwant %+v", got, d)
+	}
+	if got.Failures == nil || *got.Failures != *d.Failures {
+		t.Fatalf("failures lost: %+v", got.Failures)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	in := `{"name":"x","policy":"memaware","machine":{"racks":1,"nodes_per_rack":1,
+	"cores_per_node":1,"local_gib":1,"topology":"none"},
+	"workload":{"jobs":10},"typo_field":true}`
+	if _, err := Read(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "typo_field") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mutate := []func(*Experiment){
+		func(e *Experiment) { e.Policy = "" },
+		func(e *Experiment) { e.Model = "bogus:1" },
+		func(e *Experiment) { e.Machine.Topology = "mesh" },
+		func(e *Experiment) { e.Machine.Racks = 0 },
+		func(e *Experiment) { e.Workload.Jobs = 0; e.Workload.SWF = "" },
+		func(e *Experiment) { e.Workload.EstimateAccuracy = 2 },
+		func(e *Experiment) { e.Failures = &Failures{MTBFPerNodeSec: 0, RepairSec: 1} },
+	}
+	for i, m := range mutate {
+		e := Default()
+		m(&e)
+		if e.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMachineConfigConversion(t *testing.T) {
+	e := Default()
+	mc, err := e.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.LocalMemMiB != 64*1024 {
+		t.Fatalf("local = %d MiB, want GiB->MiB conversion", mc.LocalMemMiB)
+	}
+	if mc.Topology != cluster.TopologyRack || mc.PoolMiB != 4096*1024 {
+		t.Fatalf("machine = %+v", mc)
+	}
+}
+
+func TestFailureConfigConversion(t *testing.T) {
+	e := Default()
+	if e.FailureConfig() != nil {
+		t.Fatal("absent failures must convert to nil")
+	}
+	e.Failures = &Failures{MTBFPerNodeSec: 100, RepairSec: 5, Seed: 2}
+	fc := e.FailureConfig()
+	if fc == nil || fc.MTBFPerNodeSec != 100 || fc.RepairSec != 5 || fc.Seed != 2 {
+		t.Fatalf("failure conversion = %+v", fc)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/config.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,321 @@
+// Package core implements the paper's primary contribution: a
+// disaggregated-memory-aware placement policy for batch scheduling.
+//
+// The policy treats pool memory as a first-class schedulable resource
+// and differs from the oblivious "spill whenever the pool has space"
+// strawman (sched.Spill) in four ways, each independently switchable
+// for the ablation study (Table 3):
+//
+//  1. Slowdown-capped admission: a job is placed on remote memory only
+//     if the memory model predicts a dilation at or below SlowdownCap;
+//     otherwise the job waits for local capacity. This bounds the
+//     per-job penalty the system may inflict.
+//  2. Dilation-aware reservations: the predicted dilation is exported
+//     through PlanDilation so backfill planners reserve the *dilated*
+//     walltime, keeping EASY/conservative guarantees sound when jobs
+//     run slower than their estimates assume (paired with the engine's
+//     ExtendLimit rule).
+//  3. Pool-pressure balancing: jobs that fit entirely in local DRAM are
+//     steered toward racks whose pools are already depleted, preserving
+//     pool-rich racks for jobs that need them; spilling jobs are
+//     steered toward the racks with the most free pool and the least
+//     fabric congestion.
+//  4. Cross-rack shaping: wide spilling jobs are spread over eligible
+//     racks instead of greedily filling one, flattening per-fabric
+//     demand and thus contention-induced dilation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/memmodel"
+	"dismem/internal/sched"
+	"dismem/internal/workload"
+)
+
+// MemAware is the disaggregated-memory-aware placement policy. The zero
+// value is oblivious; use New for the paper's configuration.
+type MemAware struct {
+	// SlowdownCap is the maximum admissible predicted dilation
+	// (e.g. 1.5 = at most 50% slower). 0 disables capping.
+	SlowdownCap float64
+	// Balance steers local jobs to pool-poor racks and spilling jobs to
+	// pool-rich, low-congestion racks.
+	Balance bool
+	// Shape spreads wide spilling jobs across racks to flatten fabric
+	// demand.
+	Shape bool
+}
+
+// New returns the policy with the paper's default knobs: cap 1.5,
+// balancing and shaping on.
+func New() *MemAware {
+	return &MemAware{SlowdownCap: 1.5, Balance: true, Shape: true}
+}
+
+// Verify interface satisfaction at compile time.
+var _ sched.Placer = (*MemAware)(nil)
+
+// Name implements sched.Placer.
+func (p *MemAware) Name() string {
+	return fmt.Sprintf("memaware(cap=%.2g,bal=%v,shape=%v)", p.SlowdownCap, p.Balance, p.Shape)
+}
+
+// Feasible implements sched.Placer: the job must fit the machine and,
+// if it needs the pool, its *minimum* dilation (idle fabric) must pass
+// the cap — otherwise it could wait forever behind an admission test it
+// can never pass.
+func (p *MemAware) Feasible(job *workload.Job, m *cluster.Machine, model memmodel.Model) bool {
+	cfg := m.Config()
+	if job.Nodes > cfg.TotalNodes() {
+		return false
+	}
+	if job.MemPerNode <= cfg.LocalMemMiB {
+		return true
+	}
+	if cfg.Topology == cluster.TopologyNone {
+		return false
+	}
+	if !(sched.Spill{}).Feasible(job, m, model) {
+		return false
+	}
+	if p.SlowdownCap > 0 && model != nil {
+		// The admission test compares predicted dilation — including
+		// the congestion the job's own fabric demand adds — against
+		// the cap. A job is feasible iff that test can pass in the
+		// best case, i.e. on a completely idle machine with this
+		// placer's own placement strategy; evaluating Plan there makes
+		// feasibility and admission consistent by construction.
+		idle, err := cluster.New(m.Config())
+		if err != nil {
+			return false
+		}
+		return p.Plan(job, idle, model) != nil
+	}
+	return true
+}
+
+// PlanDilation implements sched.Placer: the dilation of the job's
+// unavoidable remote fraction on an idle fabric, clamped by admission.
+func (p *MemAware) PlanDilation(job *workload.Job, m *cluster.Machine, model memmodel.Model) float64 {
+	if model == nil || job.MemPerNode == 0 {
+		return 1
+	}
+	f := float64(sched.RemoteNeedPerNode(job, m)) / float64(job.MemPerNode)
+	return model.Dilation(f, 0)
+}
+
+// Plan implements sched.Placer.
+func (p *MemAware) Plan(job *workload.Job, m *cluster.Machine, model memmodel.Model) *sched.Plan {
+	if m.FreeNodes() < job.Nodes {
+		return nil
+	}
+	cfg := m.Config()
+	local := job.MemPerNode
+	if local > cfg.LocalMemMiB {
+		local = cfg.LocalMemMiB
+	}
+	remote := job.MemPerNode - local
+	if remote == 0 {
+		return p.planLocal(job, m)
+	}
+	if cfg.Topology == cluster.TopologyNone {
+		return nil
+	}
+	alloc := p.planSpill(job, m, local, remote)
+	if alloc == nil {
+		return nil
+	}
+	d := sched.PredictDilation(alloc, m, model)
+	if p.SlowdownCap > 0 && d > p.SlowdownCap {
+		// Admission control: wait rather than run pathologically slow.
+		return nil
+	}
+	return &sched.Plan{Alloc: alloc, Dilation: d}
+}
+
+// rackView is the per-rack state the selection heuristics score.
+type rackView struct {
+	rack      int
+	pool      cluster.PoolID
+	freeNodes int
+	freePool  int64
+	congest   float64
+}
+
+func rackViews(m *cluster.Machine) []rackView {
+	cfg := m.Config()
+	nodes := m.Nodes()
+	pools := m.Pools()
+	views := make([]rackView, cfg.Racks)
+	for r := 0; r < cfg.Racks; r++ {
+		v := rackView{rack: r, pool: cluster.NoPool}
+		switch cfg.Topology {
+		case cluster.TopologyRack:
+			v.pool = cluster.PoolID(r)
+		case cluster.TopologyGlobal:
+			v.pool = 0
+		}
+		if v.pool != cluster.NoPool {
+			v.freePool = pools[v.pool].FreeMiB()
+			v.congest = pools[v.pool].Congestion()
+		}
+		base := r * cfg.NodesPerRack
+		for i := 0; i < cfg.NodesPerRack; i++ {
+			if nodes[base+i].Available() {
+				v.freeNodes++
+			}
+		}
+		views[r] = v
+	}
+	return views
+}
+
+// planLocal places an all-local job. With Balance, pool-poor racks are
+// consumed first so pool-rich racks stay available to spilling jobs.
+func (p *MemAware) planLocal(job *workload.Job, m *cluster.Machine) *sched.Plan {
+	views := rackViews(m)
+	if p.Balance {
+		sort.SliceStable(views, func(i, j int) bool {
+			if views[i].freePool != views[j].freePool {
+				return views[i].freePool < views[j].freePool
+			}
+			return views[i].rack < views[j].rack
+		})
+	}
+	cfg := m.Config()
+	nodes := m.Nodes()
+	shares := make([]cluster.NodeShare, 0, job.Nodes)
+	for _, v := range views {
+		base := v.rack * cfg.NodesPerRack
+		for i := 0; i < cfg.NodesPerRack && len(shares) < job.Nodes; i++ {
+			n := &nodes[base+i]
+			if !n.Available() {
+				continue
+			}
+			shares = append(shares, cluster.NodeShare{
+				Node: n.ID, LocalMiB: job.MemPerNode, Pool: cluster.NoPool,
+			})
+		}
+		if len(shares) == job.Nodes {
+			return &sched.Plan{
+				Alloc:    &cluster.Allocation{JobID: job.ID, Shares: shares},
+				Dilation: 1,
+			}
+		}
+	}
+	return nil
+}
+
+// planSpill builds the node set for a job that must borrow remote MiB
+// per node. Racks are ordered pool-rich and cool first (Balance) and
+// the job is optionally spread across them (Shape).
+func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remote int64) *cluster.Allocation {
+	cfg := m.Config()
+	views := rackViews(m)
+	// Keep only racks that can host at least one spilling node.
+	eligible := views[:0]
+	for _, v := range views {
+		if v.freeNodes > 0 && v.pool != cluster.NoPool && v.freePool >= remote {
+			eligible = append(eligible, v)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	if p.Balance {
+		sort.SliceStable(eligible, func(i, j int) bool {
+			if eligible[i].congest != eligible[j].congest {
+				return eligible[i].congest < eligible[j].congest
+			}
+			if eligible[i].freePool != eligible[j].freePool {
+				return eligible[i].freePool > eligible[j].freePool
+			}
+			return eligible[i].rack < eligible[j].rack
+		})
+	}
+
+	// Per-rack quota: greedy fill, or an even spread when shaping.
+	quota := make([]int, len(eligible))
+	remaining := job.Nodes
+	if p.Shape && len(eligible) > 1 {
+		for remaining > 0 {
+			progress := false
+			for i := range eligible {
+				if remaining == 0 {
+					break
+				}
+				canHost := eligible[i].freeNodes - quota[i]
+				if canHost <= 0 {
+					continue
+				}
+				if int64(quota[i]+1)*remote > eligible[i].freePool {
+					continue
+				}
+				quota[i]++
+				remaining--
+				progress = true
+			}
+			if !progress {
+				break
+			}
+		}
+	} else {
+		for i := range eligible {
+			if remaining == 0 {
+				break
+			}
+			take := eligible[i].freeNodes
+			if maxByPool := eligible[i].freePool / remote; int64(take) > maxByPool {
+				take = int(maxByPool)
+			}
+			if take > remaining {
+				take = remaining
+			}
+			quota[i] = take
+			remaining -= take
+		}
+	}
+	if remaining > 0 {
+		return nil
+	}
+
+	// For a global pool the per-rack quota may overcommit the single
+	// pool; verify the aggregate.
+	if cfg.Topology == cluster.TopologyGlobal {
+		if remote*int64(job.Nodes) > mustPool(m, 0).FreeMiB() {
+			return nil
+		}
+	}
+
+	nodes := m.Nodes()
+	shares := make([]cluster.NodeShare, 0, job.Nodes)
+	for i, v := range eligible {
+		base := v.rack * cfg.NodesPerRack
+		taken := 0
+		for k := 0; k < cfg.NodesPerRack && taken < quota[i]; k++ {
+			n := &nodes[base+k]
+			if !n.Available() {
+				continue
+			}
+			shares = append(shares, cluster.NodeShare{
+				Node: n.ID, LocalMiB: local, RemoteMiB: remote, Pool: v.pool,
+			})
+			taken++
+		}
+		if taken < quota[i] {
+			return nil // machine changed underneath us: planner bug
+		}
+	}
+	return &cluster.Allocation{JobID: job.ID, Shares: shares}
+}
+
+func mustPool(m *cluster.Machine, id cluster.PoolID) cluster.Pool {
+	p, ok := m.Pool(id)
+	if !ok {
+		panic(fmt.Sprintf("core: missing pool %d", id))
+	}
+	return p
+}

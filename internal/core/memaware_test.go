@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dismem/internal/cluster"
+	"dismem/internal/memmodel"
+	"dismem/internal/sched"
+	"dismem/internal/stats"
+	"dismem/internal/workload"
+)
+
+// coreConfig: 4 racks x 4 nodes, 1000 MiB local, 2000 MiB rack pools,
+// tight fabric so congestion is reachable.
+func coreConfig() cluster.Config {
+	return cluster.Config{
+		Racks: 4, NodesPerRack: 4, CoresPerNode: 8, LocalMemMiB: 1000,
+		Topology: cluster.TopologyRack, PoolMiB: 2000, FabricGiBps: 4,
+		TrafficGiBpsPerNode: 2,
+	}
+}
+
+func job(id, nodes int, mem int64) *workload.Job {
+	return &workload.Job{
+		ID: id, Nodes: nodes, MemPerNode: mem,
+		Submit: 0, Estimate: 1000, BaseRuntime: 500,
+	}
+}
+
+func TestMemAwareLocalJob(t *testing.T) {
+	m := cluster.MustNew(coreConfig())
+	p := New()
+	plan := p.Plan(job(1, 2, 500), m, memmodel.Linear{Beta: 1})
+	if plan == nil {
+		t.Fatal("local job not planned on idle machine")
+	}
+	if plan.Dilation != 1 || plan.Alloc.RemoteMiB() != 0 {
+		t.Fatalf("local plan = %+v", plan)
+	}
+	if err := m.Allocate(plan.Alloc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAwareSlowdownCapAdmission(t *testing.T) {
+	m := cluster.MustNew(coreConfig())
+	model := memmodel.Linear{Beta: 1}
+	p := &MemAware{SlowdownCap: 1.3, Balance: true, Shape: true}
+	// mem 1250 → f = 0.2 → dilation 1.2 <= 1.3: admitted.
+	if p.Plan(job(1, 1, 1250), m, model) == nil {
+		t.Fatal("under-cap job denied")
+	}
+	// mem 2000 → f = 0.5 → dilation 1.5 > 1.3: denied and infeasible.
+	if p.Plan(job(2, 1, 2000), m, model) != nil {
+		t.Fatal("over-cap job admitted")
+	}
+	if p.Feasible(job(2, 1, 2000), m, model) {
+		t.Fatal("over-cap job reported feasible")
+	}
+	// Without the cap the same job is admitted.
+	nocap := &MemAware{SlowdownCap: 0, Balance: true, Shape: true}
+	if nocap.Plan(job(3, 1, 2000), m, model) == nil {
+		t.Fatal("uncapped policy denied a placeable job")
+	}
+}
+
+func TestMemAwarePlanDilationIdleFloor(t *testing.T) {
+	m := cluster.MustNew(coreConfig())
+	model := memmodel.Bandwidth{Beta: 1, Gamma: 1}
+	p := New()
+	// f = 0.5 at zero congestion → 1.5 regardless of current load.
+	if got := p.PlanDilation(job(1, 1, 2000), m, model); got != 1.5 {
+		t.Fatalf("PlanDilation = %g, want 1.5", got)
+	}
+	if got := p.PlanDilation(job(1, 1, 500), m, model); got != 1 {
+		t.Fatalf("PlanDilation(local) = %g, want 1", got)
+	}
+}
+
+func TestMemAwareBalanceSteersLocalJobsOffRichPools(t *testing.T) {
+	m := cluster.MustNew(coreConfig())
+	// Drain rack 0's pool so it is the poorest.
+	pre := &cluster.Allocation{JobID: 99, Shares: []cluster.NodeShare{
+		{Node: 0, LocalMiB: 1000, RemoteMiB: 1800, Pool: 0},
+	}}
+	if err := m.Allocate(pre); err != nil {
+		t.Fatal(err)
+	}
+	p := &MemAware{SlowdownCap: 2, Balance: true, Shape: true}
+	plan := p.Plan(job(1, 2, 500), m, memmodel.Linear{Beta: 0.5})
+	if plan == nil {
+		t.Fatal("plan failed")
+	}
+	for _, s := range plan.Alloc.Shares {
+		if rack := int(s.Node) / 4; rack != 0 {
+			t.Fatalf("balance placed local job on pool-rich rack %d, want rack 0", rack)
+		}
+	}
+	// Without balance the first-fit order also lands on rack 0 (node
+	// IDs ascending), so contrast with spilling jobs instead: a
+	// spilling job must now avoid rack 0 (only 200 MiB pool left).
+	spill := p.Plan(job(2, 1, 1500), m, memmodel.Linear{Beta: 0.5})
+	if spill == nil {
+		t.Fatal("spill plan failed")
+	}
+	if spill.Alloc.Shares[0].Pool == 0 {
+		t.Fatal("spilling job placed on the drained pool")
+	}
+}
+
+func TestMemAwareShapeSpreadsWideJobs(t *testing.T) {
+	m := cluster.MustNew(coreConfig())
+	model := memmodel.Linear{Beta: 0.5}
+	shape := &MemAware{SlowdownCap: 2, Balance: true, Shape: true}
+	plan := shape.Plan(job(1, 8, 1400), m, model) // 400 MiB remote per node
+	if plan == nil {
+		t.Fatal("shaped plan failed")
+	}
+	perPool := map[cluster.PoolID]int{}
+	for _, s := range plan.Alloc.Shares {
+		perPool[s.Pool]++
+	}
+	if len(perPool) != 4 {
+		t.Fatalf("shaping used %d racks, want all 4", len(perPool))
+	}
+	for pid, n := range perPool {
+		if n != 2 {
+			t.Fatalf("shaping put %d nodes on pool %d, want 2", n, pid)
+		}
+	}
+	// Greedy (no shape) fills the first rack completely instead.
+	greedy := &MemAware{SlowdownCap: 2, Balance: false, Shape: false}
+	m2 := cluster.MustNew(coreConfig())
+	plan2 := greedy.Plan(job(1, 8, 1400), m2, model)
+	if plan2 == nil {
+		t.Fatal("greedy plan failed")
+	}
+	perPool2 := map[cluster.PoolID]int{}
+	for _, s := range plan2.Alloc.Shares {
+		perPool2[s.Pool]++
+	}
+	if perPool2[0] != 4 {
+		t.Fatalf("greedy put %d nodes on rack 0, want 4 (fill first)", perPool2[0])
+	}
+}
+
+func TestMemAwareShapeLowersPredictedDilation(t *testing.T) {
+	// With the bandwidth model and a tight fabric, spreading demand
+	// over racks must predict a strictly lower dilation than greedy
+	// packing for a wide spilling job. The footprint (400 MiB remote
+	// per node) is small enough that pool capacity does NOT force
+	// spreading — only shaping does.
+	cfg := coreConfig()
+	cfg.FabricGiBps = 1.5
+	model := memmodel.Bandwidth{Beta: 0.5, Gamma: 1}
+	shapePlan := (&MemAware{SlowdownCap: 0, Balance: true, Shape: true}).
+		Plan(job(1, 8, 1400), cluster.MustNew(cfg), model)
+	greedyPlan := (&MemAware{SlowdownCap: 0, Balance: false, Shape: false}).
+		Plan(job(1, 8, 1400), cluster.MustNew(cfg), model)
+	if shapePlan == nil || greedyPlan == nil {
+		t.Fatal("plans failed")
+	}
+	if shapePlan.Dilation >= greedyPlan.Dilation {
+		t.Fatalf("shaping did not reduce dilation: %g >= %g",
+			shapePlan.Dilation, greedyPlan.Dilation)
+	}
+}
+
+func TestMemAwareRespectsPoolCapacity(t *testing.T) {
+	m := cluster.MustNew(coreConfig())
+	p := &MemAware{SlowdownCap: 0, Balance: true, Shape: true}
+	// 16 nodes x 1000 remote each = 16000 > 4x2000 total pool.
+	if p.Plan(job(1, 16, 2000), m, nil) != nil {
+		t.Fatal("planned past total pool capacity")
+	}
+	// 8 nodes x 1000 = 8000 = exactly the total pool.
+	plan := p.Plan(job(2, 8, 2000), m, nil)
+	if plan == nil {
+		t.Fatal("exact-fit spill denied")
+	}
+	if err := m.Allocate(plan.Alloc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAwareFeasibleMatchesIdlePlan(t *testing.T) {
+	// Property: Feasible(job) == (Plan(job) != nil on an idle machine),
+	// the invariant that prevents queue deadlock.
+	cfg := coreConfig()
+	model := memmodel.Bandwidth{Beta: 1, Gamma: 1}
+	p := New()
+	rng := stats.NewRNG(5)
+	check := func(raw uint32) bool {
+		nodes := int(raw%16) + 1
+		mem := int64(raw%3000) + 1
+		j := job(1, nodes, mem)
+		idle := cluster.MustNew(cfg)
+		feasible := p.Feasible(j, idle, model)
+		planned := p.Plan(j, cluster.MustNew(cfg), model) != nil
+		if feasible != planned {
+			t.Logf("nodes=%d mem=%d feasible=%v planned=%v", nodes, mem, feasible, planned)
+			return false
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAwareGlobalPoolAggregateCheck(t *testing.T) {
+	cfg := coreConfig()
+	cfg.Topology = cluster.TopologyGlobal
+	cfg.PoolMiB = 3000 // one machine-wide pool
+	m := cluster.MustNew(cfg)
+	p := &MemAware{SlowdownCap: 0, Balance: true, Shape: true}
+	// 4 nodes x 1000 remote = 4000 > 3000 global pool: must be denied
+	// even though each rack-view check would pass individually.
+	if p.Plan(job(1, 4, 2000), m, nil) != nil {
+		t.Fatal("global pool overcommitted")
+	}
+	if plan := p.Plan(job(2, 3, 2000), m, nil); plan == nil {
+		t.Fatal("3-node spill fits the global pool but was denied")
+	}
+}
+
+func TestMemAwareTopologyNone(t *testing.T) {
+	m := cluster.MustNew(cluster.BaselineConfig(1000))
+	p := New()
+	if p.Plan(job(1, 1, 1500), m, nil) != nil {
+		t.Fatal("planned remote memory without pools")
+	}
+	if p.Feasible(job(1, 1, 1500), m, nil) {
+		t.Fatal("big-memory job feasible without pools")
+	}
+	if plan := p.Plan(job(2, 2, 800), m, nil); plan == nil {
+		t.Fatal("local job denied on pool-less machine")
+	}
+}
+
+func TestMemAwareDilationNeverExceedsCap(t *testing.T) {
+	// Any plan the policy admits must carry dilation <= cap.
+	cfg := coreConfig()
+	model := memmodel.Bandwidth{Beta: 1.5, Gamma: 1}
+	p := New() // cap 1.5
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 300; trial++ {
+		m := cluster.MustNew(cfg)
+		// Random pre-load.
+		for i := 0; i < 3; i++ {
+			n := cluster.NodeID(rng.Intn(cfg.TotalNodes()))
+			if m.Nodes()[n].Busy != 0 {
+				continue
+			}
+			remote := rng.Int63n(1000)
+			pool := cluster.NoPool
+			if remote > 0 {
+				pool = m.PoolOf(n)
+				if pl, _ := m.Pool(pool); pl.FreeMiB() < remote {
+					remote, pool = 0, cluster.NoPool
+				}
+			}
+			alloc := &cluster.Allocation{JobID: 100 + i, Shares: []cluster.NodeShare{
+				{Node: n, LocalMiB: rng.Int63n(cfg.LocalMemMiB), RemoteMiB: remote, Pool: pool},
+			}}
+			if err := m.Allocate(alloc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j := job(1, int(rng.Intn(8))+1, rng.Int63n(2500)+1)
+		if plan := p.Plan(j, m, model); plan != nil && plan.Dilation > p.SlowdownCap+1e-9 {
+			t.Fatalf("admitted plan with dilation %g > cap %g (job %+v)",
+				plan.Dilation, p.SlowdownCap, j)
+		}
+	}
+}
+
+func TestMemAwareName(t *testing.T) {
+	if New().Name() == "" {
+		t.Fatal("empty policy name")
+	}
+	var _ sched.Placer = New()
+}

@@ -1,0 +1,181 @@
+// Package des implements a deterministic discrete-event simulation
+// kernel: a virtual clock plus a priority queue of timed callbacks.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (stable FIFO tie-break on a monotonically increasing
+// sequence number), which makes simulations reproducible regardless of
+// heap internals. Events can be cancelled in O(log n) via the handle
+// returned from Schedule.
+//
+// The kernel is single-threaded by design: HPC scheduling simulations
+// are dominated by the strict total order of events, so the idiomatic
+// Go approach is to keep the kernel sequential and parallelise across
+// independent simulations (seeds, sweep points) instead — which is what
+// internal/sweep does.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds since simulation start.
+type Time int64
+
+// Infinity is a sentinel time later than any schedulable event.
+const Infinity Time = math.MaxInt64
+
+// Handler is a callback invoked when an event fires. now is the
+// simulator clock at firing time (== the time the event was scheduled
+// for).
+type Handler func(now Time)
+
+// Event is a scheduled occurrence. It is owned by the Simulator; callers
+// hold it only to Cancel it or inspect its time.
+type Event struct {
+	time    Time
+	seq     uint64
+	index   int // heap index; -1 when not queued
+	handler Handler
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether the event has been removed from the queue
+// (either cancelled or already fired).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is the event loop. The zero value is not usable; construct
+// with New.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far, a cheap progress
+// and complexity metric.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule enqueues handler to run at absolute time at. Scheduling in
+// the past (at < Now) panics: it is always a simulation logic bug and
+// silently reordering would corrupt causality.
+func (s *Simulator) Schedule(at Time, handler Handler) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past: at=%d now=%d", at, s.now))
+	}
+	if handler == nil {
+		panic("des: nil handler")
+	}
+	e := &Event{time: at, seq: s.seq, handler: handler}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleDelta enqueues handler to run delta seconds from now.
+func (s *Simulator) ScheduleDelta(delta Time, handler Handler) *Event {
+	if delta < 0 {
+		panic(fmt.Sprintf("des: negative delta %d", delta))
+	}
+	return s.Schedule(s.now+delta, handler)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers do not need to track
+// event lifecycle precisely.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+}
+
+// Reschedule moves a pending event to a new time, preserving FIFO
+// fairness at the new instant (it is assigned a fresh sequence number).
+// If the event already fired it is re-created.
+func (s *Simulator) Reschedule(e *Event, at Time) *Event {
+	s.Cancel(e)
+	return s.Schedule(at, e.handler)
+}
+
+// Step fires the single earliest event. It returns false when the queue
+// is empty or the simulator has been stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.time
+	s.fired++
+	e.handler(s.now)
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or the
+// next event is strictly after until. The clock is left at the time of
+// the last fired event (or advanced to until if no event fired at it).
+// Pass Infinity to run to completion.
+func (s *Simulator) Run(until Time) {
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= until {
+		s.Step()
+	}
+	if !s.stopped && s.now < until && until != Infinity {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (s *Simulator) RunAll() { s.Run(Infinity) }
+
+// Stop halts the event loop after the current handler returns; pending
+// events remain queued but will not fire.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }

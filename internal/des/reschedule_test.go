@@ -1,0 +1,50 @@
+package des
+
+import "testing"
+
+func TestRescheduleFiredEventRecreates(t *testing.T) {
+	s := New()
+	count := 0
+	e := s.Schedule(1, func(Time) { count++ })
+	s.RunAll()
+	if count != 1 {
+		t.Fatalf("event fired %d times, want 1", count)
+	}
+	// Rescheduling an already-fired event re-creates it with the same
+	// handler.
+	s.Reschedule(e, 5)
+	s.RunAll()
+	if count != 2 {
+		t.Fatalf("recreated event did not fire: count=%d", count)
+	}
+}
+
+func TestRescheduleKeepsFIFOFairness(t *testing.T) {
+	s := New()
+	var order []int
+	a := s.Schedule(10, func(Time) { order = append(order, 1) })
+	s.Schedule(10, func(Time) { order = append(order, 2) })
+	// Rescheduling event 1 to the same instant moves it BEHIND event 2
+	// (fresh sequence number): rescheduling is re-submission.
+	s.Reschedule(a, 10)
+	s.RunAll()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want [2 1]", order)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	if s.Pending() != 0 {
+		t.Fatalf("fresh simulator has %d pending", s.Pending())
+	}
+	e1 := s.Schedule(1, func(Time) {})
+	s.Schedule(2, func(Time) {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Cancel(e1)
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", s.Pending())
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sort"
+
+	"dismem/internal/stats"
+)
+
+// UserStats aggregates one user's outcomes for fairness analysis.
+type UserStats struct {
+	User      int
+	Jobs      int
+	MeanWait  float64
+	MeanBSld  float64
+	NodeHours float64
+}
+
+// FairnessReport captures how evenly the system treated its users: the
+// standard complaint against aggressive backfilling and against
+// memory-aware admission (large-memory users could starve).
+type FairnessReport struct {
+	Users []UserStats
+	// JainWait is Jain's fairness index over per-user mean waits
+	// inverted into "service speed" (1/(1+wait)); 1 means every user
+	// experienced the same mean wait.
+	JainWait float64
+	// GiniNodeHours measures inequality of delivered node-hours. Note
+	// that demand itself is unequal, so this is descriptive rather
+	// than normative.
+	GiniNodeHours float64
+	// WorstUserMeanWait and BestUserMeanWait bracket the spread.
+	WorstUserMeanWait, BestUserMeanWait float64
+}
+
+// Fairness reduces the recorder's job records to per-user statistics.
+// Rejected jobs are excluded (they carry no wait). Users with no
+// completed jobs do not appear.
+func (rec *Recorder) Fairness() *FairnessReport {
+	type acc struct {
+		jobs      int
+		wait      float64
+		bsld      float64
+		nodeHours float64
+	}
+	byUser := map[int]*acc{}
+	for i := range rec.records {
+		r := &rec.records[i]
+		if r.Rejected {
+			continue
+		}
+		a := byUser[r.User]
+		if a == nil {
+			a = &acc{}
+			byUser[r.User] = a
+		}
+		a.jobs++
+		a.wait += float64(r.Wait())
+		a.bsld += r.BoundedSlowdown()
+		a.nodeHours += float64(r.Nodes) * float64(r.Runtime()) / 3600
+	}
+	fr := &FairnessReport{}
+	var speeds, hours []float64
+	for user, a := range byUser {
+		us := UserStats{
+			User:      user,
+			Jobs:      a.jobs,
+			MeanWait:  a.wait / float64(a.jobs),
+			MeanBSld:  a.bsld / float64(a.jobs),
+			NodeHours: a.nodeHours,
+		}
+		fr.Users = append(fr.Users, us)
+	}
+	sort.Slice(fr.Users, func(i, j int) bool { return fr.Users[i].User < fr.Users[j].User })
+	for i, us := range fr.Users {
+		speeds = append(speeds, 1/(1+us.MeanWait))
+		hours = append(hours, us.NodeHours)
+		if i == 0 || us.MeanWait > fr.WorstUserMeanWait {
+			fr.WorstUserMeanWait = us.MeanWait
+		}
+		if i == 0 || us.MeanWait < fr.BestUserMeanWait {
+			fr.BestUserMeanWait = us.MeanWait
+		}
+	}
+	fr.JainWait = stats.JainIndex(speeds)
+	fr.GiniNodeHours = stats.Gini(hours)
+	return fr
+}

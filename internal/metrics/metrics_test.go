@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dismem/internal/cluster"
+)
+
+func TestJobRecordDerived(t *testing.T) {
+	r := JobRecord{Submit: 100, Start: 150, End: 400}
+	if r.Wait() != 50 {
+		t.Fatalf("Wait = %d, want 50", r.Wait())
+	}
+	if r.Runtime() != 250 {
+		t.Fatalf("Runtime = %d, want 250", r.Runtime())
+	}
+	if r.Response() != 300 {
+		t.Fatalf("Response = %d, want 300", r.Response())
+	}
+	// bsld = (50+250)/250 = 1.2
+	if got := r.BoundedSlowdown(); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("BoundedSlowdown = %g, want 1.2", got)
+	}
+}
+
+func TestBoundedSlowdownFloor(t *testing.T) {
+	// 2-second job that waited 20s: floor of 10s applies.
+	r := JobRecord{Submit: 0, Start: 20, End: 22}
+	want := 22.0 / 10
+	if got := r.BoundedSlowdown(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BoundedSlowdown = %g, want %g", got, want)
+	}
+	// Never below 1.
+	r2 := JobRecord{Submit: 0, Start: 0, End: 2}
+	if got := r2.BoundedSlowdown(); got != 1 {
+		t.Fatalf("BoundedSlowdown = %g, want 1", got)
+	}
+}
+
+func TestRejectedRecordWait(t *testing.T) {
+	r := JobRecord{Submit: 100, Rejected: true}
+	if r.Wait() != 0 {
+		t.Fatalf("rejected wait = %d, want 0", r.Wait())
+	}
+}
+
+func TestRecorderIntegration(t *testing.T) {
+	cfg := cluster.Config{
+		Racks: 1, NodesPerRack: 4, CoresPerNode: 8, LocalMemMiB: 1000,
+		Topology: cluster.TopologyRack, PoolMiB: 4000, FabricGiBps: 10,
+	}
+	rec := NewRecorder()
+	rec.OnSubmit(0)
+	// Interval [0,100): 2 busy nodes, 500 MiB local, 1000 MiB pool.
+	rec.Observe(0, cluster.Usage{})
+	rec.Observe(100, cluster.Usage{BusyNodes: 2, UsedLocal: 500, UsedPool: 1000, PoolDemand: 3})
+	// Interval [100,200): idle.
+	rec.Observe(200, cluster.Usage{})
+	rec.Add(JobRecord{ID: 1, Nodes: 2, Submit: 0, Start: 0, End: 100,
+		Estimate: 100, Limit: 100, BaseRuntime: 100, RemoteMiB: 1000, RemoteFrac: 0.5, Dilation: 1.5})
+	rec.Add(JobRecord{ID: 2, Nodes: 1, Submit: 0, Start: 100, End: 200,
+		Estimate: 100, Limit: 100, BaseRuntime: 100, Dilation: 1})
+
+	rp := rec.Report(cfg)
+	if rp.Completed != 2 || rp.Killed != 0 || rp.Rejected != 0 {
+		t.Fatalf("counts = %+v", rp)
+	}
+	// Node integral = 2 nodes * 100 s over a 200 s span of 4 nodes.
+	if want := 200.0 / 800; math.Abs(rp.NodeUtil-want) > 1e-12 {
+		t.Fatalf("NodeUtil = %g, want %g", rp.NodeUtil, want)
+	}
+	if want := 500.0 * 100 / (200 * 4000); math.Abs(rp.LocalMemUtil-want) > 1e-12 {
+		t.Fatalf("LocalMemUtil = %g, want %g", rp.LocalMemUtil, want)
+	}
+	if want := 1000.0 * 100 / (200 * 4000); math.Abs(rp.PoolUtil-want) > 1e-12 {
+		t.Fatalf("PoolUtil = %g, want %g", rp.PoolUtil, want)
+	}
+	if want := 3.0 * 100 / 200; math.Abs(rp.MeanFabricDemand-want) > 1e-12 {
+		t.Fatalf("MeanFabricDemand = %g, want %g", rp.MeanFabricDemand, want)
+	}
+	if rp.RemoteJobs != 1 || math.Abs(rp.RemoteJobFraction-0.5) > 1e-12 {
+		t.Fatalf("remote jobs = %d (%g)", rp.RemoteJobs, rp.RemoteJobFraction)
+	}
+	if math.Abs(rp.DilationRemote.Mean()-1.5) > 1e-12 {
+		t.Fatalf("remote dilation mean = %g, want 1.5", rp.DilationRemote.Mean())
+	}
+	// Throughput: 2 jobs over 200 s = 36 jobs/h.
+	if math.Abs(rp.ThroughputPerHour-36) > 1e-9 {
+		t.Fatalf("throughput = %g, want 36", rp.ThroughputPerHour)
+	}
+	// Node-hours: (2*100 + 1*100)/3600.
+	if want := 300.0 / 3600; math.Abs(rp.NodeHours-want) > 1e-12 {
+		t.Fatalf("node-hours = %g, want %g", rp.NodeHours, want)
+	}
+	if rp.MakespanSec != 200 {
+		t.Fatalf("makespan = %d, want 200", rp.MakespanSec)
+	}
+}
+
+func TestReportKilledFraction(t *testing.T) {
+	rec := NewRecorder()
+	rec.OnSubmit(0)
+	rec.Add(JobRecord{ID: 1, Nodes: 1, Start: 0, End: 10, Dilation: 1})
+	rec.Add(JobRecord{ID: 2, Nodes: 1, Start: 0, End: 10, Dilation: 1, Killed: true})
+	rec.Add(JobRecord{ID: 3, Rejected: true, Dilation: 1})
+	rp := rec.Report(cluster.BaselineConfig(1000))
+	if rp.Jobs() != 2 {
+		t.Fatalf("Jobs() = %d, want 2 (rejected excluded)", rp.Jobs())
+	}
+	if rp.KilledFraction() != 0.5 {
+		t.Fatalf("KilledFraction = %g, want 0.5", rp.KilledFraction())
+	}
+	var empty Report
+	if empty.KilledFraction() != 0 {
+		t.Fatal("empty KilledFraction must be 0")
+	}
+}
+
+func TestRecorderObserveBeforeFirstInterval(t *testing.T) {
+	rec := NewRecorder()
+	// First Observe only sets the clock; no integration happens.
+	rec.Observe(50, cluster.Usage{BusyNodes: 100})
+	rec.Observe(60, cluster.Usage{BusyNodes: 2})
+	rec.OnSubmit(50)
+	rec.Add(JobRecord{ID: 1, Nodes: 2, Submit: 50, Start: 50, End: 60, Dilation: 1})
+	rp := rec.Report(cluster.BaselineConfig(1000))
+	// 2 nodes * 10 s over 10 s * 256 nodes.
+	want := 20.0 / (10 * 256)
+	if math.Abs(rp.NodeUtil-want) > 1e-12 {
+		t.Fatalf("NodeUtil = %g, want %g", rp.NodeUtil, want)
+	}
+}
+
+func TestReportEmptyRecorder(t *testing.T) {
+	rp := NewRecorder().Report(cluster.BaselineConfig(1000))
+	if rp.Jobs() != 0 || rp.NodeUtil != 0 || rp.ThroughputPerHour != 0 {
+		t.Fatalf("empty report = %+v", rp)
+	}
+}

@@ -1,0 +1,117 @@
+// Package queueing provides closed-form queueing-theory baselines used
+// to validate the discrete-event simulator: for memoryless single-node
+// workloads the simulated FCFS machine is an M/M/c queue, so the
+// simulator's mean wait must match the Erlang-C prediction. Simulation
+// papers routinely include exactly this sanity check, and the
+// validation experiment (val1) regenerates it.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc describes an M/M/c queue: Poisson arrivals at rate Lambda,
+// exponential service at rate Mu per server, C identical servers.
+type MMc struct {
+	Lambda float64 // arrivals per second
+	Mu     float64 // service completions per second per server
+	C      int     // servers
+}
+
+// Validate reports the first invalid or unstable parameter, or nil.
+func (q MMc) Validate() error {
+	switch {
+	case q.Lambda <= 0:
+		return fmt.Errorf("queueing: lambda %g <= 0", q.Lambda)
+	case q.Mu <= 0:
+		return fmt.Errorf("queueing: mu %g <= 0", q.Mu)
+	case q.C <= 0:
+		return fmt.Errorf("queueing: c %d <= 0", q.C)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("queueing: unstable: rho = %g >= 1", q.Utilization())
+	}
+	return nil
+}
+
+// Utilization returns rho = lambda / (c*mu).
+func (q MMc) Utilization() float64 {
+	return q.Lambda / (float64(q.C) * q.Mu)
+}
+
+// offeredLoad returns a = lambda/mu (Erlangs).
+func (q MMc) offeredLoad() float64 { return q.Lambda / q.Mu }
+
+// ErlangC returns the probability an arriving job must wait (all c
+// servers busy), computed with the numerically stable iterative form of
+// the Erlang-B recurrence.
+func (q MMc) ErlangC() float64 {
+	if err := q.Validate(); err != nil {
+		return math.NaN()
+	}
+	a := q.offeredLoad()
+	// Erlang-B via the stable recurrence B(0)=1, B(k)=a*B(k-1)/(k+a*B(k-1)).
+	b := 1.0
+	for k := 1; k <= q.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Utilization()
+	return b / (1 - rho + rho*b)
+}
+
+// MeanWait returns the expected time in queue W_q = C(c,a)/(c*mu-lambda).
+func (q MMc) MeanWait() float64 {
+	if err := q.Validate(); err != nil {
+		return math.NaN()
+	}
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// MeanQueueLength returns L_q = lambda * W_q (Little's law).
+func (q MMc) MeanQueueLength() float64 { return q.Lambda * q.MeanWait() }
+
+// MeanResponse returns W = W_q + 1/mu.
+func (q MMc) MeanResponse() float64 { return q.MeanWait() + 1/q.Mu }
+
+// MG1 describes an M/G/1 queue: Poisson arrivals, general service with
+// the given mean and squared coefficient of variation (SCV = var/mean²).
+// It predicts waits for the single-node heavy-tailed regime where M/M/c
+// is too optimistic.
+type MG1 struct {
+	Lambda      float64
+	MeanService float64
+	SCV         float64 // squared coefficient of variation of service
+}
+
+// Validate reports the first invalid or unstable parameter, or nil.
+func (q MG1) Validate() error {
+	switch {
+	case q.Lambda <= 0:
+		return fmt.Errorf("queueing: lambda %g <= 0", q.Lambda)
+	case q.MeanService <= 0:
+		return fmt.Errorf("queueing: mean service %g <= 0", q.MeanService)
+	case q.SCV < 0:
+		return fmt.Errorf("queueing: scv %g < 0", q.SCV)
+	}
+	if rho := q.Lambda * q.MeanService; rho >= 1 {
+		return fmt.Errorf("queueing: unstable: rho = %g >= 1", rho)
+	}
+	return nil
+}
+
+// MeanWait returns the Pollaczek-Khinchine mean queueing delay:
+// W_q = rho*(1+SCV)/(2*(1-rho)) * E[S].
+func (q MG1) MeanWait() float64 {
+	if err := q.Validate(); err != nil {
+		return math.NaN()
+	}
+	rho := q.Lambda * q.MeanService
+	return rho * (1 + q.SCV) / (2 * (1 - rho)) * q.MeanService
+}
+
+// MMcK approximates an M/M/c queue with the whole machine as servers:
+// convenience constructor from machine shape and workload rates.
+func ForMachine(nodes int, arrivalsPerSec, meanRuntimeSec float64) MMc {
+	return MMc{Lambda: arrivalsPerSec, Mu: 1 / meanRuntimeSec, C: nodes}
+}

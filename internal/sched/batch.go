@@ -1,0 +1,266 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/memmodel"
+	"dismem/internal/workload"
+)
+
+// BackfillMode selects the backfilling discipline of a Batch scheduler.
+type BackfillMode int
+
+const (
+	// BackfillNone dispatches strictly in queue order; the first job
+	// that cannot start blocks everything behind it.
+	BackfillNone BackfillMode = iota
+	// BackfillEASY lets later jobs jump ahead if they do not delay the
+	// queue head's reservation (aggressive backfilling).
+	BackfillEASY
+	// BackfillConservative lets jobs jump ahead only if they delay no
+	// earlier job's reservation.
+	BackfillConservative
+)
+
+// String implements fmt.Stringer.
+func (m BackfillMode) String() string {
+	switch m {
+	case BackfillNone:
+		return "none"
+	case BackfillEASY:
+		return "easy"
+	case BackfillConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("backfill(%d)", int(m))
+	}
+}
+
+// Batch composes a queue order, a backfill discipline, and a placement
+// policy into a scheduler. It is the chassis for every policy in the
+// evaluation; the memory-aware contribution plugs in as the Placer.
+type Batch struct {
+	// PolicyName overrides the derived name when non-empty.
+	PolicyName string
+	Order      Order
+	Backfill   BackfillMode
+	Placer     Placer
+	// MaxBackfillScan caps how many queued jobs one EASY pass examines
+	// behind the head (0 = all). Production schedulers cap this to
+	// bound pass latency.
+	MaxBackfillScan int
+	// MaxReservations caps conservative planning depth (0 = 128).
+	MaxReservations int
+	// SpillPatience delays spilling: a job that would be placed with
+	// dilation > 1 while younger than this many seconds keeps waiting
+	// for local capacity instead (0 disables). Jobs past their
+	// patience spill normally, so nothing starves.
+	SpillPatience int64
+	// MaxPerUser caps concurrently running jobs per user (0 =
+	// unlimited); throttled jobs are skipped, not treated as blocking.
+	MaxPerUser int
+}
+
+// tryPlan applies the chassis-level admission knobs around the
+// placement policy. blocking reports whether a nil plan represents a
+// genuine resource block (an EASY head candidate) rather than a policy
+// choice to skip this job for now.
+func (b *Batch) tryPlan(ctx *Context, job *workload.Job) (plan *Plan, blocking bool) {
+	if b.MaxPerUser > 0 && b.runningOfUser(ctx, job.User) >= b.MaxPerUser {
+		return nil, false
+	}
+	p := b.Placer.Plan(job, ctx.Machine, ctx.Model)
+	if p == nil {
+		return nil, true
+	}
+	if b.SpillPatience > 0 && p.Dilation > 1 && ctx.Now-job.Submit < b.SpillPatience {
+		return nil, false
+	}
+	return p, false
+}
+
+func (b *Batch) runningOfUser(ctx *Context, user int) int {
+	n := 0
+	for i := range ctx.Running {
+		if ctx.Running[i].Job.User == user {
+			n++
+		}
+	}
+	return n
+}
+
+// Name implements Scheduler.
+func (b *Batch) Name() string {
+	if b.PolicyName != "" {
+		return b.PolicyName
+	}
+	return fmt.Sprintf("%s+%s+%s", b.Order.Name(), b.Backfill, b.Placer.Name())
+}
+
+// Feasible implements Scheduler by delegating to the placement policy.
+func (b *Batch) Feasible(job *workload.Job, m *cluster.Machine, model memmodel.Model) bool {
+	return b.Placer.Feasible(job, m, model)
+}
+
+// Pass implements Scheduler.
+func (b *Batch) Pass(ctx *Context) []Dispatch {
+	q := append([]*workload.Job(nil), ctx.Queue...)
+	b.Order.Sort(ctx.Now, q)
+	switch b.Backfill {
+	case BackfillConservative:
+		return b.passConservative(ctx, q)
+	default:
+		return b.passEASY(ctx, q)
+	}
+}
+
+// passEASY handles both BackfillNone and BackfillEASY: dispatch in
+// order until the first blocked job; with EASY, continue scanning and
+// start any job that cannot delay the head's reservation.
+func (b *Batch) passEASY(ctx *Context, q []*workload.Job) []Dispatch {
+	var out []Dispatch
+	i := 0
+	for ; i < len(q); i++ {
+		plan, blocking := b.tryPlan(ctx, q[i])
+		if plan == nil {
+			if blocking {
+				break
+			}
+			continue // throttled or patient: does not block the queue
+		}
+		if err := ctx.Machine.Allocate(plan.Alloc); err != nil {
+			// A planner bug, not a recoverable condition.
+			panic(fmt.Sprintf("sched: committing plan for job %d: %v", q[i].ID, err))
+		}
+		out = append(out, Dispatch{Job: q[i], Plan: plan})
+	}
+	if b.Backfill == BackfillNone || i >= len(q) {
+		return out
+	}
+
+	head := q[i]
+	shadow, extraNodes, extraPool := b.headReservation(ctx, head)
+	scanned := 0
+	for j := i + 1; j < len(q); j++ {
+		if b.MaxBackfillScan > 0 && scanned >= b.MaxBackfillScan {
+			break
+		}
+		scanned++
+		cand := q[j]
+		plan, _ := b.tryPlan(ctx, cand)
+		if plan == nil {
+			continue
+		}
+		limit := ctx.Limit(cand, plan.Dilation)
+		endsBeforeShadow := ctx.Now+limit <= shadow
+		remote := plan.Alloc.RemoteMiB()
+		if !endsBeforeShadow {
+			if cand.Nodes > extraNodes || remote > extraPool {
+				continue
+			}
+		}
+		if err := ctx.Machine.Allocate(plan.Alloc); err != nil {
+			panic(fmt.Sprintf("sched: committing backfill for job %d: %v", cand.ID, err))
+		}
+		if !endsBeforeShadow {
+			extraNodes -= cand.Nodes
+			extraPool -= remote
+		}
+		out = append(out, Dispatch{Job: cand, Plan: plan})
+	}
+	return out
+}
+
+// headReservation computes the EASY shadow time for the blocked queue
+// head — the earliest instant aggregate free nodes and pool memory
+// cover the head's minimal needs — plus the extra capacity that will
+// remain at that instant, which backfilled jobs running past the shadow
+// may consume.
+func (b *Batch) headReservation(ctx *Context, head *workload.Job) (shadow int64, extraNodes int, extraPool int64) {
+	needNodes := head.Nodes
+	needPool := RemoteNeed(head, ctx.Machine)
+
+	freeNodes := ctx.Machine.FreeNodes()
+	var freePool int64
+	for _, p := range ctx.Machine.Pools() {
+		freePool += p.FreeMiB()
+	}
+	if freeNodes >= needNodes && freePool >= needPool {
+		// The head fits by aggregate counts but exact placement failed
+		// (per-rack fragmentation). Treat now as the shadow.
+		return ctx.Now, freeNodes - needNodes, freePool - needPool
+	}
+
+	running := append([]RunningJob(nil), ctx.Running...)
+	sort.Slice(running, func(i, j int) bool {
+		ei, ej := running[i].GuaranteedEnd(), running[j].GuaranteedEnd()
+		if ei != ej {
+			return ei < ej
+		}
+		return running[i].Job.ID < running[j].Job.ID
+	})
+	for _, r := range running {
+		freeNodes += len(r.Alloc.Shares)
+		freePool += r.Alloc.RemoteMiB()
+		if freeNodes >= needNodes && freePool >= needPool {
+			return r.GuaranteedEnd(), freeNodes - needNodes, freePool - needPool
+		}
+	}
+	// Unsatisfiable even with everything free: the head is infeasible
+	// for this machine (the engine rejects such jobs at submission, so
+	// this is defensive). No backfill.
+	return math.MaxInt64, 0, 0
+}
+
+// passConservative plans every queued job (up to MaxReservations) into
+// an aggregate capacity profile, dispatching those whose reservation
+// starts now and an exact placement exists.
+func (b *Batch) passConservative(ctx *Context, q []*workload.Job) []Dispatch {
+	maxRes := b.MaxReservations
+	if maxRes <= 0 {
+		maxRes = 128
+	}
+	freeNodes := ctx.Machine.FreeNodes()
+	var freePool int64
+	for _, p := range ctx.Machine.Pools() {
+		freePool += p.FreeMiB()
+	}
+	prof := NewProfile(ctx.Now, freeNodes, freePool)
+	for _, r := range ctx.Running {
+		prof.AddRelease(r.GuaranteedEnd(), len(r.Alloc.Shares), r.Alloc.RemoteMiB())
+	}
+
+	var out []Dispatch
+	for k, job := range q {
+		if k >= maxRes {
+			break
+		}
+		if b.MaxPerUser > 0 && b.runningOfUser(ctx, job.User) >= b.MaxPerUser {
+			continue // throttled: try again next pass, no reservation
+		}
+		needPool := RemoteNeed(job, ctx.Machine)
+		dur := ctx.Limit(job, b.Placer.PlanDilation(job, ctx.Machine, ctx.Model))
+		start := prof.EarliestFit(ctx.Now, dur, job.Nodes, needPool)
+		if start == ctx.Now {
+			if plan, _ := b.tryPlan(ctx, job); plan != nil {
+				if err := ctx.Machine.Allocate(plan.Alloc); err != nil {
+					panic(fmt.Sprintf("sched: committing plan for job %d: %v", job.ID, err))
+				}
+				end := ctx.Now + ctx.Limit(job, plan.Dilation)
+				prof.Reserve(ctx.Now, end, job.Nodes, plan.Alloc.RemoteMiB())
+				out = append(out, Dispatch{Job: job, Plan: plan})
+				continue
+			}
+			// Aggregate capacity exists but the placement is
+			// fragmented; hold the reservation at now so no later job
+			// overtakes it (conservative guarantee).
+		}
+		if start < math.MaxInt64 {
+			prof.Reserve(start, start+dur, job.Nodes, needPool)
+		}
+	}
+	return out
+}

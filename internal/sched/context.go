@@ -1,0 +1,79 @@
+// Package sched implements batch schedulers for the simulated machine:
+// queue-ordering policies (FCFS, SJF, WFP, largest-first), backfilling
+// (EASY and conservative), and placement policies (local-DRAM-only and
+// disaggregation-oblivious spill). The disaggregation-aware placement
+// policy — the paper's contribution — lives in internal/core and plugs
+// into the same interfaces.
+package sched
+
+import (
+	"dismem/internal/cluster"
+	"dismem/internal/memmodel"
+	"dismem/internal/workload"
+)
+
+// RunningJob is the scheduler-visible state of a dispatched job.
+type RunningJob struct {
+	Job   *workload.Job
+	Start int64
+	// Limit is the job's wall-clock limit in seconds (the user estimate,
+	// possibly extended for predicted dilation by the engine's limit
+	// rule). Start+Limit is the latest instant the job can hold nodes.
+	Limit int64
+	Alloc *cluster.Allocation
+}
+
+// GuaranteedEnd returns the latest time the job's resources are held.
+func (r *RunningJob) GuaranteedEnd() int64 { return r.Start + r.Limit }
+
+// Context is everything a scheduler may consult during one pass. The
+// machine is live: committing an allocation immediately updates it so
+// later placements in the same pass see the new state.
+type Context struct {
+	Now     int64
+	Machine *cluster.Machine
+	Model   memmodel.Model
+	// Queue holds pending jobs in arrival order; schedulers reorder a
+	// copy according to their queue policy.
+	Queue []*workload.Job
+	// Running holds dispatched jobs, unordered.
+	Running []RunningJob
+	// ExtendLimit mirrors the engine's limit rule: when true, a job
+	// placed with predicted dilation D gets limit = ceil(estimate*D)
+	// instead of estimate, and planners must reserve accordingly.
+	ExtendLimit bool
+}
+
+// Limit returns the wall-clock limit the engine will assign to job if
+// started now with predicted dilation.
+func (c *Context) Limit(job *workload.Job, dilation float64) int64 {
+	if !c.ExtendLimit || dilation <= 1 {
+		return job.Estimate
+	}
+	l := int64(float64(job.Estimate)*dilation + 0.999999)
+	if l < job.Estimate {
+		l = job.Estimate
+	}
+	return l
+}
+
+// Dispatch is one job started during a pass; its allocation is already
+// committed to the machine.
+type Dispatch struct {
+	Job  *workload.Job
+	Plan *Plan
+}
+
+// Scheduler examines the queue and starts jobs. Pass commits the
+// allocations of returned dispatches to ctx.Machine before returning.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pass runs one scheduling cycle and returns the started jobs in
+	// dispatch order.
+	Pass(ctx *Context) []Dispatch
+	// Feasible reports whether job could ever run on an idle machine m
+	// under the given memory model; the engine rejects infeasible jobs
+	// at submission so they cannot block the queue forever.
+	Feasible(job *workload.Job, m *cluster.Machine, model memmodel.Model) bool
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"dismem/internal/workload"
+)
+
+// Order is a queue-ordering policy. Sort must be deterministic: all
+// comparisons fall back to job ID so equal-priority jobs keep arrival
+// order.
+type Order interface {
+	// Name identifies the policy.
+	Name() string
+	// Sort orders jobs in place, highest scheduling priority first.
+	Sort(now int64, jobs []*workload.Job)
+}
+
+// FCFS orders by (submit time, id) — first come, first served.
+type FCFS struct{}
+
+// Name implements Order.
+func (FCFS) Name() string { return "fcfs" }
+
+// Sort implements Order.
+func (FCFS) Sort(_ int64, jobs []*workload.Job) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Submit != jobs[j].Submit {
+			return jobs[i].Submit < jobs[j].Submit
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+}
+
+// SJF orders by shortest walltime estimate first. Classic
+// utilization-friendly, starvation-prone policy; used as an ablation.
+type SJF struct{}
+
+// Name implements Order.
+func (SJF) Name() string { return "sjf" }
+
+// Sort implements Order.
+func (SJF) Sort(_ int64, jobs []*workload.Job) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Estimate != jobs[j].Estimate {
+			return jobs[i].Estimate < jobs[j].Estimate
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+}
+
+// LargestFirst orders by node request, widest job first — the
+// "leadership computing" policy that prioritises capability jobs.
+type LargestFirst struct{}
+
+// Name implements Order.
+func (LargestFirst) Name() string { return "largest" }
+
+// Sort implements Order.
+func (LargestFirst) Sort(_ int64, jobs []*workload.Job) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Nodes != jobs[j].Nodes {
+			return jobs[i].Nodes > jobs[j].Nodes
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+}
+
+// WFP is the ALCF-style utility policy favouring large and old jobs:
+// score = nodes * (wait/estimate)^3, highest first.
+type WFP struct{}
+
+// Name implements Order.
+func (WFP) Name() string { return "wfp" }
+
+// Sort implements Order.
+func (WFP) Sort(now int64, jobs []*workload.Job) {
+	score := func(j *workload.Job) float64 {
+		wait := float64(now - j.Submit)
+		if wait < 0 {
+			wait = 0
+		}
+		return float64(j.Nodes) * math.Pow(wait/float64(j.Estimate), 3)
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		si, sj := score(jobs[i]), score(jobs[j])
+		if si != sj {
+			return si > sj
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+}

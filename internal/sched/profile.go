@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Profile tracks aggregate free capacity — whole nodes and pool MiB —
+// over future time, the planning structure behind conservative
+// backfilling. It deliberately aggregates pool capacity across racks:
+// reservations are made against totals, while actual dispatch uses
+// exact per-rack placement. This is the standard planning approximation
+// in backfill simulators; fragmentation can delay an individual start
+// but never over-commits the machine, because dispatch re-validates.
+type Profile struct {
+	points []profilePoint
+}
+
+type profilePoint struct {
+	t     int64
+	nodes int
+	pool  int64
+}
+
+// NewProfile starts a profile at time now with the given free capacity,
+// which persists to infinity until modified.
+func NewProfile(now int64, freeNodes int, freePool int64) *Profile {
+	return &Profile{points: []profilePoint{{t: now, nodes: freeNodes, pool: freePool}}}
+}
+
+// split ensures a breakpoint exists at time t (t must be >= the first
+// point) and returns its index.
+func (p *Profile) split(t int64) int {
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].t >= t })
+	if i < len(p.points) && p.points[i].t == t {
+		return i
+	}
+	// Capacity at t is inherited from the previous interval.
+	prev := p.points[i-1]
+	p.points = append(p.points, profilePoint{})
+	copy(p.points[i+1:], p.points[i:])
+	p.points[i] = profilePoint{t: t, nodes: prev.nodes, pool: prev.pool}
+	return i
+}
+
+// AddRelease increases capacity by (nodes, pool) from time t onward —
+// a running job's guaranteed end.
+func (p *Profile) AddRelease(t int64, nodes int, pool int64) {
+	if t < p.points[0].t {
+		t = p.points[0].t
+	}
+	i := p.split(t)
+	for ; i < len(p.points); i++ {
+		p.points[i].nodes += nodes
+		p.points[i].pool += pool
+	}
+}
+
+// Reserve decreases capacity by (nodes, pool) on [start, end). Capacity
+// may go negative when an exact placement used more than the planner's
+// minimal need; negative capacity simply blocks later reservations.
+func (p *Profile) Reserve(start, end int64, nodes int, pool int64) {
+	if end <= start {
+		return
+	}
+	if start < p.points[0].t {
+		start = p.points[0].t
+	}
+	i := p.split(start)
+	j := len(p.points)
+	if end < math.MaxInt64 {
+		j = p.split(end)
+		i = sort.Search(len(p.points), func(k int) bool { return p.points[k].t >= start })
+	}
+	for ; i < j; i++ {
+		p.points[i].nodes -= nodes
+		p.points[i].pool -= pool
+	}
+}
+
+// CapacityAt returns the free capacity at time t.
+func (p *Profile) CapacityAt(t int64) (nodes int, pool int64) {
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].t > t })
+	if i == 0 {
+		return p.points[0].nodes, p.points[0].pool
+	}
+	pt := p.points[i-1]
+	return pt.nodes, pt.pool
+}
+
+// EarliestFit returns the earliest time >= from at which (nodes, pool)
+// stays available for dur seconds. dur must be > 0.
+func (p *Profile) EarliestFit(from, dur int64, nodes int, pool int64) int64 {
+	if dur <= 0 {
+		panic(fmt.Sprintf("sched: EarliestFit with dur=%d", dur))
+	}
+	if from < p.points[0].t {
+		from = p.points[0].t
+	}
+	// Candidate starts: `from` and every later breakpoint (capacity
+	// only changes there).
+	cands := []int64{from}
+	for _, pt := range p.points {
+		if pt.t > from {
+			cands = append(cands, pt.t)
+		}
+	}
+	for _, start := range cands {
+		if p.windowFits(start, start+dur, nodes, pool) {
+			return start
+		}
+	}
+	// Capacity after the last breakpoint is constant; if the tail does
+	// not fit, nothing ever will (caller guarantees feasibility).
+	return math.MaxInt64
+}
+
+// windowFits reports whether capacity >= (nodes, pool) throughout
+// [start, end).
+func (p *Profile) windowFits(start, end int64, nodes int, pool int64) bool {
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].t > start })
+	if i > 0 {
+		i--
+	}
+	for ; i < len(p.points); i++ {
+		pt := p.points[i]
+		if pt.t >= end {
+			break
+		}
+		// Interval [pt.t, next.t) overlaps [start, end)?
+		if i+1 < len(p.points) && p.points[i+1].t <= start {
+			continue
+		}
+		if pt.nodes < nodes || pt.pool < pool {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of breakpoints (for tests and complexity
+// accounting).
+func (p *Profile) Len() int { return len(p.points) }

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dismem/internal/stats"
+)
+
+func TestProfileInitialCapacity(t *testing.T) {
+	p := NewProfile(100, 8, 4000)
+	n, pool := p.CapacityAt(100)
+	if n != 8 || pool != 4000 {
+		t.Fatalf("capacity at start = (%d,%d), want (8,4000)", n, pool)
+	}
+	n, pool = p.CapacityAt(1 << 40)
+	if n != 8 || pool != 4000 {
+		t.Fatalf("capacity persists to infinity, got (%d,%d)", n, pool)
+	}
+}
+
+func TestProfileAddRelease(t *testing.T) {
+	p := NewProfile(0, 2, 100)
+	p.AddRelease(50, 4, 200)
+	if n, pool := p.CapacityAt(49); n != 2 || pool != 100 {
+		t.Fatalf("before release: (%d,%d)", n, pool)
+	}
+	if n, pool := p.CapacityAt(50); n != 6 || pool != 300 {
+		t.Fatalf("at release: (%d,%d), want (6,300)", n, pool)
+	}
+}
+
+func TestProfileReserveWindow(t *testing.T) {
+	p := NewProfile(0, 10, 1000)
+	p.Reserve(20, 40, 3, 500)
+	if n, pool := p.CapacityAt(19); n != 10 || pool != 1000 {
+		t.Fatalf("before window: (%d,%d)", n, pool)
+	}
+	if n, pool := p.CapacityAt(20); n != 7 || pool != 500 {
+		t.Fatalf("inside window: (%d,%d), want (7,500)", n, pool)
+	}
+	if n, pool := p.CapacityAt(39); n != 7 || pool != 500 {
+		t.Fatalf("end of window: (%d,%d), want (7,500)", n, pool)
+	}
+	if n, pool := p.CapacityAt(40); n != 10 || pool != 1000 {
+		t.Fatalf("after window: (%d,%d), want (10,1000)", n, pool)
+	}
+}
+
+func TestProfileEarliestFitImmediate(t *testing.T) {
+	p := NewProfile(5, 4, 100)
+	if got := p.EarliestFit(5, 10, 4, 100); got != 5 {
+		t.Fatalf("EarliestFit = %d, want 5 (fits now)", got)
+	}
+}
+
+func TestProfileEarliestFitAfterRelease(t *testing.T) {
+	p := NewProfile(0, 1, 0)
+	p.AddRelease(30, 3, 600)
+	if got := p.EarliestFit(0, 10, 4, 500); got != 30 {
+		t.Fatalf("EarliestFit = %d, want 30", got)
+	}
+}
+
+func TestProfileEarliestFitSkipsBusyWindow(t *testing.T) {
+	p := NewProfile(0, 10, 1000)
+	p.Reserve(10, 50, 8, 0)
+	// Need 5 nodes for 20s: [0,10) too short, inside [10,50) only 2
+	// free, so earliest is 50.
+	if got := p.EarliestFit(0, 20, 5, 0); got != 50 {
+		t.Fatalf("EarliestFit = %d, want 50", got)
+	}
+	// A short job that fits before the window starts at 0... duration
+	// 10 ends exactly at the window edge (end-exclusive) so it fits.
+	if got := p.EarliestFit(0, 10, 5, 0); got != 0 {
+		t.Fatalf("EarliestFit(short) = %d, want 0", got)
+	}
+}
+
+func TestProfileEarliestFitNever(t *testing.T) {
+	p := NewProfile(0, 2, 0)
+	if got := p.EarliestFit(0, 10, 5, 0); got != math.MaxInt64 {
+		t.Fatalf("EarliestFit beyond capacity = %d, want MaxInt64", got)
+	}
+}
+
+func TestProfileEarliestFitPoolDimension(t *testing.T) {
+	p := NewProfile(0, 10, 100)
+	p.Reserve(0, 100, 0, 80) // pool mostly taken until t=100
+	if got := p.EarliestFit(0, 10, 1, 50); got != 100 {
+		t.Fatalf("EarliestFit pool-bound = %d, want 100", got)
+	}
+	if got := p.EarliestFit(0, 10, 1, 20); got != 0 {
+		t.Fatalf("EarliestFit small pool need = %d, want 0", got)
+	}
+}
+
+func TestProfileReserveAllowsNegative(t *testing.T) {
+	p := NewProfile(0, 2, 10)
+	p.Reserve(0, 10, 5, 50) // over-reserve (exact placement used more)
+	n, pool := p.CapacityAt(5)
+	if n != -3 || pool != -40 {
+		t.Fatalf("capacity = (%d,%d), want (-3,-40)", n, pool)
+	}
+	// Nothing fits while negative; fits after.
+	if got := p.EarliestFit(0, 5, 1, 1); got != 10 {
+		t.Fatalf("EarliestFit over negative window = %d, want 10", got)
+	}
+}
+
+func TestProfileEarliestFitPanicsOnZeroDur(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EarliestFit(dur=0) did not panic")
+		}
+	}()
+	NewProfile(0, 1, 1).EarliestFit(0, 0, 1, 1)
+}
+
+// TestProfileFitNeverViolatesCapacity: for random profiles, any window
+// returned by EarliestFit must actually satisfy the requested capacity
+// at every breakpoint inside the window.
+func TestProfileFitNeverViolatesCapacity(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := stats.NewRNG(uint64(seed))
+		p := NewProfile(0, 8, 1000)
+		// Random busy windows.
+		for i := 0; i < 12; i++ {
+			start := rng.Int63n(200)
+			end := start + 1 + rng.Int63n(100)
+			p.Reserve(start, end, int(rng.Intn(4)), rng.Int63n(300))
+		}
+		// Random releases.
+		for i := 0; i < 6; i++ {
+			p.AddRelease(rng.Int63n(300), int(rng.Intn(3)), rng.Int63n(200))
+		}
+		for trial := 0; trial < 20; trial++ {
+			need := int(rng.Intn(8)) + 1
+			pool := rng.Int63n(800)
+			dur := rng.Int63n(80) + 1
+			at := p.EarliestFit(0, dur, need, pool)
+			if at == math.MaxInt64 {
+				continue
+			}
+			// Verify capacity across the whole window by sampling every
+			// breakpoint plus both edges.
+			for _, tt := range sampleTimes(p, at, at+dur) {
+				n, pl := p.CapacityAt(tt)
+				if n < need || pl < pool {
+					t.Logf("window [%d,%d): need (%d,%d) but capacity (%d,%d) at %d",
+						at, at+dur, need, pool, n, pl, tt)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleTimes(p *Profile, start, end int64) []int64 {
+	ts := []int64{start, end - 1}
+	for _, pt := range p.points {
+		if pt.t > start && pt.t < end {
+			ts = append(ts, pt.t)
+		}
+	}
+	return ts
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"dismem/internal/memmodel"
+	"dismem/internal/workload"
+)
+
+func TestPassCoalescing(t *testing.T) {
+	// Many arrivals at the same instant must trigger one scheduling
+	// pass, not one per arrival: with two free nodes and four
+	// same-second 1-node jobs, the first pass starts exactly two.
+	res := run(t, Config{Machine: tinyMachine(0, 0), Scheduler: easyLocal()},
+		&workload.Job{ID: 1, Submit: 10, Nodes: 1, MemPerNode: 1, Estimate: 100, BaseRuntime: 100},
+		&workload.Job{ID: 2, Submit: 10, Nodes: 1, MemPerNode: 1, Estimate: 100, BaseRuntime: 100},
+		&workload.Job{ID: 3, Submit: 10, Nodes: 1, MemPerNode: 1, Estimate: 100, BaseRuntime: 100},
+		&workload.Job{ID: 4, Submit: 10, Nodes: 1, MemPerNode: 1, Estimate: 100, BaseRuntime: 100},
+	)
+	starts := map[int64]int{}
+	for _, r := range res.Recorder.Records() {
+		starts[r.Start]++
+	}
+	if starts[10] != 2 || starts[110] != 2 {
+		t.Fatalf("starts by time = %v, want 2@10 and 2@110", starts)
+	}
+}
+
+func TestNoReDilationUnderStaticModel(t *testing.T) {
+	// Contention-insensitive models must not trigger the re-dilation
+	// machinery: a spilling job's end time is fixed at start and the
+	// event count matches the minimal arrival+pass+end pattern.
+	res := run(t, Config{
+		Machine:   tinyMachine(4000, 1), // tight fabric, but Linear ignores it
+		Model:     memmodel.Linear{Beta: 1},
+		Scheduler: easySpill(), ExtendLimit: true,
+	},
+		&workload.Job{ID: 1, Submit: 0, Nodes: 1, MemPerNode: 2000, Estimate: 1000, BaseRuntime: 100},
+		&workload.Job{ID: 2, Submit: 0, Nodes: 1, MemPerNode: 2000, Estimate: 1000, BaseRuntime: 100},
+	)
+	r1, r2 := record(t, res, 1), record(t, res, 2)
+	// Both f=0.5 → dilation 1.5 → end at 150, regardless of the other
+	// job's presence (Linear has no congestion term).
+	if r1.End != 150 || r2.End != 150 {
+		t.Fatalf("ends = %d, %d; want 150, 150", r1.End, r2.End)
+	}
+}
+
+func TestZeroBetaModelBehavesLikeLocal(t *testing.T) {
+	// β=0 makes remote memory free: spill placements must not dilate
+	// and nothing should be killed relative to plain local runs.
+	res := run(t, Config{
+		Machine: tinyMachine(4000, 10), Model: memmodel.Linear{Beta: 0},
+		Scheduler: easySpill(),
+	},
+		&workload.Job{ID: 1, Submit: 0, Nodes: 1, MemPerNode: 2000, Estimate: 200, BaseRuntime: 100},
+	)
+	r := record(t, res, 1)
+	if r.End != 100 || r.Dilation != 1 || r.Killed {
+		t.Fatalf("record = %+v, want undilated completion at 100", r)
+	}
+	if r.RemoteMiB != 1000 {
+		t.Fatalf("remote = %d, want 1000 (placement still spills)", r.RemoteMiB)
+	}
+}
+
+func TestSameSecondFinishAndArrival(t *testing.T) {
+	// A job finishing at the exact second another arrives: the arrival
+	// must be able to use the freed node in the same instant.
+	res := run(t, Config{Machine: tinyMachine(0, 0), Scheduler: easyLocal()},
+		&workload.Job{ID: 1, Submit: 0, Nodes: 2, MemPerNode: 1, Estimate: 100, BaseRuntime: 50},
+		&workload.Job{ID: 2, Submit: 50, Nodes: 2, MemPerNode: 1, Estimate: 100, BaseRuntime: 50},
+	)
+	r2 := record(t, res, 2)
+	if r2.Start != 50 {
+		t.Fatalf("job2 start = %d, want 50 (same-instant handoff)", r2.Start)
+	}
+}

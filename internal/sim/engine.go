@@ -1,0 +1,479 @@
+// Package sim wires workload, scheduler, machine, memory model and
+// metrics into a discrete-event simulation of a batch-scheduled HPC
+// system with disaggregated memory.
+//
+// The engine owns job lifecycle: arrival → queue → dispatch → finish or
+// kill-at-limit. Placements that borrow pool memory dilate the job's
+// runtime according to the memory model; under contention-sensitive
+// models the engine re-dilates running jobs whenever fabric congestion
+// changes (piecewise-constant rate integration of remaining work).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/des"
+	"dismem/internal/memmodel"
+	"dismem/internal/metrics"
+	"dismem/internal/sched"
+	"dismem/internal/stats"
+	"dismem/internal/workload"
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	Machine cluster.Config
+	Model   memmodel.Model
+	// Scheduler decides dispatch; see sched.Batch and core.MemAware.
+	Scheduler sched.Scheduler
+	// ExtendLimit scales each job's kill limit by its predicted
+	// dilation at start: the system slowed the job down, so it extends
+	// the walltime accordingly (and planners reserve the dilated time).
+	// When false, jobs are killed strictly at the user estimate even if
+	// dilation pushed them past it.
+	ExtendLimit bool
+	// CheckInvariants runs Machine.CheckInvariants after every state
+	// change; O(machine) per event, for tests.
+	CheckInvariants bool
+	// Failures optionally injects node failures (nil = reliable
+	// machine).
+	Failures *FailureConfig
+}
+
+// FailureConfig models node failures as a Poisson process per node with
+// deterministic repair: the standard exponential-MTBF model.
+type FailureConfig struct {
+	// MTBFPerNodeSec is one node's mean time between failures.
+	MTBFPerNodeSec int64
+	// RepairSec is how long a failed node stays down.
+	RepairSec int64
+	// Seed drives the failure stream independently of the workload.
+	Seed uint64
+	// MaxRestarts bounds how often one job is resubmitted after
+	// failure kills before the site gives up on it (0 = default 3).
+	// Without a bound, a wide long job on an unreliable machine can
+	// be re-killed forever and the simulation never terminates.
+	MaxRestarts int
+}
+
+// maxRestarts returns the effective resubmission bound.
+func (f *FailureConfig) maxRestarts() int {
+	if f.MaxRestarts <= 0 {
+		return 3
+	}
+	return f.MaxRestarts
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (f *FailureConfig) Validate() error {
+	if f.MTBFPerNodeSec <= 0 {
+		return fmt.Errorf("sim: failure MTBF %d <= 0", f.MTBFPerNodeSec)
+	}
+	if f.RepairSec <= 0 {
+		return fmt.Errorf("sim: failure repair time %d <= 0", f.RepairSec)
+	}
+	return nil
+}
+
+// Result bundles the outcome of a run.
+type Result struct {
+	Report *metrics.Report
+	// Recorder retains per-job records for CDFs and custom reductions.
+	Recorder *metrics.Recorder
+	// Events is the number of DES events fired.
+	Events uint64
+}
+
+type runningState struct {
+	job   *workload.Job
+	alloc *cluster.Allocation
+	start int64
+	limit int64 // wall-clock seconds from start
+
+	dilAtStart float64
+	// workLeft is remaining base-runtime seconds; progress accrues at
+	// rate 1/dilation per wall-clock second.
+	workLeft   float64
+	rate       float64
+	lastUpdate int64
+	endEv      *des.Event
+}
+
+// Engine runs one simulation. Create with New, call Run once.
+type Engine struct {
+	cfg Config
+	sim *des.Simulator
+	m   *cluster.Machine
+	rec *metrics.Recorder
+
+	queue     []*workload.Job
+	running   map[int]*runningState
+	runOrder  []int // running job IDs in dispatch order (determinism)
+	reDilate  bool
+	passQueue bool
+
+	// Failure injection state.
+	failRNG   *stats.RNG
+	failEv    *des.Event
+	jobsLeft  int // jobs not yet terminated or rejected
+	failures  int // node failures that occurred
+	failKills int // failure kills (each becomes a restart)
+	restarts  map[int]int
+}
+
+// New builds an engine; the machine is constructed from cfg.Machine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: nil scheduler")
+	}
+	if cfg.Failures != nil {
+		if err := cfg.Failures.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	m, err := cluster.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		sim:      des.New(),
+		m:        m,
+		rec:      metrics.NewRecorder(),
+		running:  make(map[int]*runningState),
+		reDilate: memmodel.ContentionSensitive(cfg.Model),
+		restarts: make(map[int]int),
+	}, nil
+}
+
+// Run simulates the workload to completion and returns the result. It
+// errors if any feasible job failed to terminate (a scheduler bug).
+func (e *Engine) Run(w *workload.Workload) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	e.jobsLeft = len(w.Jobs)
+	for _, job := range w.Jobs {
+		job := job
+		e.sim.Schedule(des.Time(job.Submit), func(now des.Time) { e.onArrival(int64(now), job) })
+	}
+	if e.cfg.Failures != nil && e.jobsLeft > 0 {
+		e.failRNG = stats.NewRNG(e.cfg.Failures.Seed)
+		e.scheduleNextFailure()
+	}
+	e.sim.RunAll()
+	if len(e.queue) != 0 || len(e.running) != 0 {
+		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
+			len(e.queue), len(e.running), e.cfg.Scheduler.Name())
+	}
+	// Close the last integration interval.
+	e.rec.Observe(e.lastEventTime(), e.m.Usage())
+	report := e.rec.Report(e.cfg.Machine)
+	report.NodeFailures = e.failures
+	report.FailureKills = e.failKills
+	return &Result{
+		Report:   report,
+		Recorder: e.rec,
+		Events:   e.sim.Fired(),
+	}, nil
+}
+
+func (e *Engine) lastEventTime() int64 { return int64(e.sim.Now()) }
+
+func (e *Engine) onArrival(now int64, job *workload.Job) {
+	e.rec.OnSubmit(now)
+	if !e.cfg.Scheduler.Feasible(job, e.m, e.cfg.Model) {
+		e.rec.Add(metrics.JobRecord{
+			ID: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+			Estimate: job.Estimate, BaseRuntime: job.BaseRuntime,
+			MemPerNode: job.MemPerNode, Dilation: 1, Rejected: true,
+		})
+		e.jobDone()
+		return
+	}
+	e.queue = append(e.queue, job)
+	e.requestPass()
+}
+
+// requestPass coalesces all triggers at one instant into a single
+// scheduling pass.
+func (e *Engine) requestPass() {
+	if e.passQueue {
+		return
+	}
+	e.passQueue = true
+	e.sim.ScheduleDelta(0, func(now des.Time) {
+		e.passQueue = false
+		e.pass(int64(now))
+	})
+}
+
+func (e *Engine) pass(now int64) {
+	if len(e.queue) == 0 {
+		return
+	}
+	ctx := &sched.Context{
+		Now:         now,
+		Machine:     e.m,
+		Model:       e.cfg.Model,
+		Queue:       e.queue,
+		Running:     e.runningSnapshot(),
+		ExtendLimit: e.cfg.ExtendLimit,
+	}
+	e.rec.Observe(now, e.m.Usage()) // close interval at pre-dispatch usage
+	dispatches := e.cfg.Scheduler.Pass(ctx)
+	if len(dispatches) == 0 {
+		return
+	}
+	started := make(map[int]bool, len(dispatches))
+	for _, d := range dispatches {
+		started[d.Job.ID] = true
+		e.start(now, d)
+	}
+	// Remove started jobs from the pending queue, preserving order.
+	kept := e.queue[:0]
+	for _, j := range e.queue {
+		if !started[j.ID] {
+			kept = append(kept, j)
+		}
+	}
+	e.queue = kept
+	e.afterChange(now)
+}
+
+func (e *Engine) runningSnapshot() []sched.RunningJob {
+	out := make([]sched.RunningJob, 0, len(e.runOrder))
+	for _, id := range e.runOrder {
+		rs := e.running[id]
+		out = append(out, sched.RunningJob{
+			Job: rs.job, Start: rs.start, Limit: rs.limit, Alloc: rs.alloc,
+		})
+	}
+	return out
+}
+
+// start registers a dispatched job (its allocation is already committed
+// by the scheduler) and schedules its end event.
+func (e *Engine) start(now int64, d sched.Dispatch) {
+	job := d.Job
+	// Post-commit dilation: pool congestion now includes this job.
+	dil := e.currentDilation(d.Plan.Alloc)
+	limit := job.Estimate
+	if e.cfg.ExtendLimit && dil > 1 {
+		limit = int64(float64(job.Estimate)*dil + 0.999999)
+	}
+	rs := &runningState{
+		job:        job,
+		alloc:      d.Plan.Alloc,
+		start:      now,
+		limit:      limit,
+		dilAtStart: dil,
+		workLeft:   float64(job.BaseRuntime),
+		rate:       1 / dil,
+		lastUpdate: now,
+	}
+	e.running[job.ID] = rs
+	e.runOrder = append(e.runOrder, job.ID)
+	e.scheduleEnd(rs)
+}
+
+// currentDilation evaluates the model against the committed allocation
+// under present congestion (worst pool the job touches).
+func (e *Engine) currentDilation(a *cluster.Allocation) float64 {
+	if e.cfg.Model == nil || a.RemoteMiB() == 0 {
+		return 1
+	}
+	worst := 0.0
+	seen := make(map[cluster.PoolID]bool, 2)
+	for _, s := range a.Shares {
+		if s.RemoteMiB == 0 || seen[s.Pool] {
+			continue
+		}
+		seen[s.Pool] = true
+		if p, ok := e.m.Pool(s.Pool); ok {
+			if c := p.Congestion(); c > worst {
+				worst = c
+			}
+		}
+	}
+	return e.cfg.Model.Dilation(a.RemoteFraction(), worst)
+}
+
+// scheduleEnd (re)schedules the job's termination: completion when its
+// remaining work drains at the current rate, or the kill limit,
+// whichever is earlier.
+func (e *Engine) scheduleEnd(rs *runningState) {
+	if rs.endEv != nil {
+		e.sim.Cancel(rs.endEv)
+		rs.endEv = nil
+	}
+	now := rs.lastUpdate
+	finish := now + int64(rs.workLeft/rs.rate+0.999999)
+	deadline := rs.start + rs.limit
+	at, killed := finish, false
+	if deadline < finish {
+		at, killed = deadline, true
+	}
+	if at < now {
+		at = now
+	}
+	id := rs.job.ID
+	rs.endEv = e.sim.Schedule(des.Time(at), func(t des.Time) { e.terminate(int64(t), id, killed, false) })
+}
+
+// terminate ends a running job: normal completion, kill at the walltime
+// limit, or kill by node failure.
+func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
+	rs, ok := e.running[jobID]
+	if !ok {
+		panic(fmt.Sprintf("sim: end event for unknown job %d", jobID))
+	}
+	if rs.endEv != nil {
+		e.sim.Cancel(rs.endEv)
+		rs.endEv = nil
+	}
+	e.rec.Observe(now, e.m.Usage())
+	if err := e.m.Release(jobID); err != nil {
+		panic(fmt.Sprintf("sim: releasing job %d: %v", jobID, err))
+	}
+	delete(e.running, jobID)
+	for i, id := range e.runOrder {
+		if id == jobID {
+			e.runOrder = append(e.runOrder[:i], e.runOrder[i+1:]...)
+			break
+		}
+	}
+	job := rs.job
+	if byFailure {
+		e.failKills++
+		e.restarts[job.ID]++
+		if e.restarts[job.ID] < e.cfg.Failures.maxRestarts() {
+			// The site resubmits the job: it re-enters the queue and
+			// restarts from scratch. Only its final outcome produces
+			// a job record.
+			e.queue = append(e.queue, job)
+			e.afterChange(now)
+			e.requestPass()
+			return
+		}
+		// Resubmission budget exhausted: give up on the job; it is
+		// recorded below as killed.
+		killed = true
+	}
+	e.rec.Add(metrics.JobRecord{
+		ID: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+		Start: rs.start, End: now,
+		Estimate: job.Estimate, Limit: rs.limit,
+		BaseRuntime: job.BaseRuntime, MemPerNode: job.MemPerNode,
+		RemoteMiB: rs.alloc.RemoteMiB(), RemoteFrac: rs.alloc.RemoteFraction(),
+		Dilation: rs.dilAtStart, Killed: killed,
+		Restarts: e.restarts[job.ID],
+	})
+	e.jobDone()
+	e.afterChange(now)
+	e.requestPass()
+}
+
+// jobDone decrements the outstanding-work counter; once everything has
+// terminated the failure process stops so the event queue can drain.
+func (e *Engine) jobDone() {
+	e.jobsLeft--
+	if e.jobsLeft == 0 && e.failEv != nil {
+		e.sim.Cancel(e.failEv)
+		e.failEv = nil
+	}
+}
+
+// scheduleNextFailure arms the next machine-wide failure: N nodes with
+// per-node MTBF M fail as a Poisson process of rate N/M.
+func (e *Engine) scheduleNextFailure() {
+	mean := float64(e.cfg.Failures.MTBFPerNodeSec) / float64(e.cfg.Machine.TotalNodes())
+	delta := int64(e.failRNG.ExpFloat64()*mean) + 1
+	e.failEv = e.sim.ScheduleDelta(des.Time(delta), func(now des.Time) { e.onFailure(int64(now)) })
+}
+
+// onFailure fails one uniformly random up node, killing its occupant,
+// and schedules the repair.
+func (e *Engine) onFailure(now int64) {
+	e.failEv = nil
+	if e.jobsLeft == 0 {
+		return
+	}
+	defer e.scheduleNextFailure()
+
+	// Pick a uniformly random up node.
+	var up []cluster.NodeID
+	for _, n := range e.m.Nodes() {
+		if !n.Down {
+			up = append(up, n.ID)
+		}
+	}
+	if len(up) == 0 {
+		return // whole machine down; only repairs can help
+	}
+	victim := up[e.failRNG.Intn(len(up))]
+	e.failures++
+	if busy := e.m.Nodes()[victim].Busy; busy != 0 {
+		e.terminate(now, busy, true, true)
+	}
+	if err := e.m.SetDown(victim); err != nil {
+		panic(fmt.Sprintf("sim: failing node %d: %v", victim, err))
+	}
+	e.sim.ScheduleDelta(des.Time(e.cfg.Failures.RepairSec), func(t des.Time) {
+		if err := e.m.SetUp(victim); err != nil {
+			panic(fmt.Sprintf("sim: repairing node %d: %v", victim, err))
+		}
+		e.requestPass()
+	})
+	if e.cfg.CheckInvariants {
+		if err := e.m.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+	}
+}
+
+// afterChange re-dilates running jobs under contention-sensitive models
+// and optionally validates machine invariants.
+func (e *Engine) afterChange(now int64) {
+	if e.cfg.CheckInvariants {
+		if err := e.m.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+	}
+	if !e.reDilate {
+		return
+	}
+	// Deterministic order: ascending job ID.
+	ids := make([]int, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rs := e.running[id]
+		if rs.alloc.RemoteMiB() == 0 {
+			continue
+		}
+		// Integrate progress at the old rate, then switch rates.
+		elapsed := float64(now - rs.lastUpdate)
+		rs.workLeft -= elapsed * rs.rate
+		if rs.workLeft < 0 {
+			rs.workLeft = 0
+		}
+		rs.lastUpdate = now
+		newDil := e.currentDilation(rs.alloc)
+		rs.rate = 1 / newDil
+		e.scheduleEnd(rs)
+	}
+}
+
+// Run is a convenience: build an engine from cfg and simulate w.
+func Run(cfg Config, w *workload.Workload) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(w)
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"dismem/internal/memmodel"
+	"dismem/internal/workload"
+)
+
+func TestFailureConfigValidate(t *testing.T) {
+	bad := []FailureConfig{
+		{MTBFPerNodeSec: 0, RepairSec: 10},
+		{MTBFPerNodeSec: 10, RepairSec: 0},
+	}
+	for _, fc := range bad {
+		fc := fc
+		if fc.Validate() == nil {
+			t.Errorf("invalid failure config %+v accepted", fc)
+		}
+	}
+	ok := FailureConfig{MTBFPerNodeSec: 3600, RepairSec: 600}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The engine must reject an invalid config at construction.
+	if _, err := New(Config{
+		Machine: tinyMachine(0, 0), Scheduler: easyLocal(),
+		Failures: &FailureConfig{},
+	}); err == nil {
+		t.Fatal("engine accepted invalid failure config")
+	}
+}
+
+func TestFailuresKillAndRestartJobs(t *testing.T) {
+	// A long job on a tiny machine with aggressive failures: it must be
+	// killed at least once and restarted, yet eventually complete with
+	// a truthful restart count.
+	cfg := Config{
+		Machine:         tinyMachine(0, 0),
+		Scheduler:       easyLocal(),
+		CheckInvariants: true,
+		Failures:        &FailureConfig{MTBFPerNodeSec: 4000, RepairSec: 200, Seed: 7},
+	}
+	w := &workload.Workload{Jobs: []*workload.Job{
+		{ID: 1, Submit: 0, Nodes: 2, MemPerNode: 10, Estimate: 20000, BaseRuntime: 10000},
+	}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := res.Report
+	if rp.Completed+rp.Killed != 1 {
+		t.Fatalf("job not accounted: %+v", rp)
+	}
+	if rp.NodeFailures == 0 {
+		t.Fatal("no failures occurred despite MTBF << runtime")
+	}
+	if rp.FailureKills == 0 {
+		t.Fatal("failures never hit the running 2-node job on a 2-node machine")
+	}
+	rec := res.Recorder.Records()[0]
+	if rec.Restarts != rp.FailureKills {
+		t.Fatalf("record restarts %d != failure kills %d", rec.Restarts, rp.FailureKills)
+	}
+	// The final run must still respect causality and limits.
+	if rec.End <= rec.Start || rec.End-rec.Start > rec.Limit {
+		t.Fatalf("final record inconsistent: %+v", rec)
+	}
+}
+
+func TestFailuresOnIdleNodesOnlyDegradeCapacity(t *testing.T) {
+	// Failures with nobody running: jobs arriving later must still be
+	// served once nodes repair; nothing is ever killed.
+	cfg := Config{
+		Machine:         tinyMachine(0, 0),
+		Scheduler:       easyLocal(),
+		CheckInvariants: true,
+		Failures:        &FailureConfig{MTBFPerNodeSec: 2000, RepairSec: 50, Seed: 3},
+	}
+	var jobs []*workload.Job
+	for i := 1; i <= 30; i++ {
+		jobs = append(jobs, &workload.Job{
+			ID: i, Submit: int64(i * 500), Nodes: 1, MemPerNode: 10,
+			Estimate: 400, BaseRuntime: 100,
+		})
+	}
+	w := &workload.Workload{Jobs: jobs}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Completed != 30 {
+		t.Fatalf("completed %d/30 with repairing failures", res.Report.Completed)
+	}
+}
+
+func TestFailureStreamDeterministic(t *testing.T) {
+	cfg := Config{
+		Machine:   tinyMachine(0, 0),
+		Scheduler: easyLocal(),
+		Failures:  &FailureConfig{MTBFPerNodeSec: 3000, RepairSec: 100, Seed: 11},
+	}
+	w := func() *workload.Workload {
+		var jobs []*workload.Job
+		for i := 1; i <= 40; i++ {
+			jobs = append(jobs, &workload.Job{
+				ID: i, Submit: int64(i * 200), Nodes: 1, MemPerNode: 10,
+				Estimate: 2000, BaseRuntime: 800,
+			})
+		}
+		return &workload.Workload{Jobs: jobs}
+	}
+	a, err := Run(cfg, w())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, w())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.NodeFailures != b.Report.NodeFailures ||
+		a.Report.FailureKills != b.Report.FailureKills ||
+		a.Events != b.Events {
+		t.Fatalf("failure injection not deterministic: %d/%d/%d vs %d/%d/%d",
+			a.Report.NodeFailures, a.Report.FailureKills, a.Events,
+			b.Report.NodeFailures, b.Report.FailureKills, b.Events)
+	}
+}
+
+func TestFailuresWithRemoteMemoryJobs(t *testing.T) {
+	// Killing a spilling job must restore its pool memory exactly
+	// (exercised by CheckInvariants on every change).
+	cfg := Config{
+		Machine:         tinyMachine(4000, 10),
+		Model:           memmodel.Bandwidth{Beta: 1, Gamma: 1},
+		Scheduler:       easySpill(),
+		ExtendLimit:     true,
+		CheckInvariants: true,
+		Failures:        &FailureConfig{MTBFPerNodeSec: 5000, RepairSec: 100, Seed: 5},
+	}
+	var jobs []*workload.Job
+	for i := 1; i <= 20; i++ {
+		jobs = append(jobs, &workload.Job{
+			ID: i, Submit: int64(i * 300), Nodes: 1, MemPerNode: 1800,
+			Estimate: 3000, BaseRuntime: 1000,
+		})
+	}
+	res, err := Run(cfg, &workload.Workload{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Jobs() != 20 {
+		t.Fatalf("jobs accounted = %d, want 20", res.Report.Jobs())
+	}
+}

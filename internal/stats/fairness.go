@@ -1,0 +1,42 @@
+package stats
+
+import "sort"
+
+// JainIndex returns Jain's fairness index of the allocations xs:
+// (Σx)² / (n·Σx²). It is 1 when all allocations are equal and 1/n in the
+// most unfair case. An empty or all-zero input returns 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Gini returns the Gini coefficient of xs (0 = perfect equality,
+// → 1 = maximal inequality). Negative inputs are not supported and the
+// function returns 0 for empty or all-zero input.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var cum, total float64
+	n := float64(len(s))
+	for i, x := range s {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(n*total) - (n+1)/n
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainIndexKnown(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1},
+		{[]float64{4, 0, 0, 0}, 0.25},
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JainIndex(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestJainIndexRange(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		allZero := true
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if v != 0 {
+				allZero = false
+			}
+		}
+		j := JainIndex(xs)
+		if allZero {
+			return j == 0
+		}
+		return j >= 1/float64(len(xs))-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniKnown(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("Gini(equal) = %g, want 0", g)
+	}
+	// One holder of everything among n: G = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 12}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("Gini(single holder of 4) = %g, want 0.75", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0}) != 0 {
+		t.Fatal("Gini of empty/zero input must be 0")
+	}
+}
+
+func TestGiniRangeAndOrderInvariance(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		g := Gini(xs)
+		if g < -1e-12 || g > 1 {
+			return false
+		}
+		// Reversing the input must not change the coefficient.
+		rev := make([]float64, len(xs))
+		for i := range xs {
+			rev[i] = xs[len(xs)-1-i]
+		}
+		return math.Abs(Gini(rev)-g) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// Gamma is the Gamma distribution with shape Alpha and scale Theta
+// (mean Alpha*Theta). It is the building block of the Lublin-Feitelson
+// workload model (hyper-Gamma runtimes, Gamma inter-arrival gaps).
+type Gamma struct {
+	Alpha, Theta float64
+}
+
+// Sample implements Dist using the Marsaglia-Tsang (2000) squeeze
+// method, with Johnk's boost for shape < 1.
+func (g Gamma) Sample(r *RNG) float64 {
+	if g.Alpha <= 0 || g.Theta <= 0 {
+		return 0
+	}
+	alpha := g.Alpha
+	boost := 1.0
+	if alpha < 1 {
+		// X_a ~ X_{a+1} * U^{1/a}.
+		for {
+			u := r.Float64()
+			if u > 0 {
+				boost = math.Pow(u, 1/alpha)
+				break
+			}
+		}
+		alpha++
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * boost * g.Theta
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * boost * g.Theta
+		}
+	}
+}
+
+// Mean implements Dist.
+func (g Gamma) Mean() float64 { return g.Alpha * g.Theta }
+
+// HyperGamma mixes two Gamma distributions: with probability P the
+// sample comes from Low, otherwise from High. Lublin & Feitelson fit
+// job runtimes with exactly this form.
+type HyperGamma struct {
+	Low, High Gamma
+	// P is the probability of drawing from Low.
+	P float64
+}
+
+// Sample implements Dist.
+func (h HyperGamma) Sample(r *RNG) float64 {
+	if r.Float64() < h.P {
+		return h.Low.Sample(r)
+	}
+	return h.High.Sample(r)
+}
+
+// Mean implements Dist.
+func (h HyperGamma) Mean() float64 {
+	return h.P*h.Low.Mean() + (1-h.P)*h.High.Mean()
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaMoments(t *testing.T) {
+	cases := []Gamma{
+		{Alpha: 0.5, Theta: 2}, // shape < 1 exercises Johnk's boost
+		{Alpha: 1, Theta: 3},   // exponential special case
+		{Alpha: 4.2, Theta: 400},
+		{Alpha: 12, Theta: 800},
+	}
+	for _, g := range cases {
+		r := NewRNG(31)
+		var o Online
+		for i := 0; i < 200000; i++ {
+			v := g.Sample(r)
+			if v < 0 {
+				t.Fatalf("Gamma(%g,%g) sampled %g < 0", g.Alpha, g.Theta, v)
+			}
+			o.Add(v)
+		}
+		if rel := math.Abs(o.Mean()-g.Mean()) / g.Mean(); rel > 0.03 {
+			t.Errorf("Gamma(%g,%g) mean %g vs analytic %g", g.Alpha, g.Theta, o.Mean(), g.Mean())
+		}
+		// Var = alpha * theta^2.
+		wantVar := g.Alpha * g.Theta * g.Theta
+		if rel := math.Abs(o.Var()-wantVar) / wantVar; rel > 0.1 {
+			t.Errorf("Gamma(%g,%g) var %g vs analytic %g", g.Alpha, g.Theta, o.Var(), wantVar)
+		}
+	}
+}
+
+func TestGammaDegenerate(t *testing.T) {
+	r := NewRNG(1)
+	if v := (Gamma{Alpha: 0, Theta: 1}).Sample(r); v != 0 {
+		t.Fatalf("zero-shape gamma sampled %g", v)
+	}
+	if v := (Gamma{Alpha: 1, Theta: -1}).Sample(r); v != 0 {
+		t.Fatalf("negative-scale gamma sampled %g", v)
+	}
+}
+
+func TestHyperGammaMixing(t *testing.T) {
+	h := HyperGamma{
+		Low:  Gamma{Alpha: 1, Theta: 10},   // mean 10
+		High: Gamma{Alpha: 1, Theta: 1000}, // mean 1000
+		P:    0.75,
+	}
+	if want := 0.75*10 + 0.25*1000; h.Mean() != want {
+		t.Fatalf("analytic mean = %g, want %g", h.Mean(), want)
+	}
+	r := NewRNG(77)
+	var o Online
+	for i := 0; i < 300000; i++ {
+		o.Add(h.Sample(r))
+	}
+	if rel := math.Abs(o.Mean()-h.Mean()) / h.Mean(); rel > 0.05 {
+		t.Fatalf("sampled mean %g vs analytic %g", o.Mean(), h.Mean())
+	}
+}

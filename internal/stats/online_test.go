@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naive computes reference statistics directly.
+func naive(xs []float64) (mean, variance, lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	mean /= float64(len(xs))
+	if len(xs) > 1 {
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(len(xs) - 1)
+	}
+	return mean, variance, lo, hi
+}
+
+func TestOnlineMatchesNaive(t *testing.T) {
+	check := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 7
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		mean, variance, lo, hi := naive(xs)
+		if len(xs) == 0 {
+			return o.N() == 0 && o.Mean() == 0 && o.Var() == 0
+		}
+		return math.Abs(o.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(o.Var()-variance) < 1e-6*(1+variance) &&
+			o.Min() == lo && o.Max() == hi && o.N() == int64(len(xs))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMergeEquivalentToSequential(t *testing.T) {
+	check := func(a, b []int16) bool {
+		var left, right, all Online
+		for _, v := range a {
+			left.Add(float64(v))
+			all.Add(float64(v))
+		}
+		for _, v := range b {
+			right.Add(float64(v))
+			all.Add(float64(v))
+		}
+		left.Merge(&right)
+		if left.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(left.Mean()-all.Mean()) < 1e-9*(1+math.Abs(all.Mean())) &&
+			math.Abs(left.Var()-all.Var()) < 1e-6*(1+all.Var()) &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMergeEmpty(t *testing.T) {
+	var a, b Online
+	a.Add(3)
+	a.Merge(&b) // empty right
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge with empty changed state: n=%d mean=%g", a.N(), a.Mean())
+	}
+	var c Online
+	c.Merge(&a) // empty left
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Fatalf("merge into empty lost state: n=%d mean=%g", c.N(), c.Mean())
+	}
+}
+
+func TestOnlineAddN(t *testing.T) {
+	var a, b Online
+	a.AddN(5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Var() != b.Var() {
+		t.Fatalf("AddN mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestOnlineSumAndCV(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 6} {
+		o.Add(x)
+	}
+	if o.Sum() != 12 {
+		t.Fatalf("Sum = %g, want 12", o.Sum())
+	}
+	if cv := o.CV(); math.Abs(cv-0.5) > 1e-12 {
+		t.Fatalf("CV = %g, want 0.5", cv)
+	}
+	var zero Online
+	if zero.CV() != 0 {
+		t.Fatal("CV of empty accumulator must be 0")
+	}
+}
+
+func TestOnlineSingleObservation(t *testing.T) {
+	var o Online
+	o.Add(7)
+	if o.Var() != 0 || o.Std() != 0 {
+		t.Fatalf("variance of single observation = %g, want 0", o.Var())
+	}
+	if o.Min() != 7 || o.Max() != 7 {
+		t.Fatalf("min/max = %g/%g, want 7/7", o.Min(), o.Max())
+	}
+}

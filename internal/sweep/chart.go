@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"strconv"
+	"strings"
+
+	"dismem/internal/viz"
+)
+
+// Chart converts a figure table — first column is the X axis, numeric
+// columns are curves — into an ASCII line chart. Columns that fail to
+// parse as numbers in any row (percentages are accepted) are skipped,
+// as are non-numeric rows such as a trailing "mean" summary. It returns
+// nil when fewer than two points survive, in which case the caller
+// should just print the table.
+func (t *Table) Chart() *viz.LineChart {
+	if len(t.Cols) < 2 || len(t.Rows) < 2 {
+		return nil
+	}
+	// Collect rows whose X parses.
+	var xs []float64
+	var rows [][]string
+	for _, row := range t.Rows {
+		x, ok := parseCell(row[0])
+		if !ok {
+			continue
+		}
+		xs = append(xs, x)
+		rows = append(rows, row)
+	}
+	if len(xs) < 2 {
+		return nil
+	}
+	chart := &viz.LineChart{
+		Title:  t.Title,
+		XLabel: t.Cols[0],
+		YLabel: "value",
+	}
+	for col := 1; col < len(t.Cols); col++ {
+		ys := make([]float64, 0, len(rows))
+		ok := true
+		for _, row := range rows {
+			v, good := parseCell(row[col])
+			if !good {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if !ok {
+			continue
+		}
+		chart.Series = append(chart.Series, viz.Series{
+			Name: t.Cols[col], X: append([]float64(nil), xs...), Y: ys,
+		})
+	}
+	if len(chart.Series) == 0 {
+		return nil
+	}
+	return chart
+}
+
+// parseCell parses a table cell as a number, accepting a trailing '%'.
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}

@@ -1,0 +1,32 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartFromRealExperiments(t *testing.T) {
+	// Figure sweeps with numeric X axes must chart; policy tables (text
+	// X axis) must decline gracefully.
+	chartable := map[string]bool{
+		"fig3":   true,  // β sweep
+		"fig9":   true,  // load sweep
+		"table4": false, // policy names as X
+	}
+	for id, want := range chartable {
+		tables, err := Run(id, Options{Jobs: 200, Seeds: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		c := tables[0].Chart()
+		if (c != nil) != want {
+			t.Fatalf("%s: chartable=%v, want %v", id, c != nil, want)
+		}
+		if c != nil {
+			out := c.Render()
+			if !strings.Contains(out, tables[0].Cols[0]) {
+				t.Fatalf("%s: chart missing x label:\n%s", id, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func figureTable() *Table {
+	t := &Table{
+		ID: "figX", Title: "demo", Cols: []string{"x", "wait", "label", "pct"},
+	}
+	t.AddRow("1", "10", "alpha", "5.0%")
+	t.AddRow("2", "20", "beta", "7.5%")
+	t.AddRow("3", "15", "gamma", "9.0%")
+	t.AddRow("mean", "15", "-", "7.2%") // summary row: no numeric X
+	return t
+}
+
+func TestChartFromFigureTable(t *testing.T) {
+	c := figureTable().Chart()
+	if c == nil {
+		t.Fatal("chart is nil for a plottable table")
+	}
+	// "wait" and "pct" are numeric; "label" is not.
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(c.Series))
+	}
+	if c.Series[0].Name != "wait" || c.Series[1].Name != "pct" {
+		t.Fatalf("series names = %s,%s", c.Series[0].Name, c.Series[1].Name)
+	}
+	// The summary row is dropped: three points per series.
+	if len(c.Series[0].X) != 3 || c.Series[0].Y[1] != 20 {
+		t.Fatalf("series data = %+v", c.Series[0])
+	}
+	if c.Series[1].Y[2] != 9.0 {
+		t.Fatalf("percent cell parsed to %g, want 9", c.Series[1].Y[2])
+	}
+	if out := c.Render(); !strings.Contains(out, "demo") {
+		t.Fatalf("render missing title:\n%s", out)
+	}
+}
+
+func TestChartUnplottableTables(t *testing.T) {
+	// All-text table (like table2's policy column as X).
+	tb := &Table{ID: "t", Title: "t", Cols: []string{"policy", "wait"}}
+	tb.AddRow("easy", "10")
+	tb.AddRow("memaware", "5")
+	if tb.Chart() != nil {
+		t.Fatal("non-numeric X axis should not chart")
+	}
+	// Single row.
+	tb2 := &Table{ID: "t", Title: "t", Cols: []string{"x", "y"}}
+	tb2.AddRow("1", "2")
+	if tb2.Chart() != nil {
+		t.Fatal("single-point table should not chart")
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"3.5", 3.5, true},
+		{" 12 ", 12, true},
+		{"7.5%", 7.5, true},
+		{"abc", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCell(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseCell(%q) = %g,%v; want %g,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment smoke tests fast: the point here is that
+// every experiment runs end-to-end and emits well-formed tables, not
+// that the numbers are converged (bench_test.go at the repo root runs
+// them at evaluation scale).
+var tinyOptions = Options{Jobs: 250, Seeds: 1}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "table1", "table2", "table3", "table4", "val1", "val2"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", tinyOptions); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tables, err := Run(id, tinyOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("experiment produced no tables")
+			}
+			for _, tb := range tables {
+				if tb.ID != id {
+					t.Fatalf("table id %q under experiment %q", tb.ID, id)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Cols) {
+						t.Fatalf("table %s: ragged row %v", tb.ID, row)
+					}
+					for _, cell := range row {
+						if cell == "" || strings.Contains(cell, "NaN") {
+							t.Fatalf("table %s: bad cell %q in %v", tb.ID, cell, row)
+						}
+					}
+				}
+				// Render paths must not panic and must mention the id.
+				if !strings.Contains(tb.String(), tb.ID) {
+					t.Fatalf("rendered table missing id:\n%s", tb.String())
+				}
+				_ = tb.CSV()
+			}
+		})
+	}
+}
+
+func TestCellDeterministicAcrossRuns(t *testing.T) {
+	cell := Cell{Policy: "memaware", Model: "bandwidth:1,1"}
+	a := cell.MustRun(tinyOptions)
+	b := cell.MustRun(tinyOptions)
+	if a.MeanWait != b.MeanWait || a.MeanBSld != b.MeanBSld || a.NodeUtil != b.NodeUtil {
+		t.Fatalf("same cell diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestCellSeedAveraging(t *testing.T) {
+	one := Cell{Policy: "easy-local", Machine: baselineMachine()}.MustRun(Options{Jobs: 250, Seeds: 1})
+	three := Cell{Policy: "easy-local", Machine: baselineMachine()}.MustRun(Options{Jobs: 250, Seeds: 3})
+	if len(one.Reports) != 1 || len(three.Reports) != 3 {
+		t.Fatalf("reports kept: %d and %d, want 1 and 3", len(one.Reports), len(three.Reports))
+	}
+	// The first seed's contribution must appear in the 3-seed mean:
+	// reconstruct it and compare.
+	var mean float64
+	for _, r := range three.Reports {
+		mean += r.Wait.Mean()
+	}
+	mean /= 3
+	if diff := mean - three.MeanWait; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("seed mean mismatch: %g vs %g", mean, three.MeanWait)
+	}
+}
+
+func TestCellErrorPropagates(t *testing.T) {
+	_, err := Cell{Policy: "no-such-policy"}.Run(tinyOptions)
+	if err == nil || !strings.Contains(err.Error(), "no-such-policy") {
+		t.Fatalf("bad policy not reported: %v", err)
+	}
+}
+
+func TestFig3ShapeOblivousDilationGrows(t *testing.T) {
+	// The central claim of the penalty sweep: the oblivious policy's
+	// dilation grows with β while memaware's stays under its 1.5 cap.
+	tables, err := Run("fig3", Options{Jobs: 400, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var firstOb, lastOb, worstMa float64
+	for i, row := range tb.Rows {
+		ob, err1 := strconv.ParseFloat(row[3], 64) // dil oblivious
+		ma, err2 := strconv.ParseFloat(row[4], 64) // dil memaware
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable dilations in row %v", row)
+		}
+		if i == 0 {
+			firstOb = ob
+		}
+		lastOb = ob
+		if ma > worstMa {
+			worstMa = ma
+		}
+	}
+	if lastOb <= firstOb {
+		t.Fatalf("oblivious dilation did not grow with β: %g -> %g", firstOb, lastOb)
+	}
+	if worstMa > 1.5+1e-9 {
+		t.Fatalf("memaware mean dilation %g exceeds its cap", worstMa)
+	}
+}
+
+func TestFig1StrandingShape(t *testing.T) {
+	// Memory utilization must sit well below node utilization on the
+	// big-memory baseline (the stranding motivation).
+	tables, err := Run("fig1", Options{Jobs: 400, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	last := tb.Rows[len(tb.Rows)-1] // "mean" row
+	mem, err1 := strconv.ParseFloat(last[1], 64)
+	nodes, err2 := strconv.ParseFloat(last[2], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable mean row %v", last)
+	}
+	if mem >= nodes {
+		t.Fatalf("memory util %.2f not below node util %.2f — no stranding", mem, nodes)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Jobs != 8000 || o.Seeds != 5 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if !strings.Contains(o.note(), "8000") {
+		t.Fatalf("note = %q", o.note())
+	}
+}

@@ -1,0 +1,213 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dismem"
+	"dismem/internal/metrics"
+	"dismem/internal/sim"
+)
+
+// Options scales an experiment. Zero values select the full evaluation
+// scale; benches pass reduced numbers.
+type Options struct {
+	// Jobs per simulation (default 8000).
+	Jobs int
+	// Seeds per cell; reported numbers are seed means (default 5).
+	Seeds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Jobs <= 0 {
+		o.Jobs = 8000
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 5
+	}
+	return o
+}
+
+func (o Options) note() string {
+	return fmt.Sprintf("%d jobs/run, mean of %d seeds", o.Jobs, o.Seeds)
+}
+
+// Cell describes one simulation configuration to run across seeds.
+type Cell struct {
+	Machine dismem.MachineConfig
+	// Policy is a registered name; Scheduler (factory) overrides it.
+	Policy string
+	// Scheduler builds a fresh scheduler per seed when set.
+	Scheduler func() dismem.Scheduler
+	// Model is a memory-model spec (default linear:0.5).
+	Model string
+	// Gen overrides the default workload generator config; when nil the
+	// calibrated default for the cell's machine is used. The Jobs and
+	// Seed fields are always overwritten by the harness.
+	Gen *dismem.GenConfig
+	// StrictKill disables dilation-extended walltime limits.
+	StrictKill bool
+	// Failures optionally injects node failures (each seed gets an
+	// independent failure stream derived from its workload seed).
+	Failures *sim.FailureConfig
+}
+
+// Agg is the seed-mean of the report quantities the tables print.
+type Agg struct {
+	MeanWait, P95Wait   float64 // seconds
+	MeanBSld, P95BSld   float64
+	NodeUtil            float64
+	LocalUtil, PoolUtil float64
+	Throughput          float64 // jobs/hour
+	MakespanH           float64
+	RemoteFrac          float64 // fraction of jobs using the pool
+	MeanDilRemote       float64 // mean dilation over remote jobs
+	P95DilRemote        float64
+	KilledFrac          float64
+	RejectedFrac        float64
+	Jobs                float64
+	NodeFailures        float64 // mean node failures per run
+	FailureKills        float64 // mean jobs killed by failures per run
+	JainWait            float64 // Jain fairness of per-user wait (seed 1)
+
+	// Reports keeps the per-seed reports for custom reductions.
+	Reports []*metrics.Report
+	// Records keeps per-job records of the first seed for CDF figures.
+	Records []metrics.JobRecord
+}
+
+// Run simulates the cell for every seed (in parallel) and averages.
+func (c Cell) Run(o Options) (Agg, error) {
+	o = o.withDefaults()
+	mc := c.Machine
+	if mc.Racks == 0 {
+		mc = dismem.DefaultMachine()
+	}
+
+	type out struct {
+		res *dismem.Result
+		err error
+	}
+	outs := make([]out, o.Seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for s := 0; s < o.Seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			gen := dismem.GenConfig{}
+			if c.Gen != nil {
+				gen = *c.Gen
+			} else {
+				gen = defaultGen(o.Jobs, uint64(s+1), mc)
+			}
+			gen.Jobs = o.Jobs
+			gen.Seed = uint64(s + 1)
+			wl, err := dismem.GenerateWorkload(gen)
+			if err != nil {
+				outs[s] = out{err: err}
+				return
+			}
+			opts := dismem.Options{
+				Machine:    mc,
+				Policy:     c.Policy,
+				Model:      c.Model,
+				Workload:   wl,
+				StrictKill: c.StrictKill,
+			}
+			if c.Failures != nil {
+				fc := *c.Failures
+				fc.Seed += uint64(s) // independent stream per seed
+				opts.Failures = &fc
+			}
+			if c.Scheduler != nil {
+				opts.SchedulerImpl = c.Scheduler()
+			}
+			res, err := dismem.Simulate(opts)
+			outs[s] = out{res: res, err: err}
+		}(s)
+	}
+	wg.Wait()
+
+	var agg Agg
+	for s, ot := range outs {
+		if ot.err != nil {
+			return Agg{}, fmt.Errorf("sweep: seed %d: %w", s+1, ot.err)
+		}
+		r := ot.res.Report
+		agg.MeanWait += r.Wait.Mean()
+		agg.P95Wait += r.P95Wait
+		agg.MeanBSld += r.BSld.Mean()
+		agg.P95BSld += r.P95BSld
+		agg.NodeUtil += r.NodeUtil
+		agg.LocalUtil += r.LocalMemUtil
+		agg.PoolUtil += r.PoolUtil
+		agg.Throughput += r.ThroughputPerHour
+		agg.MakespanH += float64(r.MakespanSec) / 3600
+		agg.RemoteFrac += r.RemoteJobFraction
+		agg.MeanDilRemote += r.DilationRemote.Mean()
+		agg.P95DilRemote += r.P95DilationRemote
+		agg.KilledFrac += r.KilledFraction()
+		total := float64(r.Jobs() + r.Rejected)
+		if total > 0 {
+			agg.RejectedFrac += float64(r.Rejected) / total
+		}
+		agg.Jobs += float64(r.Jobs())
+		agg.NodeFailures += float64(r.NodeFailures)
+		agg.FailureKills += float64(r.FailureKills)
+		agg.Reports = append(agg.Reports, r)
+		if s == 0 {
+			agg.Records = ot.res.Recorder.Records()
+			agg.JainWait = ot.res.Recorder.Fairness().JainWait
+		}
+	}
+	n := float64(o.Seeds)
+	agg.MeanWait /= n
+	agg.P95Wait /= n
+	agg.MeanBSld /= n
+	agg.P95BSld /= n
+	agg.NodeUtil /= n
+	agg.LocalUtil /= n
+	agg.PoolUtil /= n
+	agg.Throughput /= n
+	agg.MakespanH /= n
+	agg.RemoteFrac /= n
+	agg.MeanDilRemote /= n
+	agg.P95DilRemote /= n
+	agg.KilledFrac /= n
+	agg.RejectedFrac /= n
+	agg.Jobs /= n
+	agg.NodeFailures /= n
+	agg.FailureKills /= n
+	return agg, nil
+}
+
+// MustRun is Run, panicking on error (experiments are deterministic; an
+// error here is a programming bug, not an input condition).
+func (c Cell) MustRun(o Options) Agg {
+	agg, err := c.Run(o)
+	if err != nil {
+		panic(err)
+	}
+	return agg
+}
+
+// recorderFromRecords rebuilds a metrics recorder from a cell's
+// retained first-seed records, for reductions (fairness, CDFs) that
+// operate on a Recorder.
+func recorderFromRecords(a Agg) *metrics.Recorder {
+	rec := metrics.NewRecorder()
+	for _, r := range a.Records {
+		rec.Add(r)
+	}
+	return rec
+}
+
+// defaultGen returns the calibrated generator for machine mc, scaling
+// job sizes to the machine width.
+func defaultGen(jobs int, seed uint64, mc dismem.MachineConfig) dismem.GenConfig {
+	return dismem.DefaultGen(jobs, seed, mc)
+}

@@ -1,0 +1,103 @@
+// Package sweep is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation as parameter sweeps over the
+// simulator, fanning independent (policy, seed, sweep-point) cells out
+// across CPUs. Figures are emitted as series tables (one row per X
+// value, one column per curve) suitable for plotting or diffing.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid with named
+// columns. Figures are tables whose first column is the X axis.
+type Table struct {
+	ID    string // experiment id, e.g. "fig2"
+	Title string
+	Note  string // provenance: workload scale, seeds, model
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Cols) {
+		panic(fmt.Sprintf("sweep: table %s: row has %d cells, want %d", t.ID, len(cells), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned ASCII.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   (%s)\n", t.Note)
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(quote(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f0, f1, f2 format floats with 0/1/2 decimals; fp formats a fraction
+// as a percentage.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func fp(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:    "t1",
+		Title: "sample",
+		Note:  "note here",
+		Cols:  []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1.5")
+	t.AddRow("beta, with comma", "2.0")
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	out := sampleTable().String()
+	for _, want := range []string{"t1", "sample", "note here", "name", "alpha", "1.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	out := sampleTable().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"beta, with comma"`) {
+		t.Fatalf("comma cell not quoted: %q", lines[2])
+	}
+}
+
+func TestTableCSVQuotesQuotes(t *testing.T) {
+	tb := &Table{ID: "q", Title: "q", Cols: []string{"a"}}
+	tb.AddRow(`say "hi"`)
+	if want := `"say ""hi"""`; !strings.Contains(tb.CSV(), want) {
+		t.Fatalf("quote escaping wrong: %q", tb.CSV())
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row arity did not panic")
+		}
+	}()
+	tb := &Table{ID: "x", Cols: []string{"a", "b"}}
+	tb.AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if f0(3.7) != "4" || f1(3.75) != "3.8" || f2(3.14159) != "3.14" {
+		t.Fatalf("float formatters: %s %s %s", f0(3.7), f1(3.75), f2(3.14159))
+	}
+	if fp(0.123) != "12.3%" {
+		t.Fatalf("fp(0.123) = %s", fp(0.123))
+	}
+}

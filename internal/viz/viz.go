@@ -1,0 +1,179 @@
+// Package viz renders experiment series as ASCII charts for the
+// terminal: line charts for figure sweeps and horizontal bar charts for
+// per-policy comparisons. `dmsweep -plot` uses it to show a figure's
+// shape without leaving the shell.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders one or more series on a shared grid. Each series
+// gets its own glyph; overlapping points show the later series' glyph.
+type LineChart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int // grid cells, excluding axes (defaults 60x16)
+	Series        []Series
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. Series with no points are skipped; an empty
+// chart renders a note instead of panicking.
+func (c *LineChart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so extremes are not on the border.
+	pad := (ymax - ymin) * 0.05
+	ymin, ymax = ymin-pad, ymax+pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			row := int((s.Y[i] - ymin) / (ymax - ymin) * float64(h-1))
+			grid[h-1-row][col] = g
+		}
+	}
+
+	yLo, yHi := formatTick(ymin+pad), formatTick(ymax-pad)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", labelW), w-len(formatTick(xmax)), formatTick(xmin), formatTick(xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// BarChart renders named values as horizontal bars scaled to the
+// largest magnitude.
+type BarChart struct {
+	Title string
+	Width int // bar cells (default 50)
+	Names []string
+	Vals  []float64
+}
+
+// Render draws the chart; mismatched Names/Vals lengths are truncated
+// to the shorter.
+func (c *BarChart) Render() string {
+	w := c.Width
+	if w <= 0 {
+		w = 50
+	}
+	n := len(c.Names)
+	if len(c.Vals) < n {
+		n = len(c.Vals)
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if n == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	nameW, max := 0, 0.0
+	for i := 0; i < n; i++ {
+		if len(c.Names[i]) > nameW {
+			nameW = len(c.Names[i])
+		}
+		if v := math.Abs(c.Vals[i]); v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for i := 0; i < n; i++ {
+		bar := int(math.Abs(c.Vals[i]) / max * float64(w))
+		fmt.Fprintf(&b, "%-*s |%s %s\n", nameW, c.Names[i],
+			strings.Repeat("█", bar), formatTick(c.Vals[i]))
+	}
+	return b.String()
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

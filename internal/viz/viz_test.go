@@ -1,0 +1,123 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRendersAllSeries(t *testing.T) {
+	c := &LineChart{
+		Title:  "waits",
+		XLabel: "pool GiB",
+		YLabel: "wait s",
+		Series: []Series{
+			{Name: "memaware", X: []float64{0, 1, 2, 3}, Y: []float64{40, 20, 12, 10}},
+			{Name: "oblivious", X: []float64{0, 1, 2, 3}, Y: []float64{40, 30, 25, 24}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"waits", "*", "o", "memaware", "oblivious", "pool GiB", "wait s", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Every rendered line must be present (height default 16 + frame).
+	if lines := strings.Count(out, "\n"); lines < 18 {
+		t.Fatalf("chart suspiciously short (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := (&LineChart{Title: "t"}).Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	// Degenerate ranges must not divide by zero or panic.
+	c := &LineChart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestLineChartMismatchedXY(t *testing.T) {
+	c := &LineChart{Series: []Series{{Name: "p", X: []float64{1, 2, 3}, Y: []float64{4}}}}
+	out := c.Render()                           // must not panic; only the first point plots
+	grid := out[:strings.LastIndex(out, "* p")] // exclude the legend glyph
+	if strings.Count(grid, "*") != 1 {
+		t.Fatalf("want exactly 1 plotted point:\n%s", out)
+	}
+}
+
+func TestLineChartMonotoneMapping(t *testing.T) {
+	// A strictly increasing series must render its max on the top row
+	// and its min on the bottom row of the grid.
+	c := &LineChart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}},
+	}
+	out := c.Render()
+	rows := strings.Split(out, "\n")
+	// The 5% y-padding keeps extremes one row inside the frame.
+	if !strings.Contains(rows[0], "*") && !strings.Contains(rows[1], "*") {
+		t.Fatalf("max not near the top row:\n%s", out)
+	}
+	if !strings.Contains(rows[3], "*") && !strings.Contains(rows[4], "*") {
+		t.Fatalf("min not near the bottom row:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title: "util",
+		Width: 10,
+		Names: []string{"alpha", "beta"},
+		Vals:  []float64{1.0, 0.5},
+	}
+	out := c.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bar chart lines = %d, want 3:\n%s", len(lines), out)
+	}
+	// alpha is the max → 10 cells; beta half → 5 cells.
+	if strings.Count(lines[1], "█") != 10 {
+		t.Fatalf("alpha bar = %q", lines[1])
+	}
+	if strings.Count(lines[2], "█") != 5 {
+		t.Fatalf("beta bar = %q", lines[2])
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	if out := (&BarChart{}).Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty bar chart: %q", out)
+	}
+	// All-zero values must not divide by zero.
+	c := &BarChart{Names: []string{"z"}, Vals: []float64{0}}
+	if out := c.Render(); strings.Contains(out, "NaN") {
+		t.Fatalf("zero-value chart rendered NaN:\n%s", out)
+	}
+	// Mismatched lengths truncate.
+	c2 := &BarChart{Names: []string{"a", "b"}, Vals: []float64{1}}
+	if out := c2.Render(); strings.Contains(out, "b") {
+		t.Fatalf("truncation failed:\n%s", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		45000:   "45k",
+		12:      "12",
+		3:       "3",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLublinSWFRoundTrip(t *testing.T) {
+	// The Lublin generator's output must survive the archive format
+	// like any other trace.
+	orig := MustGenerateLublin(DefaultLublinConfig(150, 23, 64))
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadSWF(&buf, SWFReadOptions{})
+	if err != nil || skipped != 0 {
+		t.Fatalf("read back: %v (skipped %d)", err, skipped)
+	}
+	if len(got.Jobs) != len(orig.Jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(got.Jobs), len(orig.Jobs))
+	}
+	for i := range orig.Jobs {
+		a, b := orig.Jobs[i], got.Jobs[i]
+		if a.ID != b.ID || a.Nodes != b.Nodes || a.BaseRuntime != b.BaseRuntime ||
+			a.MemPerNode != b.MemPerNode {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLublinSummary(t *testing.T) {
+	w := MustGenerateLublin(DefaultLublinConfig(500, 29, 128))
+	s := Summarize(w, 64*1024)
+	if s.Jobs != 500 {
+		t.Fatalf("summary jobs = %d", s.Jobs)
+	}
+	if s.Runtime.Mean() <= 0 || s.MemNode.Mean() <= 0 {
+		t.Fatalf("degenerate summary: %+v", s)
+	}
+}

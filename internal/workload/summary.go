@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"dismem/internal/stats"
+)
+
+// Summary aggregates the trace-level statistics reported in the paper's
+// workload-characteristics table (Table 1).
+type Summary struct {
+	Name     string
+	Jobs     int
+	SpanSec  int64
+	Users    int
+	Nodes    stats.Online // per-job node request
+	Runtime  stats.Online // base runtime, seconds
+	Estimate stats.Online // walltime estimate, seconds
+	Accuracy stats.Online // runtime/estimate
+	MemNode  stats.Online // per-node footprint, MiB
+	MemTotal stats.Online // whole-job footprint, MiB
+
+	// P50/P95/P99 of per-node memory, MiB — the disaggregation story
+	// hinges on this tail.
+	MemP50, MemP95, MemP99 float64
+	// NodeHours is Σ nodes·runtime / 3600, the demand volume.
+	NodeHours float64
+	// LargeMemFraction is the fraction of jobs above threshold MiB/node.
+	LargeMemFraction float64
+	// LargeMemThreshold is the threshold used for LargeMemFraction.
+	LargeMemThreshold int64
+}
+
+// Summarize computes trace statistics. largeMemThreshold (MiB/node)
+// splits "fits in reduced local DRAM" from "needs the pool"; pass the
+// local DRAM size of the machine under study.
+func Summarize(w *Workload, largeMemThreshold int64) *Summary {
+	s := &Summary{Name: w.Name, Jobs: len(w.Jobs), LargeMemThreshold: largeMemThreshold}
+	users := map[int]bool{}
+	mems := make([]float64, 0, len(w.Jobs))
+	large := 0
+	for _, j := range w.Jobs {
+		users[j.User] = true
+		s.Nodes.Add(float64(j.Nodes))
+		s.Runtime.Add(float64(j.BaseRuntime))
+		s.Estimate.Add(float64(j.Estimate))
+		s.Accuracy.Add(j.Accuracy())
+		s.MemNode.Add(float64(j.MemPerNode))
+		s.MemTotal.Add(float64(j.TotalMem()))
+		s.NodeHours += float64(j.Nodes) * float64(j.BaseRuntime) / 3600
+		mems = append(mems, float64(j.MemPerNode))
+		if j.MemPerNode > largeMemThreshold {
+			large++
+		}
+	}
+	s.Users = len(users)
+	first, last := w.Span()
+	s.SpanSec = last - first
+	ps := stats.Percentiles(mems, 50, 95, 99)
+	s.MemP50, s.MemP95, s.MemP99 = ps[0], ps[1], ps[2]
+	if s.Jobs > 0 {
+		s.LargeMemFraction = float64(large) / float64(s.Jobs)
+	}
+	return s
+}
+
+// String renders a human-readable multi-line table.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s\n", s.Name)
+	fmt.Fprintf(&b, "  jobs            %d (%d users, span %.1f h, %.0f node-hours)\n",
+		s.Jobs, s.Users, float64(s.SpanSec)/3600, s.NodeHours)
+	fmt.Fprintf(&b, "  nodes/job       mean %.1f  max %.0f\n", s.Nodes.Mean(), s.Nodes.Max())
+	fmt.Fprintf(&b, "  runtime (s)     mean %.0f  p-max %.0f\n", s.Runtime.Mean(), s.Runtime.Max())
+	fmt.Fprintf(&b, "  estimate acc.   mean %.2f\n", s.Accuracy.Mean())
+	fmt.Fprintf(&b, "  mem/node (MiB)  mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f\n",
+		s.MemNode.Mean(), s.MemP50, s.MemP95, s.MemP99)
+	fmt.Fprintf(&b, "  >%d MiB/node    %.1f%% of jobs\n", s.LargeMemThreshold, 100*s.LargeMemFraction)
+	return b.String()
+}

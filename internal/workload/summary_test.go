@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizeHandMade(t *testing.T) {
+	w := &Workload{Name: "hand", Jobs: []*Job{
+		{ID: 1, User: 1, Submit: 0, Nodes: 2, MemPerNode: 1000, Estimate: 200, BaseRuntime: 100},
+		{ID: 2, User: 2, Submit: 3600, Nodes: 4, MemPerNode: 3000, Estimate: 400, BaseRuntime: 200},
+		{ID: 3, User: 1, Submit: 7200, Nodes: 6, MemPerNode: 5000, Estimate: 600, BaseRuntime: 300},
+	}}
+	s := Summarize(w, 2000)
+	if s.Jobs != 3 || s.Users != 2 {
+		t.Fatalf("jobs=%d users=%d, want 3/2", s.Jobs, s.Users)
+	}
+	if s.SpanSec != 7200 {
+		t.Fatalf("span = %d, want 7200", s.SpanSec)
+	}
+	if s.Nodes.Mean() != 4 {
+		t.Fatalf("mean nodes = %g, want 4", s.Nodes.Mean())
+	}
+	if s.MemNode.Mean() != 3000 {
+		t.Fatalf("mean mem = %g, want 3000", s.MemNode.Mean())
+	}
+	if s.MemP50 != 3000 {
+		t.Fatalf("p50 mem = %g, want 3000", s.MemP50)
+	}
+	// 2 of 3 jobs exceed the 2000 MiB threshold.
+	if got := s.LargeMemFraction; got < 0.66 || got > 0.67 {
+		t.Fatalf("large-mem fraction = %g, want 2/3", got)
+	}
+	// node-hours = (2*100 + 4*200 + 6*300)/3600 h.
+	want := (200.0 + 800 + 1800) / 3600
+	if diff := s.NodeHours - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("node-hours = %g, want %g", s.NodeHours, want)
+	}
+	if acc := s.Accuracy.Mean(); acc != 0.5 {
+		t.Fatalf("mean accuracy = %g, want 0.5", acc)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	w := MustGenerate(DefaultGenConfig(100, 1, 32))
+	out := Summarize(w, 64*1024).String()
+	for _, want := range []string{"jobs", "nodes/job", "mem/node", "runtime"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&Workload{Name: "empty"}, 1024)
+	if s.Jobs != 0 || s.LargeMemFraction != 0 || s.NodeHours != 0 {
+		t.Fatalf("empty summary not zeroed: %+v", s)
+	}
+}
