@@ -12,11 +12,8 @@ package dismem_test
 import (
 	"testing"
 
-	"dismem"
-	"dismem/internal/cluster"
-	"dismem/internal/core"
+	"dismem/internal/benchkit"
 	"dismem/internal/des"
-	"dismem/internal/memmodel"
 	"dismem/internal/sweep"
 	"dismem/internal/workload"
 )
@@ -103,48 +100,11 @@ func BenchmarkEventQueue(b *testing.B) {
 }
 
 // BenchmarkMachineAllocRelease measures the cluster bookkeeping cycle.
-func BenchmarkMachineAllocRelease(b *testing.B) {
-	b.ReportAllocs()
-	m := cluster.MustNew(cluster.DefaultConfig())
-	a := &cluster.Allocation{JobID: 1, Shares: []cluster.NodeShare{
-		{Node: 0, LocalMiB: 64 * 1024, RemoteMiB: 32 * 1024, Pool: 0},
-		{Node: 1, LocalMiB: 64 * 1024, RemoteMiB: 32 * 1024, Pool: 0},
-	}}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := m.Allocate(a); err != nil {
-			b.Fatal(err)
-		}
-		if err := m.Release(1); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkMachineAllocRelease(b *testing.B) { benchkit.MachineAllocRelease(b) }
 
 // BenchmarkMemAwarePlan measures one placement decision on a half-loaded
 // machine (the scheduler's inner loop).
-func BenchmarkMemAwarePlan(b *testing.B) {
-	b.ReportAllocs()
-	m := cluster.MustNew(cluster.DefaultConfig())
-	// Occupy half the machine.
-	for i := 0; i < 128; i++ {
-		a := &cluster.Allocation{JobID: 1000 + i, Shares: []cluster.NodeShare{
-			{Node: cluster.NodeID(i * 2), LocalMiB: 32 * 1024, Pool: cluster.NoPool},
-		}}
-		if err := m.Allocate(a); err != nil {
-			b.Fatal(err)
-		}
-	}
-	placer := core.New()
-	model := memmodel.Bandwidth{Beta: 1, Gamma: 1}
-	j := &workload.Job{ID: 1, Nodes: 16, MemPerNode: 96 * 1024, Estimate: 3600, BaseRuntime: 1800}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if placer.Plan(j, m, model) == nil {
-			b.Fatal("plan failed")
-		}
-	}
-}
+func BenchmarkMemAwarePlan(b *testing.B) { benchkit.MemAwarePlan(b) }
 
 // BenchmarkWorkloadGenerate measures synthetic trace generation.
 func BenchmarkWorkloadGenerate(b *testing.B) {
@@ -160,20 +120,4 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 
 // BenchmarkSimulation measures end-to-end simulated-jobs-per-second for
 // the full memaware stack under the contention-sensitive model.
-func BenchmarkSimulation(b *testing.B) {
-	b.ReportAllocs()
-	wl := dismem.SyntheticWorkload(1000, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := dismem.Simulate(dismem.Options{
-			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Report.Jobs() == 0 {
-			b.Fatal("no jobs ran")
-		}
-	}
-	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "jobs/s")
-}
+func BenchmarkSimulation(b *testing.B) { benchkit.Simulation(b) }

@@ -1,0 +1,122 @@
+// Command dmbench runs the simulator's headline hot-path benchmarks
+// (the same bodies bench_test.go exposes to `go test -bench`) and
+// records the results as a BENCH_<date>.json file, so the repository
+// tracks its own performance trajectory across PRs (DESIGN.md §5,
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dmbench                     # writes ./BENCH_<today>.json
+//	dmbench -out results.json   # explicit output path
+//	dmbench -benchtime 5s       # more stable numbers
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dismem/internal/benchkit"
+)
+
+// entry is one benchmark's recorded result.
+type entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// record is the BENCH_<date>.json schema.
+type record struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		benchtime = flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	)
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"MachineAllocRelease", benchkit.MachineAllocRelease},
+		{"MemAwarePlan", benchkit.MemAwarePlan},
+		{"Simulation", benchkit.Simulation},
+	}
+
+	rec := record{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rec.Date)
+	}
+
+	// testing.Benchmark calibrates b.N against the test.benchtime flag
+	// registered by testing.Init (see init below).
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		os.Exit(1)
+	}
+
+	for _, bm := range benches {
+		res := testing.Benchmark(bm.fn)
+		e := entry{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				e.Extra[k] = v
+			}
+		}
+		rec.Benchmarks = append(rec.Benchmarks, e)
+		fmt.Printf("%-22s %12d ops  %12.1f ns/op  %8d B/op  %6d allocs/op",
+			e.Name, e.Iterations, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		for k, v := range e.Extra {
+			fmt.Printf("  %.0f %s", v, k)
+		}
+		fmt.Println()
+	}
+
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}
+
+func init() {
+	// Register the testing package's flags (test.benchtime et al) so
+	// testing.Benchmark honours the -benchtime mapping above.
+	testing.Init()
+}

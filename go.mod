@@ -1,0 +1,3 @@
+module dismem
+
+go 1.24

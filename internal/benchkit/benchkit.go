@@ -1,0 +1,84 @@
+// Package benchkit holds the bodies of the simulator's headline
+// hot-path benchmarks so they can run both under `go test -bench`
+// (bench_test.go at the repo root) and programmatically from
+// cmd/dmbench, which records them as BENCH_<date>.json for the in-repo
+// performance trajectory.
+package benchkit
+
+import (
+	"testing"
+
+	"dismem"
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/memmodel"
+	"dismem/internal/workload"
+)
+
+// SimulationJobs is the workload size SimulationBench runs per
+// iteration; the jobs/s metric is derived from it.
+const SimulationJobs = 1000
+
+// MachineAllocRelease measures the cluster bookkeeping cycle.
+func MachineAllocRelease(b *testing.B) {
+	b.ReportAllocs()
+	m := cluster.MustNew(cluster.DefaultConfig())
+	a := &cluster.Allocation{JobID: 1, Shares: []cluster.NodeShare{
+		{Node: 0, LocalMiB: 64 * 1024, RemoteMiB: 32 * 1024, Pool: 0},
+		{Node: 1, LocalMiB: 64 * 1024, RemoteMiB: 32 * 1024, Pool: 0},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Allocate(a); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Release(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MemAwarePlan measures one placement decision on a half-loaded
+// machine (the scheduler's inner loop).
+func MemAwarePlan(b *testing.B) {
+	b.ReportAllocs()
+	m := cluster.MustNew(cluster.DefaultConfig())
+	// Occupy half the machine.
+	for i := 0; i < 128; i++ {
+		a := &cluster.Allocation{JobID: 1000 + i, Shares: []cluster.NodeShare{
+			{Node: cluster.NodeID(i * 2), LocalMiB: 32 * 1024, Pool: cluster.NoPool},
+		}}
+		if err := m.Allocate(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	placer := core.New()
+	model := memmodel.Bandwidth{Beta: 1, Gamma: 1}
+	j := &workload.Job{ID: 1, Nodes: 16, MemPerNode: 96 * 1024, Estimate: 3600, BaseRuntime: 1800}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if placer.Plan(j, m, model) == nil {
+			b.Fatal("plan failed")
+		}
+	}
+}
+
+// Simulation measures end-to-end simulated-jobs-per-second for the
+// full memaware stack under the contention-sensitive model.
+func Simulation(b *testing.B) {
+	b.ReportAllocs()
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dismem.Simulate(dismem.Options{
+			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Jobs() == 0 {
+			b.Fatal("no jobs ran")
+		}
+	}
+	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

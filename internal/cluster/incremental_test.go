@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveUsage recomputes the Usage snapshot from scratch by scanning
+// every node and pool, the way Usage worked before the incremental
+// aggregates existed. It is the oracle the cached counters must match.
+func naiveUsage(m *Machine) Usage {
+	u := Usage{}
+	for _, n := range m.Nodes() {
+		if n.Busy != 0 {
+			u.BusyNodes++
+			u.UsedCores += m.Config().CoresPerNode
+			u.UsedLocal += n.UsedLocalMiB
+		}
+	}
+	for _, p := range m.Pools() {
+		u.UsedPool += p.UsedMiB
+		u.PoolDemand += p.DemandGiBps
+		if p.CapacityMiB > 0 {
+			if util := float64(p.UsedMiB) / float64(p.CapacityMiB); util > u.MaxPoolUtil {
+				u.MaxPoolUtil = util
+			}
+		}
+		if c := p.Congestion(); c > u.MaxCongest {
+			u.MaxCongest = c
+		}
+	}
+	return u
+}
+
+// checkAggregates cross-checks every incremental view against a
+// from-scratch recomputation over the exported node state.
+func checkAggregates(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Usage(), naiveUsage(m); got != want {
+		t.Fatalf("Usage() = %+v, naive recomputation = %+v", got, want)
+	}
+	cfg := m.Config()
+	for r := 0; r < cfg.Racks; r++ {
+		free := 0
+		base := r * cfg.NodesPerRack
+		for i := 0; i < cfg.NodesPerRack; i++ {
+			if m.Nodes()[base+i].Available() {
+				free++
+			}
+		}
+		if got := m.RackFreeNodes(r); got != free {
+			t.Fatalf("RackFreeNodes(%d) = %d, scan says %d", r, got, free)
+		}
+		var iterated []NodeID
+		m.FreeInRack(r, func(id NodeID) bool {
+			iterated = append(iterated, id)
+			return true
+		})
+		if len(iterated) != free {
+			t.Fatalf("FreeInRack(%d) visited %d nodes, scan says %d", r, len(iterated), free)
+		}
+		for k, id := range iterated {
+			if !m.Nodes()[id].Available() {
+				t.Fatalf("FreeInRack(%d) visited unavailable node %d", r, id)
+			}
+			if m.Nodes()[id].Rack != r {
+				t.Fatalf("FreeInRack(%d) visited node %d of rack %d", r, id, m.Nodes()[id].Rack)
+			}
+			if k > 0 && iterated[k-1] >= id {
+				t.Fatalf("FreeInRack(%d) out of order: %v", r, iterated)
+			}
+		}
+	}
+	total := 0
+	m.ForEachFree(func(id NodeID) bool { total++; return true })
+	if total != m.FreeNodes() {
+		t.Fatalf("ForEachFree visited %d nodes, FreeNodes() = %d", total, m.FreeNodes())
+	}
+}
+
+// TestIncrementalAggregatesRandomOps drives a few thousand random
+// Allocate/Release/SetDown/SetUp operations and asserts after every
+// step that all incremental counters equal a from-scratch
+// recomputation.
+func TestIncrementalAggregatesRandomOps(t *testing.T) {
+	configs := map[string]Config{
+		"rack": {
+			Racks: 4, NodesPerRack: 10, CoresPerNode: 8, LocalMemMiB: 1024,
+			Topology: TopologyRack, PoolMiB: 8 * 1024, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+		},
+		"global": {
+			Racks: 3, NodesPerRack: 7, CoresPerNode: 4, LocalMemMiB: 512,
+			Topology: TopologyGlobal, PoolMiB: 6 * 1024, FabricGiBps: 8, TrafficGiBpsPerNode: 1,
+		},
+		"none": {
+			Racks: 2, NodesPerRack: 70, CoresPerNode: 2, LocalMemMiB: 256,
+			Topology: TopologyNone,
+		},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(cfg)
+			rng := rand.New(rand.NewSource(42))
+			nextJob := 1
+			var live []int
+			var down []NodeID
+			allocs, releases, flips, rejected := 0, 0, 0, 0
+			for step := 0; step < 3000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // allocate a random job
+					var free []NodeID
+					m.ForEachFree(func(id NodeID) bool { free = append(free, id); return true })
+					if len(free) == 0 {
+						break
+					}
+					rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+					k := 1 + rng.Intn(min(len(free), 6))
+					a := &Allocation{JobID: nextJob}
+					for _, id := range free[:k] {
+						s := NodeShare{Node: id, LocalMiB: int64(rng.Intn(int(cfg.LocalMemMiB))), Pool: NoPool}
+						// Half the shares borrow remote memory,
+						// sometimes more than the pool has free, to
+						// exercise the rejection path.
+						if pid := m.PoolOf(id); pid != NoPool && rng.Intn(2) == 0 {
+							s.RemoteMiB = 1 + int64(rng.Intn(2048))
+							s.Pool = pid
+						}
+						a.Shares = append(a.Shares, s)
+					}
+					if err := m.Allocate(a); err == nil {
+						live = append(live, nextJob)
+						nextJob++
+						allocs++
+					} else {
+						rejected++
+					}
+				case op < 8: // release a random live job
+					if len(live) == 0 {
+						break
+					}
+					i := rng.Intn(len(live))
+					if err := m.Release(live[i]); err != nil {
+						t.Fatalf("step %d: release job %d: %v", step, live[i], err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					releases++
+				case op < 9: // fail a random free node
+					var free []NodeID
+					m.ForEachFree(func(id NodeID) bool { free = append(free, id); return true })
+					if len(free) == 0 {
+						break
+					}
+					id := free[rng.Intn(len(free))]
+					if err := m.SetDown(id); err != nil {
+						t.Fatalf("step %d: SetDown(%d): %v", step, id, err)
+					}
+					down = append(down, id)
+					flips++
+				default: // repair a random down node
+					if len(down) == 0 {
+						break
+					}
+					i := rng.Intn(len(down))
+					if err := m.SetUp(down[i]); err != nil {
+						t.Fatalf("step %d: SetUp(%d): %v", step, down[i], err)
+					}
+					down[i] = down[len(down)-1]
+					down = down[:len(down)-1]
+					flips++
+				}
+				checkAggregates(t, m)
+			}
+			t.Logf("%s: %d allocs, %d releases, %d up/down flips, %d rejected, %d live at end",
+				name, allocs, releases, flips, rejected, len(live))
+			if allocs == 0 || releases == 0 {
+				t.Fatalf("degenerate run: %d allocs, %d releases", allocs, releases)
+			}
+			// Drain and confirm the machine returns to pristine idle.
+			for _, id := range live {
+				if err := m.Release(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range down {
+				if err := m.SetUp(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkAggregates(t, m)
+			if m.FreeNodes() != cfg.TotalNodes() || m.BusyNodes() != 0 || m.DownNodes() != 0 {
+				t.Fatalf("machine not idle after drain: free=%d busy=%d down=%d",
+					m.FreeNodes(), m.BusyNodes(), m.DownNodes())
+			}
+			u := m.Usage()
+			if u.UsedLocal != 0 || u.UsedPool != 0 || u.PoolDemand != 0 {
+				t.Fatalf("usage not zero after drain: %+v", u)
+			}
+		})
+	}
+}
+
+// TestReleaseKeepsLiveDemand pins the Release drift-guard fix: freeing
+// one job must not zero a pool's demand while other jobs still borrow
+// from it.
+func TestReleaseKeepsLiveDemand(t *testing.T) {
+	cfg := Config{
+		Racks: 1, NodesPerRack: 4, CoresPerNode: 1, LocalMemMiB: 8 << 40,
+		Topology: TopologyRack, PoolMiB: 64 * 1024, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+	}
+	m := MustNew(cfg)
+	// A vanishing remote fraction: tiny's demand (2 GiB/s × 1 MiB /
+	// 4 PiB ≈ 5e-10) sits below the old 1e-9 drift threshold, which any
+	// release used to zero even though tiny keeps running.
+	tiny := &Allocation{JobID: 1, Shares: []NodeShare{{Node: 0, LocalMiB: 4 << 40, RemoteMiB: 1, Pool: 0}}}
+	other := &Allocation{JobID: 2, Shares: []NodeShare{{Node: 1, LocalMiB: 1024, RemoteMiB: 512, Pool: 0}}}
+	for _, a := range []*Allocation{tiny, other} {
+		if err := m.Allocate(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	demandTiny := m.DemandOf(tiny)
+	if demandTiny <= 0 || demandTiny >= 1e-9 {
+		t.Fatalf("test setup: tiny demand %g not inside (0, 1e-9)", demandTiny)
+	}
+	if err := m.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Pool(0)
+	if p.DemandGiBps == 0 {
+		t.Fatalf("releasing job 2 erased job 1's live demand %g", demandTiny)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = m.Pool(0)
+	if p.DemandGiBps != 0 {
+		t.Fatalf("idle pool demand = %g, want exactly 0", p.DemandGiBps)
+	}
+}

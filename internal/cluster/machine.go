@@ -1,6 +1,9 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // NodeID identifies a node; node IDs are dense in [0, TotalNodes).
 type NodeID int
@@ -63,27 +66,71 @@ type NodeShare struct {
 
 // Allocation is a job's committed placement. Construct with a planner
 // (package sched / core) and commit with Machine.Allocate.
+//
+// Aggregate queries (RemoteMiB, TotalMiB, TouchedPools) are cached on
+// first use; Shares must not be mutated after the first query or after
+// the allocation is committed.
 type Allocation struct {
 	JobID  int
 	Shares []NodeShare
+
+	remoteMiB   int64
+	totalMiB    int64
+	cached      bool
+	pools       []PoolID // distinct pools borrowed from, first-touch order
+	poolsCached bool
+}
+
+// ensureSums computes the cached memory totals once. It allocates
+// nothing, so planners can query candidate allocations freely.
+func (a *Allocation) ensureSums() {
+	if a.cached {
+		return
+	}
+	for _, s := range a.Shares {
+		a.remoteMiB += s.RemoteMiB
+		a.totalMiB += s.LocalMiB + s.RemoteMiB
+	}
+	a.cached = true
 }
 
 // RemoteMiB returns the total pool memory the allocation borrows.
 func (a *Allocation) RemoteMiB() int64 {
-	var sum int64
-	for _, s := range a.Shares {
-		sum += s.RemoteMiB
-	}
-	return sum
+	a.ensureSums()
+	return a.remoteMiB
 }
 
 // TotalMiB returns the allocation's whole footprint.
 func (a *Allocation) TotalMiB() int64 {
-	var sum int64
-	for _, s := range a.Shares {
-		sum += s.LocalMiB + s.RemoteMiB
+	a.ensureSums()
+	return a.totalMiB
+}
+
+// TouchedPools returns the distinct pools the allocation borrows from,
+// in first-touch share order, cached on first call (it is computed
+// separately from the memory totals because only committed allocations
+// are asked for it, and building the list allocates). Callers must not
+// mutate the slice.
+func (a *Allocation) TouchedPools() []PoolID {
+	if !a.poolsCached {
+		for _, s := range a.Shares {
+			if s.RemoteMiB == 0 {
+				continue
+			}
+			seen := false
+			for _, pid := range a.pools {
+				if pid == s.Pool {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				a.pools = append(a.pools, s.Pool)
+			}
+		}
+		a.poolsCached = true
 	}
-	return sum
+	return a.pools
 }
 
 // RemoteFraction returns RemoteMiB/TotalMiB (0 for an empty alloc).
@@ -104,6 +151,24 @@ type Machine struct {
 	freeNodes int
 	downNodes int
 	allocs    map[int]*Allocation // by job ID
+
+	// Incremental aggregates: maintained by Allocate/Release/
+	// SetDown/SetUp so schedulers never rescan the node array. Every
+	// counter here is cross-checked against a from-scratch
+	// recomputation by CheckInvariants.
+	busyNodes    int
+	usedLocalMiB int64    // sum of UsedLocalMiB over busy nodes
+	usedPoolMiB  int64    // sum of UsedMiB over pools
+	rackFree     []int    // available (not busy, not down) nodes per rack
+	freeBits     []uint64 // bit n set iff nodes[n].Available()
+	remoteShares []int    // per pool: live node shares with RemoteMiB > 0
+
+	// check() scratch, reused across calls so Allocate stays
+	// allocation-free.
+	nodeStamp []int64
+	stampGen  int64
+	poolNeed  []int64
+	poolsHit  []PoolID
 }
 
 // New builds a machine from cfg.
@@ -111,14 +176,22 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	total := cfg.TotalNodes()
 	m := &Machine{
 		cfg:       cfg,
-		nodes:     make([]Node, cfg.TotalNodes()),
-		freeNodes: cfg.TotalNodes(),
+		nodes:     make([]Node, total),
+		freeNodes: total,
 		allocs:    make(map[int]*Allocation),
+		rackFree:  make([]int, cfg.Racks),
+		freeBits:  make([]uint64, (total+63)/64),
+		nodeStamp: make([]int64, total),
 	}
 	for i := range m.nodes {
 		m.nodes[i] = Node{ID: NodeID(i), Rack: i / cfg.NodesPerRack}
+		m.setFree(NodeID(i))
+	}
+	for r := range m.rackFree {
+		m.rackFree[r] = cfg.NodesPerRack
 	}
 	switch cfg.Topology {
 	case TopologyRack:
@@ -129,8 +202,17 @@ func New(cfg Config) (*Machine, error) {
 	case TopologyGlobal:
 		m.pools = []Pool{{ID: 0, CapacityMiB: cfg.PoolMiB, FabricGiBps: cfg.FabricGiBps}}
 	}
+	m.remoteShares = make([]int, len(m.pools))
+	m.poolNeed = make([]int64, len(m.pools))
+	m.poolsHit = make([]PoolID, 0, len(m.pools))
 	return m, nil
 }
+
+// setFree marks node id available in the free bitset.
+func (m *Machine) setFree(id NodeID) { m.freeBits[id>>6] |= 1 << (uint(id) & 63) }
+
+// clearFree marks node id unavailable in the free bitset.
+func (m *Machine) clearFree(id NodeID) { m.freeBits[id>>6] &^= 1 << (uint(id) & 63) }
 
 // MustNew is New for known-valid configs; it panics on error.
 func MustNew(cfg Config) *Machine {
@@ -179,6 +261,51 @@ func (m *Machine) FreeNodes() int { return m.freeNodes }
 // DownNodes returns the number of failed nodes.
 func (m *Machine) DownNodes() int { return m.downNodes }
 
+// BusyNodes returns the number of occupied nodes.
+func (m *Machine) BusyNodes() int { return m.busyNodes }
+
+// RackFreeNodes returns the number of available nodes in rack r
+// without scanning the node array.
+func (m *Machine) RackFreeNodes(r int) int { return m.rackFree[r] }
+
+// FreeInRack calls fn for each available node of rack r in ascending
+// node-ID order, stopping early when fn returns false. Cost is
+// proportional to the free nodes visited, not the rack size.
+func (m *Machine) FreeInRack(r int, fn func(NodeID) bool) {
+	base := r * m.cfg.NodesPerRack
+	m.forEachFree(base, base+m.cfg.NodesPerRack, fn)
+}
+
+// ForEachFree calls fn for every available node in ascending node-ID
+// order, stopping early when fn returns false.
+func (m *Machine) ForEachFree(fn func(NodeID) bool) {
+	m.forEachFree(0, len(m.nodes), fn)
+}
+
+// forEachFree iterates set bits of freeBits in [lo, hi).
+func (m *Machine) forEachFree(lo, hi int, fn func(NodeID) bool) {
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	for w := loWord; w <= hiWord; w++ {
+		word := m.freeBits[w]
+		if w == loWord {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == hiWord && hi&63 != 0 {
+			word &= (uint64(1) << (uint(hi) & 63)) - 1
+		}
+		for word != 0 {
+			id := NodeID(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			if !fn(id) {
+				return
+			}
+		}
+	}
+}
+
 // SetDown marks a free node as failed. Failing a busy node is an
 // engine-level operation: kill and release the occupant first.
 func (m *Machine) SetDown(id NodeID) error {
@@ -195,6 +322,8 @@ func (m *Machine) SetDown(id NodeID) error {
 	n.Down = true
 	m.freeNodes--
 	m.downNodes++
+	m.rackFree[n.Rack]--
+	m.clearFree(id)
 	return nil
 }
 
@@ -210,6 +339,8 @@ func (m *Machine) SetUp(id NodeID) error {
 	n.Down = false
 	m.freeNodes++
 	m.downNodes--
+	m.rackFree[n.Rack]++
+	m.setFree(id)
 	return nil
 }
 
@@ -228,17 +359,24 @@ func (m *Machine) Allocate(a *Allocation) error {
 	if err := m.check(a); err != nil {
 		return err
 	}
+	a.ensureSums()
 	for _, s := range a.Shares {
 		n := &m.nodes[s.Node]
 		n.Busy = a.JobID
 		n.UsedLocalMiB = s.LocalMiB
+		m.clearFree(s.Node)
+		m.rackFree[n.Rack]--
+		m.usedLocalMiB += s.LocalMiB
 		if s.RemoteMiB > 0 {
 			p := &m.pools[s.Pool]
 			p.UsedMiB += s.RemoteMiB
 			p.DemandGiBps += m.shareDemand(s)
+			m.remoteShares[s.Pool]++
+			m.usedPoolMiB += s.RemoteMiB
 		}
 	}
 	m.freeNodes -= len(a.Shares)
+	m.busyNodes += len(a.Shares)
 	m.allocs[a.JobID] = a
 	return nil
 }
@@ -254,16 +392,21 @@ func (m *Machine) check(a *Allocation) error {
 	if _, dup := m.allocs[a.JobID]; dup {
 		return fmt.Errorf("cluster: job %d: already allocated", a.JobID)
 	}
-	poolNeed := make(map[PoolID]int64)
-	seen := make(map[NodeID]bool, len(a.Shares))
+	// Duplicate-node detection via epoch stamps and per-pool need via a
+	// dense scratch slice: O(shares), no allocation.
+	m.stampGen++
+	for _, pid := range m.poolsHit {
+		m.poolNeed[pid] = 0
+	}
+	m.poolsHit = m.poolsHit[:0]
 	for _, s := range a.Shares {
 		if s.Node < 0 || int(s.Node) >= len(m.nodes) {
 			return fmt.Errorf("cluster: job %d: node %d out of range", a.JobID, s.Node)
 		}
-		if seen[s.Node] {
+		if m.nodeStamp[s.Node] == m.stampGen {
 			return fmt.Errorf("cluster: job %d: node %d listed twice", a.JobID, s.Node)
 		}
-		seen[s.Node] = true
+		m.nodeStamp[s.Node] = m.stampGen
 		n := &m.nodes[s.Node]
 		if n.Busy != 0 {
 			return fmt.Errorf("cluster: job %d: node %d busy with job %d", a.JobID, s.Node, n.Busy)
@@ -287,14 +430,17 @@ func (m *Machine) check(a *Allocation) error {
 			if want == NoPool {
 				return fmt.Errorf("cluster: job %d: node %d has no reachable pool", a.JobID, s.Node)
 			}
-			poolNeed[s.Pool] += s.RemoteMiB
+			if m.poolNeed[s.Pool] == 0 {
+				m.poolsHit = append(m.poolsHit, s.Pool)
+			}
+			m.poolNeed[s.Pool] += s.RemoteMiB
 		} else if s.Pool != NoPool {
 			return fmt.Errorf("cluster: job %d: node %d names pool %d without remote memory",
 				a.JobID, s.Node, s.Pool)
 		}
 	}
-	for pid, need := range poolNeed {
-		if free := m.pools[pid].FreeMiB(); need > free {
+	for _, pid := range m.poolsHit {
+		if need, free := m.poolNeed[pid], m.pools[pid].FreeMiB(); need > free {
 			return fmt.Errorf("cluster: job %d: pool %d needs %d MiB, only %d free",
 				a.JobID, pid, need, free)
 		}
@@ -312,16 +458,25 @@ func (m *Machine) Release(jobID int) error {
 		n := &m.nodes[s.Node]
 		n.Busy = 0
 		n.UsedLocalMiB = 0
+		m.setFree(s.Node)
+		m.rackFree[n.Rack]++
+		m.usedLocalMiB -= s.LocalMiB
 		if s.RemoteMiB > 0 {
 			p := &m.pools[s.Pool]
 			p.UsedMiB -= s.RemoteMiB
 			p.DemandGiBps -= m.shareDemand(s)
-			if p.DemandGiBps < 1e-9 {
-				p.DemandGiBps = 0 // absorb float drift at idle
+			m.remoteShares[s.Pool]--
+			m.usedPoolMiB -= s.RemoteMiB
+			// Absorb float drift only once the pool has no remaining
+			// remote users; zeroing while users remain would erase
+			// their live demand.
+			if m.remoteShares[s.Pool] == 0 {
+				p.DemandGiBps = 0
 			}
 		}
 	}
 	m.freeNodes += len(a.Shares)
+	m.busyNodes -= len(a.Shares)
 	delete(m.allocs, jobID)
 	return nil
 }
@@ -359,15 +514,13 @@ type Usage struct {
 }
 
 // Usage returns the current snapshot. Cores are charged as fully used
-// on busy nodes (exclusive allocation).
+// on busy nodes (exclusive allocation). Node-side figures come from the
+// incremental aggregates, so the call is O(pools), not O(nodes).
 func (m *Machine) Usage() Usage {
-	u := Usage{}
-	for i := range m.nodes {
-		if m.nodes[i].Busy != 0 {
-			u.BusyNodes++
-			u.UsedCores += m.cfg.CoresPerNode
-			u.UsedLocal += m.nodes[i].UsedLocalMiB
-		}
+	u := Usage{
+		BusyNodes: m.busyNodes,
+		UsedCores: m.busyNodes * m.cfg.CoresPerNode,
+		UsedLocal: m.usedLocalMiB,
 	}
 	for i := range m.pools {
 		p := &m.pools[i]
@@ -386,28 +539,44 @@ func (m *Machine) Usage() Usage {
 }
 
 // CheckInvariants verifies conservation: per-node and per-pool usage
-// derived from live allocations matches the counters. It is O(machine)
-// and intended for tests and debug builds.
+// derived from live allocations matches the counters, and every
+// incremental aggregate (busy/free counts, per-rack free counts, the
+// free bitset, local/pool usage totals, per-pool remote-share counts,
+// cached allocation sums) matches a from-scratch recomputation. It is
+// O(machine) and intended for tests and debug builds.
 func (m *Machine) CheckInvariants() error {
 	busy := make(map[NodeID]int)
 	poolUsed := make(map[PoolID]int64)
 	poolDemand := make(map[PoolID]float64)
+	poolShares := make(map[PoolID]int)
 	for id, a := range m.allocs {
 		if a.JobID != id {
 			return fmt.Errorf("cluster: alloc map key %d != job id %d", id, a.JobID)
 		}
+		var wantRemote, wantTotal int64
 		for _, s := range a.Shares {
 			if prev, clash := busy[s.Node]; clash {
 				return fmt.Errorf("cluster: node %d shared by jobs %d and %d", s.Node, prev, id)
 			}
 			busy[s.Node] = id
+			wantRemote += s.RemoteMiB
+			wantTotal += s.LocalMiB + s.RemoteMiB
 			if s.RemoteMiB > 0 {
 				poolUsed[s.Pool] += s.RemoteMiB
 				poolDemand[s.Pool] += m.shareDemand(s)
+				poolShares[s.Pool]++
 			}
+		}
+		if got := a.RemoteMiB(); got != wantRemote {
+			return fmt.Errorf("cluster: job %d cached remote=%d, shares say %d", id, got, wantRemote)
+		}
+		if got := a.TotalMiB(); got != wantTotal {
+			return fmt.Errorf("cluster: job %d cached total=%d, shares say %d", id, got, wantTotal)
 		}
 	}
 	free, down := 0, 0
+	var usedLocal int64
+	rackFree := make([]int, m.cfg.Racks)
 	for i := range m.nodes {
 		n := &m.nodes[i]
 		if want := busy[n.ID]; want != n.Busy {
@@ -419,13 +588,20 @@ func (m *Machine) CheckInvariants() error {
 		if n.Down {
 			down++
 		}
+		if n.Busy != 0 {
+			usedLocal += n.UsedLocalMiB
+		}
 		if n.Busy == 0 {
 			if !n.Down {
 				free++
+				rackFree[n.Rack]++
 			}
 			if n.UsedLocalMiB != 0 {
 				return fmt.Errorf("cluster: free node %d has %d MiB charged", n.ID, n.UsedLocalMiB)
 			}
+		}
+		if inBits := m.freeBits[i>>6]&(1<<(uint(i)&63)) != 0; inBits != n.Available() {
+			return fmt.Errorf("cluster: node %d free bit=%v, available=%v", n.ID, inBits, n.Available())
 		}
 	}
 	if free != m.freeNodes {
@@ -434,6 +610,18 @@ func (m *Machine) CheckInvariants() error {
 	if down != m.downNodes {
 		return fmt.Errorf("cluster: downNodes=%d, counted %d", m.downNodes, down)
 	}
+	if want := len(m.nodes) - free - down; want != m.busyNodes {
+		return fmt.Errorf("cluster: busyNodes=%d, counted %d", m.busyNodes, want)
+	}
+	if usedLocal != m.usedLocalMiB {
+		return fmt.Errorf("cluster: usedLocalMiB=%d, counted %d", m.usedLocalMiB, usedLocal)
+	}
+	for r, n := range rackFree {
+		if n != m.rackFree[r] {
+			return fmt.Errorf("cluster: rack %d free=%d, counted %d", r, m.rackFree[r], n)
+		}
+	}
+	var usedPool int64
 	for i := range m.pools {
 		p := &m.pools[i]
 		if p.UsedMiB != poolUsed[p.ID] {
@@ -445,6 +633,17 @@ func (m *Machine) CheckInvariants() error {
 		if diff := p.DemandGiBps - poolDemand[p.ID]; diff > 1e-6 || diff < -1e-6 {
 			return fmt.Errorf("cluster: pool %d demand=%g, allocations say %g", p.ID, p.DemandGiBps, poolDemand[p.ID])
 		}
+		if m.remoteShares[p.ID] != poolShares[p.ID] {
+			return fmt.Errorf("cluster: pool %d remoteShares=%d, allocations say %d",
+				p.ID, m.remoteShares[p.ID], poolShares[p.ID])
+		}
+		if m.remoteShares[p.ID] == 0 && p.DemandGiBps != 0 {
+			return fmt.Errorf("cluster: pool %d idle but demand=%g", p.ID, p.DemandGiBps)
+		}
+		usedPool += p.UsedMiB
+	}
+	if usedPool != m.usedPoolMiB {
+		return fmt.Errorf("cluster: usedPoolMiB=%d, counted %d", m.usedPoolMiB, usedPool)
 	}
 	return nil
 }

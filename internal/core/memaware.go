@@ -47,6 +47,17 @@ type MemAware struct {
 	// Shape spreads wide spilling jobs across racks to flatten fabric
 	// demand.
 	Shape bool
+
+	// idle caches the idle machine Feasible's admission probe plans
+	// against, so job arrival is not O(machine). Plan never mutates its
+	// machine, so the cache stays idle for the life of the policy.
+	idle    *cluster.Machine
+	idleCfg cluster.Config
+
+	// Per-call scratch reused across Plan invocations (the policy is
+	// single-simulation state, like the machine it schedules).
+	viewScratch  []rackView
+	quotaScratch []int
 }
 
 // New returns the policy with the paper's default knobs: cap 1.5,
@@ -88,13 +99,26 @@ func (p *MemAware) Feasible(job *workload.Job, m *cluster.Machine, model memmode
 		// best case, i.e. on a completely idle machine with this
 		// placer's own placement strategy; evaluating Plan there makes
 		// feasibility and admission consistent by construction.
-		idle, err := cluster.New(m.Config())
-		if err != nil {
+		idle := p.idleMachine(m.Config())
+		if idle == nil {
 			return false
 		}
 		return p.Plan(job, idle, model) != nil
 	}
 	return true
+}
+
+// idleMachine returns a cached idle machine matching cfg, building one
+// only when the configuration changes (in practice: once per run).
+func (p *MemAware) idleMachine(cfg cluster.Config) *cluster.Machine {
+	if p.idle == nil || p.idleCfg != cfg {
+		m, err := cluster.New(cfg)
+		if err != nil {
+			return nil
+		}
+		p.idle, p.idleCfg = m, cfg
+	}
+	return p.idle
 }
 
 // PlanDilation implements sched.Placer: the dilation of the job's
@@ -145,13 +169,55 @@ type rackView struct {
 	congest   float64
 }
 
-func rackViews(m *cluster.Machine) []rackView {
+// lessPoolPoor orders racks pool-poor first (local jobs consume these,
+// preserving pool-rich racks for spilling jobs).
+func lessPoolPoor(a, b *rackView) bool {
+	if a.freePool != b.freePool {
+		return a.freePool < b.freePool
+	}
+	return a.rack < b.rack
+}
+
+// lessCoolRich orders racks for spilling jobs: least congested first,
+// then most free pool, then rack index.
+func lessCoolRich(a, b *rackView) bool {
+	if a.congest != b.congest {
+		return a.congest < b.congest
+	}
+	if a.freePool != b.freePool {
+		return a.freePool > b.freePool
+	}
+	return a.rack < b.rack
+}
+
+// sortViews sorts views stably by less. Rack counts are small, so a
+// direct insertion sort beats the reflection machinery of
+// sort.SliceStable in the planning hot path; large machines fall back
+// to the library sort.
+func sortViews(v []rackView, less func(a, b *rackView) bool) {
+	if len(v) > 64 {
+		sort.SliceStable(v, func(i, j int) bool { return less(&v[i], &v[j]) })
+		return
+	}
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && less(&v[j], &v[j-1]); j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// rackViews rebuilds the per-rack state from the machine's incremental
+// aggregates in O(racks); no node is visited. The returned slice is
+// scratch owned by the policy and valid until the next call.
+func (p *MemAware) rackViews(m *cluster.Machine) []rackView {
 	cfg := m.Config()
-	nodes := m.Nodes()
 	pools := m.Pools()
-	views := make([]rackView, cfg.Racks)
+	if cap(p.viewScratch) < cfg.Racks {
+		p.viewScratch = make([]rackView, cfg.Racks)
+	}
+	views := p.viewScratch[:cfg.Racks]
 	for r := 0; r < cfg.Racks; r++ {
-		v := rackView{rack: r, pool: cluster.NoPool}
+		v := rackView{rack: r, pool: cluster.NoPool, freeNodes: m.RackFreeNodes(r)}
 		switch cfg.Topology {
 		case cluster.TopologyRack:
 			v.pool = cluster.PoolID(r)
@@ -162,12 +228,6 @@ func rackViews(m *cluster.Machine) []rackView {
 			v.freePool = pools[v.pool].FreeMiB()
 			v.congest = pools[v.pool].Congestion()
 		}
-		base := r * cfg.NodesPerRack
-		for i := 0; i < cfg.NodesPerRack; i++ {
-			if nodes[base+i].Available() {
-				v.freeNodes++
-			}
-		}
 		views[r] = v
 	}
 	return views
@@ -176,29 +236,21 @@ func rackViews(m *cluster.Machine) []rackView {
 // planLocal places an all-local job. With Balance, pool-poor racks are
 // consumed first so pool-rich racks stay available to spilling jobs.
 func (p *MemAware) planLocal(job *workload.Job, m *cluster.Machine) *sched.Plan {
-	views := rackViews(m)
+	views := p.rackViews(m)
 	if p.Balance {
-		sort.SliceStable(views, func(i, j int) bool {
-			if views[i].freePool != views[j].freePool {
-				return views[i].freePool < views[j].freePool
-			}
-			return views[i].rack < views[j].rack
-		})
+		sortViews(views, lessPoolPoor)
 	}
-	cfg := m.Config()
-	nodes := m.Nodes()
 	shares := make([]cluster.NodeShare, 0, job.Nodes)
 	for _, v := range views {
-		base := v.rack * cfg.NodesPerRack
-		for i := 0; i < cfg.NodesPerRack && len(shares) < job.Nodes; i++ {
-			n := &nodes[base+i]
-			if !n.Available() {
-				continue
-			}
-			shares = append(shares, cluster.NodeShare{
-				Node: n.ID, LocalMiB: job.MemPerNode, Pool: cluster.NoPool,
-			})
+		if v.freeNodes == 0 {
+			continue
 		}
+		m.FreeInRack(v.rack, func(id cluster.NodeID) bool {
+			shares = append(shares, cluster.NodeShare{
+				Node: id, LocalMiB: job.MemPerNode, Pool: cluster.NoPool,
+			})
+			return len(shares) < job.Nodes
+		})
 		if len(shares) == job.Nodes {
 			return &sched.Plan{
 				Alloc:    &cluster.Allocation{JobID: job.ID, Shares: shares},
@@ -214,7 +266,7 @@ func (p *MemAware) planLocal(job *workload.Job, m *cluster.Machine) *sched.Plan 
 // the job is optionally spread across them (Shape).
 func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remote int64) *cluster.Allocation {
 	cfg := m.Config()
-	views := rackViews(m)
+	views := p.rackViews(m)
 	// Keep only racks that can host at least one spilling node.
 	eligible := views[:0]
 	for _, v := range views {
@@ -226,19 +278,17 @@ func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remot
 		return nil
 	}
 	if p.Balance {
-		sort.SliceStable(eligible, func(i, j int) bool {
-			if eligible[i].congest != eligible[j].congest {
-				return eligible[i].congest < eligible[j].congest
-			}
-			if eligible[i].freePool != eligible[j].freePool {
-				return eligible[i].freePool > eligible[j].freePool
-			}
-			return eligible[i].rack < eligible[j].rack
-		})
+		sortViews(eligible, lessCoolRich)
 	}
 
 	// Per-rack quota: greedy fill, or an even spread when shaping.
-	quota := make([]int, len(eligible))
+	if cap(p.quotaScratch) < len(eligible) {
+		p.quotaScratch = make([]int, len(eligible))
+	}
+	quota := p.quotaScratch[:len(eligible)]
+	for i := range quota {
+		quota[i] = 0
+	}
 	remaining := job.Nodes
 	if p.Shape && len(eligible) > 1 {
 		for remaining > 0 {
@@ -290,21 +340,19 @@ func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remot
 		}
 	}
 
-	nodes := m.Nodes()
 	shares := make([]cluster.NodeShare, 0, job.Nodes)
 	for i, v := range eligible {
-		base := v.rack * cfg.NodesPerRack
+		if quota[i] == 0 {
+			continue
+		}
 		taken := 0
-		for k := 0; k < cfg.NodesPerRack && taken < quota[i]; k++ {
-			n := &nodes[base+k]
-			if !n.Available() {
-				continue
-			}
+		m.FreeInRack(v.rack, func(id cluster.NodeID) bool {
 			shares = append(shares, cluster.NodeShare{
-				Node: n.ID, LocalMiB: local, RemoteMiB: remote, Pool: v.pool,
+				Node: id, LocalMiB: local, RemoteMiB: remote, Pool: v.pool,
 			})
 			taken++
-		}
+			return taken < quota[i]
+		})
 		if taken < quota[i] {
 			return nil // machine changed underneath us: planner bug
 		}

@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"dismem/internal/cluster"
 	"dismem/internal/memmodel"
@@ -69,7 +68,7 @@ type Batch struct {
 // genuine resource block (an EASY head candidate) rather than a policy
 // choice to skip this job for now.
 func (b *Batch) tryPlan(ctx *Context, job *workload.Job) (plan *Plan, blocking bool) {
-	if b.MaxPerUser > 0 && b.runningOfUser(ctx, job.User) >= b.MaxPerUser {
+	if b.MaxPerUser > 0 && ctx.RunningOfUser(job.User) >= b.MaxPerUser {
 		return nil, false
 	}
 	p := b.Placer.Plan(job, ctx.Machine, ctx.Model)
@@ -80,16 +79,6 @@ func (b *Batch) tryPlan(ctx *Context, job *workload.Job) (plan *Plan, blocking b
 		return nil, false
 	}
 	return p, false
-}
-
-func (b *Batch) runningOfUser(ctx *Context, user int) int {
-	n := 0
-	for i := range ctx.Running {
-		if ctx.Running[i].Job.User == user {
-			n++
-		}
-	}
-	return n
 }
 
 // Name implements Scheduler.
@@ -194,15 +183,7 @@ func (b *Batch) headReservation(ctx *Context, head *workload.Job) (shadow int64,
 		return ctx.Now, freeNodes - needNodes, freePool - needPool
 	}
 
-	running := append([]RunningJob(nil), ctx.Running...)
-	sort.Slice(running, func(i, j int) bool {
-		ei, ej := running[i].GuaranteedEnd(), running[j].GuaranteedEnd()
-		if ei != ej {
-			return ei < ej
-		}
-		return running[i].Job.ID < running[j].Job.ID
-	})
-	for _, r := range running {
+	for _, r := range ctx.ByEnd() {
 		freeNodes += len(r.Alloc.Shares)
 		freePool += r.Alloc.RemoteMiB()
 		if freeNodes >= needNodes && freePool >= needPool {
@@ -228,8 +209,10 @@ func (b *Batch) passConservative(ctx *Context, q []*workload.Job) []Dispatch {
 	for _, p := range ctx.Machine.Pools() {
 		freePool += p.FreeMiB()
 	}
+	// Feeding releases in ascending end order keeps every AddRelease an
+	// O(1) append to the profile tail instead of a mid-slice insert.
 	prof := NewProfile(ctx.Now, freeNodes, freePool)
-	for _, r := range ctx.Running {
+	for _, r := range ctx.ByEnd() {
 		prof.AddRelease(r.GuaranteedEnd(), len(r.Alloc.Shares), r.Alloc.RemoteMiB())
 	}
 
@@ -238,7 +221,7 @@ func (b *Batch) passConservative(ctx *Context, q []*workload.Job) []Dispatch {
 		if k >= maxRes {
 			break
 		}
-		if b.MaxPerUser > 0 && b.runningOfUser(ctx, job.User) >= b.MaxPerUser {
+		if b.MaxPerUser > 0 && ctx.RunningOfUser(job.User) >= b.MaxPerUser {
 			continue // throttled: try again next pass, no reservation
 		}
 		needPool := RemoteNeed(job, ctx.Machine)

@@ -7,6 +7,8 @@
 package sched
 
 import (
+	"sort"
+
 	"dismem/internal/cluster"
 	"dismem/internal/memmodel"
 	"dismem/internal/workload"
@@ -42,6 +44,52 @@ type Context struct {
 	// placed with predicted dilation D gets limit = ceil(estimate*D)
 	// instead of estimate, and planners must reserve accordingly.
 	ExtendLimit bool
+	// ByEndFn, when set by the engine, returns Running sorted by
+	// (GuaranteedEnd, JobID) from incrementally maintained state, so a
+	// pass never re-sorts the running set. ByEnd falls back to sorting
+	// a copy when it is nil.
+	ByEndFn func() []RunningJob
+
+	userRunning map[int]int
+	byEnd       []RunningJob
+	byEndValid  bool
+}
+
+// RunningOfUser returns how many jobs of user are in the Running
+// snapshot (jobs dispatched during the current pass are not counted).
+// The per-user counts are built once per pass, so per-job throttling
+// checks are O(1) instead of O(running).
+func (c *Context) RunningOfUser(user int) int {
+	if c.userRunning == nil {
+		c.userRunning = make(map[int]int, len(c.Running))
+		for i := range c.Running {
+			c.userRunning[c.Running[i].Job.User]++
+		}
+	}
+	return c.userRunning[user]
+}
+
+// ByEnd returns the running jobs sorted by (GuaranteedEnd, JobID), the
+// order reservation planners consume releases in. The view is computed
+// at most once per Context.
+func (c *Context) ByEnd() []RunningJob {
+	if c.byEndValid {
+		return c.byEnd
+	}
+	if c.ByEndFn != nil {
+		c.byEnd = c.ByEndFn()
+	} else {
+		c.byEnd = append([]RunningJob(nil), c.Running...)
+		sort.Slice(c.byEnd, func(i, j int) bool {
+			ei, ej := c.byEnd[i].GuaranteedEnd(), c.byEnd[j].GuaranteedEnd()
+			if ei != ej {
+				return ei < ej
+			}
+			return c.byEnd[i].Job.ID < c.byEnd[j].Job.ID
+		})
+	}
+	c.byEndValid = true
+	return c.byEnd
 }
 
 // Limit returns the wall-clock limit the engine will assign to job if

@@ -41,21 +41,38 @@ func PredictDilation(a *cluster.Allocation, m *cluster.Machine, model memmodel.M
 	if model == nil || a.RemoteMiB() == 0 {
 		return 1
 	}
-	// Aggregate the allocation's added demand per pool.
-	added := make(map[cluster.PoolID]float64)
+	// Aggregate the allocation's added demand per pool. Allocations
+	// touch few pools, so a linear scan over small stack-backed slices
+	// beats a map and keeps the hot path allocation-free.
+	trafficPerNode := m.Config().TrafficGiBpsPerNode
+	var pidsArr [16]cluster.PoolID
+	var addedArr [16]float64
+	pids, added := pidsArr[:0], addedArr[:0]
 	for _, s := range a.Shares {
-		if s.RemoteMiB > 0 {
-			tot := s.LocalMiB + s.RemoteMiB
-			added[s.Pool] += m.Config().TrafficGiBpsPerNode * float64(s.RemoteMiB) / float64(tot)
+		if s.RemoteMiB == 0 {
+			continue
+		}
+		tot := s.LocalMiB + s.RemoteMiB
+		d := trafficPerNode * float64(s.RemoteMiB) / float64(tot)
+		k := 0
+		for ; k < len(pids); k++ {
+			if pids[k] == s.Pool {
+				added[k] += d
+				break
+			}
+		}
+		if k == len(pids) {
+			pids = append(pids, s.Pool)
+			added = append(added, d)
 		}
 	}
 	worst := 0.0
-	for pid, d := range added {
+	for k, pid := range pids {
 		p, ok := m.Pool(pid)
 		if !ok || p.FabricGiBps <= 0 {
 			continue
 		}
-		if c := (p.DemandGiBps + d) / p.FabricGiBps; c > worst {
+		if c := (p.DemandGiBps + added[k]) / p.FabricGiBps; c > worst {
 			worst = c
 		}
 	}
@@ -99,21 +116,19 @@ func (LocalOnly) Plan(job *workload.Job, m *cluster.Machine, _ memmodel.Model) *
 		return nil
 	}
 	shares := make([]cluster.NodeShare, 0, job.Nodes)
-	for _, n := range m.Nodes() {
-		if !n.Available() {
-			continue
-		}
+	m.ForEachFree(func(id cluster.NodeID) bool {
 		shares = append(shares, cluster.NodeShare{
-			Node: n.ID, LocalMiB: job.MemPerNode, Pool: cluster.NoPool,
+			Node: id, LocalMiB: job.MemPerNode, Pool: cluster.NoPool,
 		})
-		if len(shares) == job.Nodes {
-			return &Plan{
-				Alloc:    &cluster.Allocation{JobID: job.ID, Shares: shares},
-				Dilation: 1,
-			}
-		}
+		return len(shares) < job.Nodes
+	})
+	if len(shares) < job.Nodes {
+		return nil
 	}
-	return nil
+	return &Plan{
+		Alloc:    &cluster.Allocation{JobID: job.ID, Shares: shares},
+		Dilation: 1,
+	}
 }
 
 // Spill is the disaggregation-oblivious policy: fill local DRAM first
@@ -208,24 +223,25 @@ func (Spill) Plan(job *workload.Job, m *cluster.Machine, model memmodel.Model) *
 		return racks[i].rack < racks[j].rack
 	})
 
-	nodes := m.Nodes()
 	shares := make([]cluster.NodeShare, 0, job.Nodes)
-	poolLeft := make(map[cluster.PoolID]int64, len(pools))
-	for _, p := range pools {
-		poolLeft[p.ID] = p.FreeMiB()
+	poolLeft := make([]int64, len(pools))
+	for i, p := range pools {
+		poolLeft[i] = p.FreeMiB()
 	}
 	for _, ri := range racks {
-		base := ri.rack * cfg.NodesPerRack
-		for i := 0; i < cfg.NodesPerRack && len(shares) < job.Nodes; i++ {
-			n := &nodes[base+i]
-			if !n.Available() || poolLeft[ri.pool] < remote {
-				continue
+		if poolLeft[ri.pool] < remote {
+			continue
+		}
+		m.FreeInRack(ri.rack, func(id cluster.NodeID) bool {
+			if poolLeft[ri.pool] < remote {
+				return false
 			}
 			poolLeft[ri.pool] -= remote
 			shares = append(shares, cluster.NodeShare{
-				Node: n.ID, LocalMiB: local, RemoteMiB: remote, Pool: ri.pool,
+				Node: id, LocalMiB: local, RemoteMiB: remote, Pool: ri.pool,
 			})
-		}
+			return len(shares) < job.Nodes
+		})
 		if len(shares) == job.Nodes {
 			break
 		}

@@ -108,9 +108,16 @@ type Engine struct {
 	m   *cluster.Machine
 	rec *metrics.Recorder
 
-	queue     []*workload.Job
-	running   map[int]*runningState
-	runOrder  []int // running job IDs in dispatch order (determinism)
+	queue   []*workload.Job
+	running map[int]*runningState
+	// runIDs and endOrder are the running job IDs under two
+	// incrementally maintained orders: ascending job ID (deterministic
+	// re-dilation order) and ascending (GuaranteedEnd, ID) (the order
+	// reservation planners consume releases in). Both are updated by
+	// binary-search insert/remove at dispatch and termination instead
+	// of being re-derived per pass.
+	runIDs    []int
+	endOrder  []int
 	reDilate  bool
 	passQueue bool
 
@@ -221,6 +228,7 @@ func (e *Engine) pass(now int64) {
 		Queue:       e.queue,
 		Running:     e.runningSnapshot(),
 		ExtendLimit: e.cfg.ExtendLimit,
+		ByEndFn:     e.endSnapshot,
 	}
 	e.rec.Observe(now, e.m.Usage()) // close interval at pre-dispatch usage
 	dispatches := e.cfg.Scheduler.Pass(ctx)
@@ -244,14 +252,71 @@ func (e *Engine) pass(now int64) {
 }
 
 func (e *Engine) runningSnapshot() []sched.RunningJob {
-	out := make([]sched.RunningJob, 0, len(e.runOrder))
-	for _, id := range e.runOrder {
+	return e.snapshot(e.runIDs)
+}
+
+// endSnapshot materialises the running set in (GuaranteedEnd, ID)
+// order; it backs sched.Context.ByEnd, so it is only built for passes
+// that plan reservations.
+func (e *Engine) endSnapshot() []sched.RunningJob {
+	return e.snapshot(e.endOrder)
+}
+
+func (e *Engine) snapshot(ids []int) []sched.RunningJob {
+	out := make([]sched.RunningJob, 0, len(ids))
+	for _, id := range ids {
 		rs := e.running[id]
 		out = append(out, sched.RunningJob{
 			Job: rs.job, Start: rs.start, Limit: rs.limit, Alloc: rs.alloc,
 		})
 	}
 	return out
+}
+
+// guaranteedEnd returns the latest instant job id holds resources.
+func (e *Engine) guaranteedEnd(id int) int64 {
+	rs := e.running[id]
+	return rs.start + rs.limit
+}
+
+// insertRunning adds id (already present in e.running) to both
+// maintained orders: O(log running) search plus one slice shift each.
+func (e *Engine) insertRunning(id int) {
+	i := sort.SearchInts(e.runIDs, id)
+	e.runIDs = append(e.runIDs, 0)
+	copy(e.runIDs[i+1:], e.runIDs[i:])
+	e.runIDs[i] = id
+
+	end := e.guaranteedEnd(id)
+	j := sort.Search(len(e.endOrder), func(k int) bool {
+		o := e.endOrder[k]
+		oe := e.guaranteedEnd(o)
+		return oe > end || (oe == end && o > id)
+	})
+	e.endOrder = append(e.endOrder, 0)
+	copy(e.endOrder[j+1:], e.endOrder[j:])
+	e.endOrder[j] = id
+}
+
+// removeRunning drops id from both orders; it must still be present in
+// e.running so the end-order search can compare ends.
+func (e *Engine) removeRunning(id int) {
+	i := sort.SearchInts(e.runIDs, id)
+	if i >= len(e.runIDs) || e.runIDs[i] != id {
+		panic(fmt.Sprintf("sim: job %d missing from runIDs", id))
+	}
+	e.runIDs = append(e.runIDs[:i], e.runIDs[i+1:]...)
+
+	end := e.guaranteedEnd(id)
+	j := sort.Search(len(e.endOrder), func(k int) bool {
+		o := e.endOrder[k]
+		oe := e.guaranteedEnd(o)
+		return oe > end || (oe == end && o >= id)
+	})
+	if j >= len(e.endOrder) || e.endOrder[j] != id {
+		panic(fmt.Sprintf("sim: job %d missing from endOrder", id))
+	}
+	e.endOrder = append(e.endOrder[:j], e.endOrder[j+1:]...)
 }
 
 // start registers a dispatched job (its allocation is already committed
@@ -275,7 +340,7 @@ func (e *Engine) start(now int64, d sched.Dispatch) {
 		lastUpdate: now,
 	}
 	e.running[job.ID] = rs
-	e.runOrder = append(e.runOrder, job.ID)
+	e.insertRunning(job.ID)
 	e.scheduleEnd(rs)
 }
 
@@ -286,13 +351,8 @@ func (e *Engine) currentDilation(a *cluster.Allocation) float64 {
 		return 1
 	}
 	worst := 0.0
-	seen := make(map[cluster.PoolID]bool, 2)
-	for _, s := range a.Shares {
-		if s.RemoteMiB == 0 || seen[s.Pool] {
-			continue
-		}
-		seen[s.Pool] = true
-		if p, ok := e.m.Pool(s.Pool); ok {
+	for _, pid := range a.TouchedPools() {
+		if p, ok := e.m.Pool(pid); ok {
 			if c := p.Congestion(); c > worst {
 				worst = c
 			}
@@ -338,13 +398,8 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 	if err := e.m.Release(jobID); err != nil {
 		panic(fmt.Sprintf("sim: releasing job %d: %v", jobID, err))
 	}
+	e.removeRunning(jobID)
 	delete(e.running, jobID)
-	for i, id := range e.runOrder {
-		if id == jobID {
-			e.runOrder = append(e.runOrder[:i], e.runOrder[i+1:]...)
-			break
-		}
-	}
 	job := rs.job
 	if byFailure {
 		e.failKills++
@@ -445,13 +500,11 @@ func (e *Engine) afterChange(now int64) {
 	if !e.reDilate {
 		return
 	}
-	// Deterministic order: ascending job ID.
-	ids := make([]int, 0, len(e.running))
-	for id := range e.running {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	// Deterministic order: ascending job ID. runIDs is maintained in
+	// exactly that order, so no per-call collection or sort is needed
+	// (same-instant DES events fire in scheduling order, so the order
+	// end events are rescheduled in is behavior-relevant).
+	for _, id := range e.runIDs {
 		rs := e.running[id]
 		if rs.alloc.RemoteMiB() == 0 {
 			continue
