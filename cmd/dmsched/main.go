@@ -6,6 +6,12 @@
 //
 //	dmsched -policy memaware -local 64 -pool 4096 -model linear:0.5
 //	dmsched -swf trace.swf -node-cores 32 -policy easy-oblivious
+//
+// Beyond the registered policy names, -spec accepts a composable
+// policy description, and -progress streams live simulation state to
+// stderr while the run is in flight:
+//
+//	dmsched -spec "order=sjf backfill=easy placer=memaware cap=3" -progress 6h
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dismem"
 	"dismem/internal/config"
@@ -22,6 +29,8 @@ import (
 func main() {
 	var (
 		policy   = flag.String("policy", "memaware", "scheduling policy: "+strings.Join(dismem.Policies(), ", "))
+		specFlag = flag.String("spec", "", `composable policy spec, e.g. "order=sjf placer=memaware cap=3" (overrides -policy)`)
+		progress = flag.Duration("progress", 0, "print live progress to stderr every given span of simulated time (e.g. 6h; 0 = off)")
 		model    = flag.String("model", "linear:0.5", "memory model spec (linear:b | step:b0,b | bandwidth:b,g)")
 		topology = flag.String("topology", "rack", "pool topology: none | rack | global")
 		racks    = flag.Int("racks", 16, "racks")
@@ -49,7 +58,10 @@ func main() {
 		return
 	}
 	if *cfgPath != "" {
-		runFromConfig(*cfgPath, *verbose)
+		if *specFlag != "" {
+			fatalf("-spec cannot be combined with -config (set the policy in the config file)")
+		}
+		runFromConfig(*cfgPath, *verbose, *progress)
 		return
 	}
 
@@ -100,21 +112,59 @@ func main() {
 		fmt.Println()
 	}
 
-	res, err := dismem.Simulate(dismem.Options{
+	label := *policy
+	opts := dismem.Options{
 		Machine:    mc,
 		Policy:     *policy,
 		Model:      *model,
 		Workload:   wl,
 		StrictKill: *strict,
-	})
+	}
+	if *specFlag != "" {
+		s, err := dismem.ParsePolicy(*specFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.SchedulerImpl = s
+		label = s.Name()
+	}
+	res, err := runSim(opts, *progress)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printReport(*policy, res)
+	printReport(label, res)
+}
+
+// runSim drives the simulation through the steppable handle, streaming
+// live progress to stderr when requested.
+func runSim(opts dismem.Options, progressEvery time.Duration) (*dismem.Result, error) {
+	if progressEvery > 0 {
+		opts.Observer = progressPrinter{}
+		opts.SampleEvery = int64(progressEvery / time.Second)
+		if opts.SampleEvery < 1 {
+			opts.SampleEvery = 1 // sub-second flags still mean "show progress"
+		}
+	}
+	h, err := dismem.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return h.Run()
+}
+
+// progressPrinter streams one status line per sample tick.
+type progressPrinter struct{ dismem.NopObserver }
+
+// OnSample implements dismem.Observer.
+func (progressPrinter) OnSample(s dismem.Sample) {
+	fmt.Fprintf(os.Stderr,
+		"t=%7.1fh  queued %4d  running %4d  done %6d  busy %3d nodes  pool %5.1f%%  %d events\n",
+		float64(s.Now)/3600, s.QueueDepth, s.Running, s.Done,
+		s.Usage.BusyNodes, 100*s.Usage.MaxPoolUtil, s.Events)
 }
 
 // runFromConfig executes a JSON-configured experiment.
-func runFromConfig(path string, verbose bool) {
+func runFromConfig(path string, verbose bool, progress time.Duration) {
 	exp, err := config.Load(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -154,14 +204,14 @@ func runFromConfig(path string, verbose bool) {
 		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
 		fmt.Println()
 	}
-	res, err := dismem.Simulate(dismem.Options{
+	res, err := runSim(dismem.Options{
 		Machine:    mc,
 		Policy:     exp.Policy,
 		Model:      exp.Model,
 		Workload:   wl,
 		StrictKill: exp.StrictKill,
 		Failures:   exp.FailureConfig(),
-	})
+	}, progress)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -9,7 +9,7 @@
 // the disaggregation-aware policy, and the metrics the paper's
 // evaluation reports.
 //
-// Quick start:
+// Quick start — fire and forget:
 //
 //	wl := dismem.SyntheticWorkload(5000, 1)
 //	res, err := dismem.Simulate(dismem.Options{
@@ -18,6 +18,32 @@
 //		Model:    "linear:0.5",
 //		Workload: wl,
 //	})
+//
+// Policies are composable specs, not just registered names: any
+// combination of queue order, backfill discipline, placement policy and
+// chassis knobs can be written inline,
+//
+//	res, err := dismem.Simulate(dismem.Options{
+//		Policy:   "order=sjf backfill=easy placer=memaware cap=3 patience=1800",
+//		Workload: wl,
+//	})
+//
+// and every legacy name ("memaware", "easy-local", ...) is an alias
+// resolved through the same grammar (see ParsePolicy).
+//
+// For observation and control while a run is in flight, New returns a
+// steppable handle instead of a finished result:
+//
+//	s, err := dismem.New(dismem.Options{Policy: "memaware", Workload: wl})
+//	for !s.Done() {
+//		s.RunUntil(s.Now() + 3600) // advance one simulated hour
+//		fmt.Println(s.Now(), s.QueueDepth(), s.Usage().BusyNodes)
+//	}
+//	res, err := s.Result()
+//
+// Observer hooks (Options.Observer, Options.SampleEvery) deliver
+// per-dispatch, per-termination, per-pass and periodic-sample callbacks
+// without polling.
 //
 // See the examples directory for complete programs and DESIGN.md for
 // the architecture and experiment inventory.
@@ -33,6 +59,7 @@ import (
 	"dismem/internal/metrics"
 	"dismem/internal/sched"
 	"dismem/internal/sim"
+	"dismem/internal/spec"
 	"dismem/internal/workload"
 )
 
@@ -58,10 +85,23 @@ type (
 	Result = sim.Result
 	// Scheduler is the scheduling-policy interface.
 	Scheduler = sched.Scheduler
+	// Placer is the placement-policy interface schedulers compose; see
+	// RegisterPlacer.
+	Placer = sched.Placer
 	// MemoryModel maps remote fraction and congestion to dilation.
 	MemoryModel = memmodel.Model
 	// FailureConfig parameterises node failure injection.
 	FailureConfig = sim.FailureConfig
+	// Observer receives engine lifecycle callbacks (see Options).
+	// Implementations must be read-only w.r.t. engine state.
+	Observer = sim.Observer
+	// NopObserver is an embeddable no-op Observer.
+	NopObserver = sim.NopObserver
+	// Sample is the live-state snapshot observers and the Simulation
+	// handle expose.
+	Sample = sim.Sample
+	// Usage is the machine occupancy snapshot.
+	Usage = cluster.Usage
 )
 
 // Topology constants for MachineConfig.
@@ -104,11 +144,15 @@ func LublinWorkload(n int, seed uint64, mc MachineConfig) (*Workload, error) {
 // "step:0.1,0.5" or "bandwidth:0.5,1".
 func ParseModel(spec string) (MemoryModel, error) { return memmodel.Parse(spec) }
 
-// Options configures Simulate.
+// Options configures a simulation (see New and Simulate).
 type Options struct {
 	// Machine is the machine configuration (DefaultMachine if zero).
+	// Non-zero configurations are validated; nonsense (negative DRAM,
+	// zero cores) is an error, not a silent default.
 	Machine MachineConfig
-	// Policy is a registered policy name; see Policies. Ignored when
+	// Policy selects the scheduler: a legacy policy name (see
+	// Policies), a registered custom policy (see RegisterPolicy), or a
+	// composable spec string (see ParsePolicy). Ignored when
 	// SchedulerImpl is set.
 	Policy string
 	// SchedulerImpl overrides Policy with a concrete scheduler.
@@ -128,129 +172,122 @@ type Options struct {
 	Failures *FailureConfig
 	// CheckInvariants enables O(machine) state validation per event.
 	CheckInvariants bool
+	// Observer optionally receives lifecycle callbacks (dispatches,
+	// terminations, pass ends, periodic samples). Callbacks must be
+	// read-only w.r.t. engine state; a nil Observer costs nothing.
+	Observer Observer
+	// SampleEvery is the period, in simulated seconds, of periodic
+	// Observer.OnSample ticks (0 = no sampling).
+	SampleEvery int64
 }
 
-// Simulate runs one simulation to completion.
+// Simulate runs one simulation to completion: a convenience wrapper
+// over New for callers that need no in-flight observation.
 func Simulate(o Options) (*Result, error) {
-	if o.Workload == nil {
-		return nil, fmt.Errorf("dismem: nil workload")
+	s, err := New(o)
+	if err != nil {
+		return nil, err
 	}
-	mc := o.Machine
-	if mc.Racks == 0 {
-		mc = DefaultMachine()
-	}
-	model := o.ModelImpl
-	if model == nil {
-		spec := o.Model
-		if spec == "" {
-			spec = "linear:0.5"
-		}
-		var err error
-		model, err = memmodel.Parse(spec)
-		if err != nil {
-			return nil, err
-		}
-	}
-	s := o.SchedulerImpl
-	if s == nil {
-		var err error
-		s, err = NewScheduler(o.Policy)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return sim.Run(sim.Config{
-		Machine:         mc,
-		Model:           model,
-		Scheduler:       s,
-		ExtendLimit:     !o.StrictKill,
-		CheckInvariants: o.CheckInvariants,
-		Failures:        o.Failures,
-	}, o.Workload)
+	return s.Run()
 }
 
-// policyFactories maps policy names to constructors. Each call builds a
-// fresh scheduler so concurrent simulations never share state.
-var policyFactories = map[string]func() sched.Scheduler{
-	// Conventional baselines: local DRAM only.
-	"fcfs-local": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "fcfs-local", Order: sched.FCFS{}, Backfill: sched.BackfillNone, Placer: sched.LocalOnly{}}
-	},
-	"easy-local": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "easy-local", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: sched.LocalOnly{}}
-	},
-	"cons-local": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "cons-local", Order: sched.FCFS{}, Backfill: sched.BackfillConservative, Placer: sched.LocalOnly{}}
-	},
-	"sjf-local": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "sjf-local", Order: sched.SJF{}, Backfill: sched.BackfillEASY, Placer: sched.LocalOnly{}}
-	},
-	"wfp-local": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "wfp-local", Order: sched.WFP{}, Backfill: sched.BackfillEASY, Placer: sched.LocalOnly{}}
-	},
-	// Disaggregation-oblivious spill: uses the pool, ignores slowdown.
-	"easy-oblivious": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "easy-oblivious", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: sched.Spill{}}
-	},
-	"cons-oblivious": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "cons-oblivious", Order: sched.FCFS{}, Backfill: sched.BackfillConservative, Placer: sched.Spill{}}
-	},
-	// The paper's contribution and its ablations.
-	"memaware": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "memaware", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: core.New()}
-	},
-	"memaware-cons": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "memaware-cons", Order: sched.FCFS{}, Backfill: sched.BackfillConservative, Placer: core.New()}
-	},
-	"memaware-nocap": func() sched.Scheduler {
-		p := core.New()
-		p.SlowdownCap = 0
-		return &sched.Batch{PolicyName: "memaware-nocap", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p}
-	},
-	"memaware-nobal": func() sched.Scheduler {
-		p := core.New()
-		p.Balance = false
-		return &sched.Batch{PolicyName: "memaware-nobal", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p}
-	},
-	"memaware-noshape": func() sched.Scheduler {
-		p := core.New()
-		p.Shape = false
-		return &sched.Batch{PolicyName: "memaware-noshape", Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p}
-	},
-	// Patience: prefer waiting up to 30 min for local capacity before
-	// accepting a dilated remote placement.
-	"memaware-patient": func() sched.Scheduler {
-		return &sched.Batch{PolicyName: "memaware-patient", Order: sched.FCFS{}, Backfill: sched.BackfillEASY,
-			Placer: core.New(), SpillPatience: 1800}
-	},
-}
+// customPolicies holds user-registered scheduler factories
+// (RegisterPolicy); they resolve before the spec grammar.
+var customPolicies = map[string]func() Scheduler{}
 
-// Policies returns the registered policy names, sorted.
+// Policies returns the selectable policy names, sorted: the legacy
+// evaluation aliases plus any registered custom policies. Spec strings
+// (ParsePolicy) select arbitrarily many more combinations.
 func Policies() []string {
-	out := make([]string, 0, len(policyFactories))
-	for name := range policyFactories {
+	out := spec.Aliases()
+	for name := range customPolicies {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// NewScheduler builds a fresh scheduler for a registered policy name.
+// NewScheduler builds a fresh scheduler for a policy name or spec
+// string: custom registered policies resolve first, then legacy
+// aliases and key=value specs through ParsePolicy.
 func NewScheduler(name string) (Scheduler, error) {
-	f, ok := policyFactories[name]
-	if !ok {
-		return nil, fmt.Errorf("dismem: unknown policy %q (known: %v)", name, Policies())
+	if f, ok := customPolicies[name]; ok {
+		return f(), nil
 	}
-	return f(), nil
+	return ParsePolicy(name)
+}
+
+// ParsePolicy compiles a composable policy spec — space-separated
+// key=value terms — into a fresh scheduler:
+//
+//	order=sjf backfill=easy placer=memaware cap=3 patience=1800
+//
+// Terms: order (fcfs|sjf|wfp|largest), backfill (none|easy|
+// conservative), placer (local|spill|memaware, plus RegisterPlacer
+// names), cap / balance / shape (memaware admission knobs), patience
+// (seconds a spilling job waits for local capacity), maxscan / maxres
+// (backfill and reservation depth limits), maxperuser (running-job
+// throttle), and name (report label). Unspecified terms default to the
+// paper's policy: order=fcfs backfill=easy placer=memaware. A bare
+// legacy name ("memaware-patient") expands to its canonical spec, see
+// PolicySpec.
+func ParsePolicy(policySpec string) (Scheduler, error) {
+	s, err := spec.Parse(policySpec)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	return s, nil
+}
+
+// PolicySpec returns the canonical spec string a legacy policy name
+// expands to, and whether the name is a known alias.
+func PolicySpec(name string) (string, bool) { return spec.AliasSpec(name) }
+
+// RegisterPolicy adds a user-defined scheduler under name, resolvable
+// through Options.Policy and NewScheduler. The factory must return a
+// fresh instance per call (schedulers are per-simulation state).
+// Registration is not safe for concurrent use with simulations; do it
+// up front. Errors on empty, duplicate, or alias-shadowing names.
+func RegisterPolicy(name string, factory func() Scheduler) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("dismem: RegisterPolicy needs a name and a factory")
+	}
+	if _, isAlias := spec.AliasSpec(name); isAlias {
+		return fmt.Errorf("dismem: policy %q is a builtin alias", name)
+	}
+	if _, dup := customPolicies[name]; dup {
+		return fmt.Errorf("dismem: policy %q already registered", name)
+	}
+	customPolicies[name] = factory
+	return nil
+}
+
+// RegisterPlacer adds a user-defined placement policy under name, so
+// policy specs can select it with placer=<name> and compose it with
+// any order, backfill discipline, and chassis knob. Same freshness and
+// concurrency rules as RegisterPolicy.
+func RegisterPlacer(name string, factory func() Placer) error {
+	if err := spec.RegisterPlacer(name, factory); err != nil {
+		return fmt.Errorf("dismem: %w", err)
+	}
+	return nil
 }
 
 // NewSchedulerWithCap builds the memaware policy with a custom slowdown
 // cap, for sensitivity sweeps.
-func NewSchedulerWithCap(cap float64) Scheduler {
-	p := core.New()
-	p.SlowdownCap = cap
-	return &sched.Batch{
-		PolicyName: fmt.Sprintf("memaware(cap=%.2g)", cap),
-		Order:      sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: p,
+//
+// Deprecated: use a policy spec instead, e.g.
+// ParsePolicy("placer=memaware cap=1.2") — the spec grammar composes
+// the cap with any order, backfill, and patience setting.
+func NewSchedulerWithCap(slowdownCap float64) Scheduler {
+	s, err := ParsePolicy(fmt.Sprintf("placer=memaware name=memaware(cap=%.2g)", slowdownCap))
+	if err != nil {
+		panic(fmt.Sprintf("dismem: building capped memaware: %v", err))
 	}
+	// Set the cap after parsing: unlike the grammar's cap= term, this
+	// legacy constructor historically accepted any float (a sub-1 cap
+	// admits no remote placement at all, which some sensitivity sweeps
+	// probe deliberately).
+	s.(*sched.Batch).Placer.(*core.MemAware).SlowdownCap = slowdownCap
+	return s
 }

@@ -123,6 +123,19 @@ func TestNewSchedulerWithCap(t *testing.T) {
 			t.Fatalf("job %d dilation %g exceeds cap 1.2", r.ID, r.Dilation)
 		}
 	}
+	// Unlike the grammar's cap= term (which rejects (0,1) as a likely
+	// mistake), the legacy constructor accepts any float: a sub-1 cap
+	// admits no remote placement at all.
+	sub := dismem.NewSchedulerWithCap(0.5)
+	res, err = dismem.Simulate(dismem.Options{SchedulerImpl: sub, Model: "linear:1", Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Recorder.Records() {
+		if r.RemoteMiB > 0 {
+			t.Fatalf("job %d used %d MiB of pool under an uncrossable cap", r.ID, r.RemoteMiB)
+		}
+	}
 }
 
 func TestBaselineRunsWholeWorkload(t *testing.T) {

@@ -3,6 +3,11 @@
 // question behind the paper's DRAM-downsizing experiment (Fig 5; run
 // `dmsweep -exp fig5` for the full version).
 //
+// Each configuration runs through the steppable handle with an early
+// abort: if the queue backlog explodes the configuration is hopeless,
+// so the run is cut off instead of simulated to the bitter end — the
+// scenario-fan-out pattern internal/sweep exposes as Cell.StopWhen.
+//
 //	go run ./examples/capacity_planning
 package main
 
@@ -12,6 +17,20 @@ import (
 
 	"dismem"
 )
+
+// backlogAbort stops a run once the queue backlog passes a threshold.
+type backlogAbort struct {
+	dismem.NopObserver
+	sim   *dismem.Simulation
+	limit int
+}
+
+// OnSample implements dismem.Observer.
+func (a *backlogAbort) OnSample(s dismem.Sample) {
+	if s.QueueDepth > a.limit {
+		a.sim.Stop()
+	}
+}
 
 func main() {
 	const jobs = 1200
@@ -35,17 +54,30 @@ func main() {
 			policy = "easy-local" // no pool to be aware of
 		}
 
+		// Half the trace queued at one instant means the machine is not
+		// keeping up with arrivals at all — divergence, for this trace.
+		abort := &backlogAbort{limit: jobs / 2}
 		wl := dismem.SyntheticWorkload(jobs, 7)
-		res, err := dismem.Simulate(dismem.Options{
+		sim, err := dismem.New(dismem.Options{
 			Machine: mc, Policy: policy, Model: "linear:0.5", Workload: wl,
+			Observer: abort, SampleEvery: 6 * 3600,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		abort.sim = sim
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
 		r := res.Report
-		fmt.Printf("%-16d %-16d %12.0f %12.1f %10.2f\n",
+		note := ""
+		if res.Stopped {
+			note = "  (aborted: backlog diverged)"
+		}
+		fmt.Printf("%-16d %-16d %12.0f %12.1f %10.2f%s\n",
 			localGiB, poolGiBPerRack, r.Wait.Mean(),
-			r.ThroughputPerHour, r.DilationRemote.Mean())
+			r.ThroughputPerHour, r.DilationRemote.Mean(), note)
 	}
 	fmt.Println("\nReading: with a pool absorbing the freed DRAM, nodes keep most of")
 	fmt.Println("their throughput down to a fraction of the original local memory.")

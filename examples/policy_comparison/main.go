@@ -1,7 +1,9 @@
-// Policy comparison: run the same workload under every registered
-// scheduling policy on the same disaggregated machine and print a
-// side-by-side table — a miniature of the paper's headline comparison
-// (Table 2; run `dmsweep -exp table2` for the full version).
+// Policy comparison: run the same workload under every legacy policy
+// alias plus a few spec-only combinations on the same disaggregated
+// machine and print a side-by-side table — a miniature of the paper's
+// headline comparison (Table 2; run `dmsweep -exp table2` for the full
+// version), extended the way the spec grammar makes trivial: policies
+// that were never pre-registered are just strings.
 //
 //	go run ./examples/policy_comparison
 package main
@@ -22,26 +24,49 @@ func main() {
 	mc.PoolMiB = 2 * 1024 * 1024
 	mc.FabricGiBps = 8
 
+	// Every legacy alias resolves through the spec parser; show the
+	// expansion alongside the result.
 	fmt.Printf("%-18s %10s %10s %8s %8s %8s %8s\n",
 		"policy", "wait(s)", "p95(s)", "bsld", "util", "remote", "dil")
 	for _, policy := range dismem.Policies() {
-		// Same seed → same trace for every policy: differences below
-		// are purely scheduling.
-		wl := dismem.SyntheticWorkload(jobs, 42)
-		res, err := dismem.Simulate(dismem.Options{
-			Machine:  mc,
-			Policy:   policy,
-			Model:    "bandwidth:1,1",
-			Workload: wl,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		r := res.Report
-		fmt.Printf("%-18s %10.0f %10.0f %8.1f %7.1f%% %7.1f%% %8.2f\n",
-			policy, r.Wait.Mean(), r.P95Wait, r.BSld.Mean(),
-			100*r.NodeUtil, 100*r.RemoteJobFraction, r.DilationRemote.Mean())
+		run(mc, policy, jobs)
+	}
+
+	// Spec-only combinations: nothing below was ever pre-registered.
+	fmt.Println()
+	for _, s := range []string{
+		"order=sjf backfill=easy placer=memaware cap=3",
+		"order=largest backfill=conservative placer=memaware patience=1800",
+		"order=wfp backfill=easy placer=spill maxperuser=2",
+	} {
+		run(mc, s, jobs)
 	}
 	fmt.Println("\n(dil = mean runtime dilation of pool-using jobs; the memory-aware")
-	fmt.Println(" policy caps it at 1.5x while the oblivious spiller does not)")
+	fmt.Println(" policy caps it while the oblivious spiller does not)")
+}
+
+// run simulates one policy (name or spec) and prints its table row,
+// labelled by the policy string itself.
+func run(mc dismem.MachineConfig, policy string, jobs int) {
+	// Same seed → same trace for every policy: differences below are
+	// purely scheduling.
+	wl := dismem.SyntheticWorkload(jobs, 42)
+	res, err := dismem.Simulate(dismem.Options{
+		Machine:  mc,
+		Policy:   policy,
+		Model:    "bandwidth:1,1",
+		Workload: wl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(policy) > 18 {
+		fmt.Printf("%s\n%-18s", policy, "")
+	} else {
+		fmt.Printf("%-18s", policy)
+	}
+	r := res.Report
+	fmt.Printf(" %10.0f %10.0f %8.1f %7.1f%% %7.1f%% %8.2f\n",
+		r.Wait.Mean(), r.P95Wait, r.BSld.Mean(),
+		100*r.NodeUtil, 100*r.RemoteJobFraction, r.DilationRemote.Mean())
 }

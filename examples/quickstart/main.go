@@ -2,6 +2,12 @@
 // disaggregated machine with the memory-aware scheduler and print the
 // headline metrics.
 //
+// The simulation runs through the steppable handle: dismem.New returns
+// at virtual time 0, the loop advances one simulated day at a time and
+// peeks at live state between advances, and Result collects the final
+// report. dismem.Simulate wraps exactly this when no observation is
+// needed.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -17,9 +23,12 @@ func main() {
 	// local DRAM per node, a 4 TiB disaggregated pool per rack.
 	wl := dismem.SyntheticWorkload(2000, 1)
 
-	res, err := dismem.Simulate(dismem.Options{
+	// The policy is a composable spec: the paper's memory-aware placer
+	// behind EASY backfill with a 1.5x slowdown cap (the legacy alias
+	// "memaware" expands to the same thing).
+	sim, err := dismem.New(dismem.Options{
 		Machine:  dismem.DefaultMachine(),
-		Policy:   "memaware",
+		Policy:   "order=fcfs backfill=easy placer=memaware cap=1.5",
 		Model:    "linear:0.5", // CXL-class remote penalty
 		Workload: wl,
 	})
@@ -27,8 +36,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r := res.Report
 	fmt.Println("dismem quickstart — memory-aware scheduling on a disaggregated machine")
+	for !sim.Done() {
+		sim.RunUntil(sim.Now() + 24*3600) // advance one simulated day
+		fmt.Printf("  day %2d: %4d queued, %3d running, %3d nodes busy\n",
+			sim.Now()/(24*3600), sim.QueueDepth(), sim.Running(), sim.Usage().BusyNodes)
+	}
+
+	res, err := sim.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Report
 	fmt.Printf("  jobs:             %d completed, %d killed, %d rejected\n",
 		r.Completed, r.Killed, r.Rejected)
 	fmt.Printf("  mean wait:        %.0f s (p95 %.0f s)\n", r.Wait.Mean(), r.P95Wait)

@@ -4,6 +4,10 @@
 // from lost capacity plus redone work. Also prints per-user fairness,
 // which degrades as restarts hit some users harder than others.
 //
+// The failure toll is tallied live through an Observer: OnTerminate
+// fires once per job with its final record, so the tally is complete
+// the instant the run is — no post-hoc scan over the recorder.
+//
 //	go run ./examples/resilience
 package main
 
@@ -13,6 +17,21 @@ import (
 
 	"dismem"
 )
+
+// tally counts terminal outcomes as they happen.
+type tally struct {
+	dismem.NopObserver
+	restarts, killed, done int
+}
+
+// OnTerminate implements dismem.Observer.
+func (t *tally) OnTerminate(_ int64, rec dismem.JobRecord) {
+	t.done++
+	t.restarts += rec.Restarts
+	if rec.Killed {
+		t.killed++
+	}
+}
 
 func main() {
 	const jobs = 1000
@@ -30,6 +49,7 @@ func main() {
 				Seed:           1,
 			}
 		}
+		counts := &tally{}
 		wl := dismem.SyntheticWorkload(jobs, 21)
 		res, err := dismem.Simulate(dismem.Options{
 			Machine:  dismem.DefaultMachine(),
@@ -37,18 +57,23 @@ func main() {
 			Model:    "linear:0.5",
 			Workload: wl,
 			Failures: failures,
+			Observer: counts,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		r := res.Report
+		if counts.done != r.Jobs()+r.Rejected || counts.restarts != r.FailureKills {
+			log.Fatalf("observer tally (%d done, %d restarts) disagrees with report (%d, %d)",
+				counts.done, counts.restarts, r.Jobs()+r.Rejected, r.FailureKills)
+		}
 		fair := res.Recorder.Fairness()
 		label := "reliable"
 		if mtbfHours > 0 {
 			label = fmt.Sprintf("%d", mtbfHours)
 		}
 		fmt.Printf("%-14s %10d %10d %12.0f %9.1f%% %12.3f\n",
-			label, r.NodeFailures, r.FailureKills,
+			label, r.NodeFailures, counts.restarts,
 			r.Wait.Mean(), 100*r.KilledFraction(), fair.JainWait)
 	}
 	fmt.Println("\n(restarts = failure kills that were resubmitted; a job is abandoned")

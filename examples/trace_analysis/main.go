@@ -43,18 +43,27 @@ func main() {
 	fmt.Println()
 
 	// 4. Replay under a local-only baseline and the memory-aware policy.
-	for _, policy := range []string{"easy-local", "memaware"} {
+	// Policies are specs; name= labels the row (the legacy aliases
+	// "easy-local" and "memaware" would resolve identically).
+	for _, policy := range []string{
+		"order=fcfs backfill=easy placer=local name=easy-local",
+		"order=fcfs backfill=easy placer=memaware name=memaware",
+	} {
+		s, err := dismem.ParsePolicy(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := dismem.Simulate(dismem.Options{
-			Policy:   policy,
-			Model:    "linear:0.5",
-			Workload: back,
+			SchedulerImpl: s,
+			Model:         "linear:0.5",
+			Workload:      back,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		r := res.Report
 		fmt.Printf("%-12s wait %6.0f s   bsld %5.1f   util %5.1f%%   rejected %d\n",
-			policy, r.Wait.Mean(), r.BSld.Mean(), 100*r.NodeUtil, r.Rejected)
+			s.Name(), r.Wait.Mean(), r.BSld.Mean(), 100*r.NodeUtil, r.Rejected)
 	}
 	fmt.Println("\n(easy-local rejects every job wider than local DRAM; the")
 	fmt.Println(" memory-aware policy serves them from the rack pools)")

@@ -99,6 +99,12 @@ func BaselineConfig(localMiB int64) Config {
 	return c
 }
 
+// IsZero reports whether c is the zero value — "no configuration
+// given" — which API entry points replace with DefaultConfig. A
+// partially filled config is NOT zero and must pass Validate instead
+// of being silently swapped for the default.
+func (c Config) IsZero() bool { return c == Config{} }
+
 // Validate reports the first invalid parameter, or nil.
 func (c Config) Validate() error {
 	switch {

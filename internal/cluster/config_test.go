@@ -44,6 +44,24 @@ func TestConfigValidateErrors(t *testing.T) {
 	}
 }
 
+func TestConfigIsZero(t *testing.T) {
+	if !(Config{}).IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	// A partially filled config is not "no configuration": it must hit
+	// Validate, not be silently swapped for the default machine.
+	for _, cfg := range []Config{
+		{PoolMiB: 4096},
+		{Racks: 16},
+		{TrafficGiBpsPerNode: 2},
+		DefaultConfig(),
+	} {
+		if cfg.IsZero() {
+			t.Errorf("non-zero config %+v reported IsZero", cfg)
+		}
+	}
+}
+
 func TestConfigTotals(t *testing.T) {
 	cfg := Config{
 		Racks: 4, NodesPerRack: 8, CoresPerNode: 16, LocalMemMiB: 1000,

@@ -40,6 +40,13 @@ type Config struct {
 	// Failures optionally injects node failures (nil = reliable
 	// machine).
 	Failures *FailureConfig
+	// Observer optionally receives lifecycle callbacks (nil = none).
+	// Callbacks must be read-only w.r.t. engine state; see Observer.
+	Observer Observer
+	// SampleEvery is the period, in simulated seconds, of periodic
+	// Observer.OnSample ticks (0 = no sampling). Ignored without an
+	// Observer.
+	SampleEvery int64
 }
 
 // FailureConfig models node failures as a Poisson process per node with
@@ -84,6 +91,10 @@ type Result struct {
 	Recorder *metrics.Recorder
 	// Events is the number of DES events fired.
 	Events uint64
+	// Stopped marks a run halted early via Stop: the report covers only
+	// the simulated prefix, and queued or running jobs at the stop
+	// instant have no records.
+	Stopped bool
 }
 
 type runningState struct {
@@ -101,12 +112,19 @@ type runningState struct {
 	endEv      *des.Event
 }
 
-// Engine runs one simulation. Create with New, call Run once.
+// Engine runs one simulation. Create with New, then either call Run
+// once (fire-and-forget) or drive it incrementally: Start, any mix of
+// Step / RunUntil / RunAll with live queries in between, then Finish.
 type Engine struct {
 	cfg Config
 	sim *des.Simulator
 	m   *cluster.Machine
 	rec *metrics.Recorder
+	obs Observer
+
+	started  bool
+	finished bool
+	result   *Result
 
 	queue   []*workload.Job
 	running map[int]*runningState
@@ -124,10 +142,13 @@ type Engine struct {
 	// Failure injection state.
 	failRNG   *stats.RNG
 	failEv    *des.Event
+	totalJobs int
 	jobsLeft  int // jobs not yet terminated or rejected
 	failures  int // node failures that occurred
 	failKills int // failure kills (each becomes a restart)
 	restarts  map[int]int
+
+	sampleEv *des.Event
 }
 
 // New builds an engine; the machine is constructed from cfg.Machine.
@@ -149,6 +170,7 @@ func New(cfg Config) (*Engine, error) {
 		sim:      des.New(),
 		m:        m,
 		rec:      metrics.NewRecorder(),
+		obs:      cfg.Observer,
 		running:  make(map[int]*runningState),
 		reDilate: memmodel.ContentionSensitive(cfg.Model),
 		restarts: make(map[int]int),
@@ -158,9 +180,26 @@ func New(cfg Config) (*Engine, error) {
 // Run simulates the workload to completion and returns the result. It
 // errors if any feasible job failed to terminate (a scheduler bug).
 func (e *Engine) Run(w *workload.Workload) (*Result, error) {
-	if err := w.Validate(); err != nil {
+	if err := e.Start(w); err != nil {
 		return nil, err
 	}
+	e.RunAll()
+	return e.Finish()
+}
+
+// Start validates the workload and primes the event queue (arrivals,
+// failure stream, sampling ticks) without firing any event: the clock
+// stays at 0 until the first Step / RunUntil / RunAll. It may be called
+// once per engine.
+func (e *Engine) Start(w *workload.Workload) error {
+	if e.started {
+		return fmt.Errorf("sim: engine already started")
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	e.started = true
+	e.totalJobs = len(w.Jobs)
 	e.jobsLeft = len(w.Jobs)
 	for _, job := range w.Jobs {
 		job := job
@@ -170,8 +209,74 @@ func (e *Engine) Run(w *workload.Workload) (*Result, error) {
 		e.failRNG = stats.NewRNG(e.cfg.Failures.Seed)
 		e.scheduleNextFailure()
 	}
-	e.sim.RunAll()
-	if len(e.queue) != 0 || len(e.running) != 0 {
+	if e.obs != nil && e.cfg.SampleEvery > 0 && e.jobsLeft > 0 {
+		e.scheduleNextSample()
+	}
+	return nil
+}
+
+// Step fires the single earliest event. It returns false once the
+// simulation is done (event queue drained or Stop called).
+func (e *Engine) Step() bool { return e.sim.Step() }
+
+// RunUntil fires every event scheduled at or before virtual time t and
+// leaves the clock at exactly t, even when the simulation's last event
+// is earlier (use the final job record or Report.MakespanSec, not Now,
+// to recover the true end of a run). After Stop the clock stays at the
+// stopping event.
+func (e *Engine) RunUntil(t int64) { e.sim.Run(des.Time(t)) }
+
+// RunAll fires events until the queue drains or Stop is called.
+func (e *Engine) RunAll() { e.sim.RunAll() }
+
+// Stop halts the event loop after the current event: a deliberate early
+// exit, not an error. Finish then reports the simulated prefix with
+// Result.Stopped set. Safe to call from Observer callbacks.
+func (e *Engine) Stop() { e.sim.Stop() }
+
+// Now returns the virtual clock in seconds since simulation start.
+func (e *Engine) Now() int64 { return int64(e.sim.Now()) }
+
+// Done reports whether the simulation can make no more progress:
+// everything terminated, or Stop was called.
+func (e *Engine) Done() bool { return e.sim.Stopped() || e.sim.Pending() == 0 }
+
+// QueueDepth returns the number of jobs waiting to be dispatched.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// RunningCount returns the number of jobs currently holding resources.
+func (e *Engine) RunningCount() int { return len(e.running) }
+
+// Usage returns the machine occupancy snapshot; O(pools).
+func (e *Engine) Usage() cluster.Usage { return e.m.Usage() }
+
+// Events returns the number of DES events fired so far.
+func (e *Engine) Events() uint64 { return e.sim.Fired() }
+
+// Sample returns the full live-state snapshot observers receive.
+func (e *Engine) Sample() Sample {
+	return Sample{
+		Now:        e.Now(),
+		QueueDepth: len(e.queue),
+		Running:    len(e.running),
+		Done:       e.totalJobs - e.jobsLeft,
+		Events:     e.sim.Fired(),
+		Usage:      e.m.Usage(),
+	}
+}
+
+// Finish closes the metrics integration interval and builds the result.
+// After a complete run it errors if any feasible job failed to
+// terminate (a scheduler bug); after Stop it reports the prefix.
+// Idempotent: repeated calls return the same result.
+func (e *Engine) Finish() (*Result, error) {
+	if e.finished {
+		return e.result, nil
+	}
+	if !e.started {
+		return nil, fmt.Errorf("sim: engine not started")
+	}
+	if !e.sim.Stopped() && (len(e.queue) != 0 || len(e.running) != 0) {
 		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
 			len(e.queue), len(e.running), e.cfg.Scheduler.Name())
 	}
@@ -180,23 +285,41 @@ func (e *Engine) Run(w *workload.Workload) (*Result, error) {
 	report := e.rec.Report(e.cfg.Machine)
 	report.NodeFailures = e.failures
 	report.FailureKills = e.failKills
-	return &Result{
+	e.finished = true
+	e.result = &Result{
 		Report:   report,
 		Recorder: e.rec,
 		Events:   e.sim.Fired(),
-	}, nil
+		Stopped:  e.sim.Stopped(),
+	}
+	return e.result, nil
 }
 
 func (e *Engine) lastEventTime() int64 { return int64(e.sim.Now()) }
 
+// scheduleNextSample arms the next periodic OnSample tick. The chain
+// stops with the last outstanding job (jobDone cancels it) so trailing
+// ticks cannot stretch the metrics integration window.
+func (e *Engine) scheduleNextSample() {
+	e.sampleEv = e.sim.ScheduleDelta(des.Time(e.cfg.SampleEvery), func(des.Time) {
+		e.sampleEv = nil
+		e.obs.OnSample(e.Sample())
+		e.scheduleNextSample()
+	})
+}
+
 func (e *Engine) onArrival(now int64, job *workload.Job) {
 	e.rec.OnSubmit(now)
 	if !e.cfg.Scheduler.Feasible(job, e.m, e.cfg.Model) {
-		e.rec.Add(metrics.JobRecord{
+		rec := metrics.JobRecord{
 			ID: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
 			Estimate: job.Estimate, BaseRuntime: job.BaseRuntime,
 			MemPerNode: job.MemPerNode, Dilation: 1, Rejected: true,
-		})
+		}
+		e.rec.Add(rec)
+		if e.obs != nil {
+			e.obs.OnTerminate(now, rec)
+		}
 		e.jobDone()
 		return
 	}
@@ -218,8 +341,17 @@ func (e *Engine) requestPass() {
 }
 
 func (e *Engine) pass(now int64) {
+	dispatched := e.dispatchPass(now)
+	if e.obs != nil {
+		e.obs.OnPassEnd(now, dispatched, len(e.queue))
+	}
+}
+
+// dispatchPass runs one scheduling cycle and returns how many jobs it
+// started.
+func (e *Engine) dispatchPass(now int64) int {
 	if len(e.queue) == 0 {
-		return
+		return 0
 	}
 	ctx := &sched.Context{
 		Now:         now,
@@ -233,7 +365,7 @@ func (e *Engine) pass(now int64) {
 	e.rec.Observe(now, e.m.Usage()) // close interval at pre-dispatch usage
 	dispatches := e.cfg.Scheduler.Pass(ctx)
 	if len(dispatches) == 0 {
-		return
+		return 0
 	}
 	started := make(map[int]bool, len(dispatches))
 	for _, d := range dispatches {
@@ -249,6 +381,7 @@ func (e *Engine) pass(now int64) {
 	}
 	e.queue = kept
 	e.afterChange(now)
+	return len(dispatches)
 }
 
 func (e *Engine) runningSnapshot() []sched.RunningJob {
@@ -342,6 +475,9 @@ func (e *Engine) start(now int64, d sched.Dispatch) {
 	e.running[job.ID] = rs
 	e.insertRunning(job.ID)
 	e.scheduleEnd(rs)
+	if e.obs != nil {
+		e.obs.OnDispatch(now, job, rs.alloc.RemoteMiB(), dil)
+	}
 }
 
 // currentDilation evaluates the model against the committed allocation
@@ -417,7 +553,7 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 		// recorded below as killed.
 		killed = true
 	}
-	e.rec.Add(metrics.JobRecord{
+	rec := metrics.JobRecord{
 		ID: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
 		Start: rs.start, End: now,
 		Estimate: job.Estimate, Limit: rs.limit,
@@ -425,19 +561,31 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 		RemoteMiB: rs.alloc.RemoteMiB(), RemoteFrac: rs.alloc.RemoteFraction(),
 		Dilation: rs.dilAtStart, Killed: killed,
 		Restarts: e.restarts[job.ID],
-	})
+	}
+	e.rec.Add(rec)
+	if e.obs != nil {
+		e.obs.OnTerminate(now, rec)
+	}
 	e.jobDone()
 	e.afterChange(now)
 	e.requestPass()
 }
 
 // jobDone decrements the outstanding-work counter; once everything has
-// terminated the failure process stops so the event queue can drain.
+// terminated the failure and sampling processes stop so the event queue
+// can drain.
 func (e *Engine) jobDone() {
 	e.jobsLeft--
-	if e.jobsLeft == 0 && e.failEv != nil {
+	if e.jobsLeft != 0 {
+		return
+	}
+	if e.failEv != nil {
 		e.sim.Cancel(e.failEv)
 		e.failEv = nil
+	}
+	if e.sampleEv != nil {
+		e.sim.Cancel(e.sampleEv)
+		e.sampleEv = nil
 	}
 }
 

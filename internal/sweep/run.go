@@ -51,6 +51,32 @@ type Cell struct {
 	// Failures optionally injects node failures (each seed gets an
 	// independent failure stream derived from its workload seed).
 	Failures *sim.FailureConfig
+	// StopWhen, when set, aborts each seed's simulation early: it is
+	// evaluated against periodic engine samples (every SampleEvery
+	// simulated seconds) and the run stops at the first true. The
+	// seed's report then covers only the simulated prefix — useful to
+	// cut off diverged or saturated cells in large scenario fan-outs.
+	// Seeds run on parallel goroutines and share this predicate, so it
+	// must be safe for concurrent use (stateless, or synchronised).
+	StopWhen func(dismem.Sample) bool
+	// SampleEvery is the sampling period for StopWhen in simulated
+	// seconds (default 3600).
+	SampleEvery int64
+}
+
+// abortObserver stops its simulation at the first sample matching the
+// cell's StopWhen predicate.
+type abortObserver struct {
+	dismem.NopObserver
+	h    *dismem.Simulation
+	stop func(dismem.Sample) bool
+}
+
+// OnSample implements dismem.Observer.
+func (a *abortObserver) OnSample(s dismem.Sample) {
+	if a.stop(s) {
+		a.h.Stop()
+	}
 }
 
 // Agg is the seed-mean of the report quantities the tables print.
@@ -71,6 +97,10 @@ type Agg struct {
 	FailureKills        float64 // mean jobs killed by failures per run
 	JainWait            float64 // Jain fairness of per-user wait (seed 1)
 
+	// StoppedRuns counts seeds truncated by the cell's StopWhen
+	// predicate (their reports cover only the simulated prefix).
+	StoppedRuns int
+
 	// Reports keeps the per-seed reports for custom reductions.
 	Reports []*metrics.Report
 	// Records keeps per-job records of the first seed for CDF figures.
@@ -81,7 +111,7 @@ type Agg struct {
 func (c Cell) Run(o Options) (Agg, error) {
 	o = o.withDefaults()
 	mc := c.Machine
-	if mc.Racks == 0 {
+	if mc.IsZero() {
 		mc = dismem.DefaultMachine()
 	}
 
@@ -126,7 +156,24 @@ func (c Cell) Run(o Options) (Agg, error) {
 			if c.Scheduler != nil {
 				opts.SchedulerImpl = c.Scheduler()
 			}
-			res, err := dismem.Simulate(opts)
+			var abort *abortObserver
+			if c.StopWhen != nil {
+				abort = &abortObserver{stop: c.StopWhen}
+				opts.Observer = abort
+				opts.SampleEvery = c.SampleEvery
+				if opts.SampleEvery <= 0 {
+					opts.SampleEvery = 3600
+				}
+			}
+			h, err := dismem.New(opts)
+			if err != nil {
+				outs[s] = out{err: err}
+				return
+			}
+			if abort != nil {
+				abort.h = h
+			}
+			res, err := h.Run()
 			outs[s] = out{res: res, err: err}
 		}(s)
 	}
@@ -158,6 +205,9 @@ func (c Cell) Run(o Options) (Agg, error) {
 		agg.Jobs += float64(r.Jobs())
 		agg.NodeFailures += float64(r.NodeFailures)
 		agg.FailureKills += float64(r.FailureKills)
+		if ot.res.Stopped {
+			agg.StoppedRuns++
+		}
 		agg.Reports = append(agg.Reports, r)
 		if s == 0 {
 			agg.Records = ot.res.Recorder.Records()

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"testing"
+
+	"dismem"
+)
+
+func TestCellRunBasic(t *testing.T) {
+	o := Options{Jobs: 150, Seeds: 2}
+	agg, err := Cell{Policy: "memaware"}.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Reports) != 2 {
+		t.Fatalf("%d reports for 2 seeds", len(agg.Reports))
+	}
+	if agg.StoppedRuns != 0 {
+		t.Fatalf("%d stopped runs without a StopWhen predicate", agg.StoppedRuns)
+	}
+	if agg.Jobs == 0 {
+		t.Fatal("no jobs aggregated")
+	}
+}
+
+func TestCellStopWhenAborts(t *testing.T) {
+	o := Options{Jobs: 400, Seeds: 2}
+	full, err := Cell{Policy: "memaware"}.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort every seed at the first sample past one simulated day; the
+	// workload spans much longer, so the truncation must bite.
+	const cutoff = 24 * 3600
+	cut, err := Cell{
+		Policy:      "memaware",
+		StopWhen:    func(s dismem.Sample) bool { return s.Now >= cutoff },
+		SampleEvery: 3600,
+	}.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.StoppedRuns != o.Seeds {
+		t.Fatalf("%d of %d seeds stopped", cut.StoppedRuns, o.Seeds)
+	}
+	if cut.Jobs >= full.Jobs {
+		t.Fatalf("aborted runs recorded %.0f jobs, full runs %.0f", cut.Jobs, full.Jobs)
+	}
+	for _, r := range cut.Reports {
+		if r.MakespanSec > cutoff+3600 {
+			t.Fatalf("aborted run simulated to %d s, cutoff %d", r.MakespanSec, cutoff)
+		}
+	}
+}
+
+func TestCellSpecPolicy(t *testing.T) {
+	// Cells accept spec strings wherever a policy name goes: the fan-out
+	// path the grammar exists for.
+	o := Options{Jobs: 120, Seeds: 1}
+	agg, err := Cell{Policy: "order=sjf backfill=easy placer=memaware cap=2"}.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Jobs == 0 {
+		t.Fatal("no jobs ran under a spec-string policy")
+	}
+}

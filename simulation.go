@@ -1,0 +1,126 @@
+package dismem
+
+import (
+	"fmt"
+
+	"dismem/internal/memmodel"
+	"dismem/internal/sim"
+)
+
+// Simulation is a long-lived handle on one in-flight simulation. Unlike
+// Simulate, which runs to completion, a Simulation can be advanced
+// event by event (Step) or to a virtual deadline (RunUntil), queried
+// for live state between advances (Now, QueueDepth, Running, Usage),
+// and stopped early (Stop). It is single-goroutine state: drive it from
+// one goroutine only.
+type Simulation struct {
+	eng *sim.Engine
+}
+
+// New validates o, builds the engine and primes the event queue without
+// firing any event: the returned handle sits at virtual time 0 with
+// every arrival scheduled. Drive it with Step / RunUntil / Run and
+// collect the outcome with Result.
+func New(o Options) (*Simulation, error) {
+	if o.Workload == nil {
+		return nil, fmt.Errorf("dismem: nil workload")
+	}
+	mc := o.Machine
+	if mc.IsZero() {
+		mc = DefaultMachine()
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	model := o.ModelImpl
+	if model == nil {
+		ms := o.Model
+		if ms == "" {
+			ms = "linear:0.5"
+		}
+		var err error
+		model, err = memmodel.Parse(ms)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := o.SchedulerImpl
+	if s == nil {
+		var err error
+		s, err = NewScheduler(o.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := sim.New(sim.Config{
+		Machine:         mc,
+		Model:           model,
+		Scheduler:       s,
+		ExtendLimit:     !o.StrictKill,
+		CheckInvariants: o.CheckInvariants,
+		Failures:        o.Failures,
+		Observer:        o.Observer,
+		SampleEvery:     o.SampleEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(o.Workload); err != nil {
+		return nil, err
+	}
+	return &Simulation{eng: eng}, nil
+}
+
+// Step fires the single earliest event. It returns false once the
+// simulation is done (drained or stopped).
+func (s *Simulation) Step() bool { return s.eng.Step() }
+
+// RunUntil fires every event scheduled at or before virtual time t and
+// leaves the clock at exactly t, even when the simulation's last event
+// is earlier (use the final Report, not Now, to recover the true end
+// of a run).
+func (s *Simulation) RunUntil(t int64) { s.eng.RunUntil(t) }
+
+// Run advances the simulation to completion and returns the result:
+// New + Run is equivalent to Simulate.
+func (s *Simulation) Run() (*Result, error) {
+	s.eng.RunAll()
+	return s.eng.Finish()
+}
+
+// Stop halts the simulation after the current event: a deliberate
+// early exit, not an error. Result then covers the simulated prefix
+// with Result.Stopped set. Safe to call from Observer callbacks.
+func (s *Simulation) Stop() { s.eng.Stop() }
+
+// Now returns the virtual clock in seconds since simulation start.
+func (s *Simulation) Now() int64 { return s.eng.Now() }
+
+// Done reports whether the simulation can make no more progress:
+// everything terminated, or Stop was called.
+func (s *Simulation) Done() bool { return s.eng.Done() }
+
+// QueueDepth returns the number of jobs waiting to be dispatched.
+func (s *Simulation) QueueDepth() int { return s.eng.QueueDepth() }
+
+// Running returns the number of jobs currently holding resources.
+func (s *Simulation) Running() int { return s.eng.RunningCount() }
+
+// Usage returns the live machine occupancy snapshot; O(pools).
+func (s *Simulation) Usage() Usage { return s.eng.Usage() }
+
+// Events returns the number of DES events fired so far.
+func (s *Simulation) Events() uint64 { return s.eng.Events() }
+
+// Sample returns the full live-state snapshot observers receive.
+func (s *Simulation) Sample() Sample { return s.eng.Sample() }
+
+// Result closes the metrics window and returns the outcome. It errors
+// while events are still pending (advance with Run, or truncate with
+// Stop, first); afterwards it is idempotent.
+func (s *Simulation) Result() (*Result, error) {
+	if !s.eng.Done() {
+		return nil, fmt.Errorf("dismem: simulation has pending events at t=%d; call Run to finish or Stop to truncate", s.eng.Now())
+	}
+	return s.eng.Finish()
+}
