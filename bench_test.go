@@ -121,3 +121,11 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 // BenchmarkSimulation measures end-to-end simulated-jobs-per-second for
 // the full memaware stack under the contention-sensitive model.
 func BenchmarkSimulation(b *testing.B) { benchkit.Simulation(b) }
+
+// BenchmarkScenarioSimulation is BenchmarkSimulation with an active
+// intervention timeline (rack outage + diurnal cycle), guarding the
+// scenario subsystem's end-to-end overhead.
+func BenchmarkScenarioSimulation(b *testing.B) { benchkit.ScenarioSimulation(b) }
+
+// BenchmarkFig11OutageSeverity regenerates the outage-severity sweep.
+func BenchmarkFig11OutageSeverity(b *testing.B) { benchExperiment(b, "fig11") }

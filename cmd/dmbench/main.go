@@ -1,7 +1,7 @@
 // Command dmbench runs the simulator's headline hot-path benchmarks
 // (the same bodies bench_test.go exposes to `go test -bench`) and
 // records the results as a BENCH_<date>.json file, so the repository
-// tracks its own performance trajectory across PRs (DESIGN.md §5,
+// tracks its own performance trajectory across PRs (DESIGN.md §6,
 // EXPERIMENTS.md).
 //
 // Usage:
@@ -57,6 +57,7 @@ func main() {
 		{"MachineAllocRelease", benchkit.MachineAllocRelease},
 		{"MemAwarePlan", benchkit.MemAwarePlan},
 		{"Simulation", benchkit.Simulation},
+		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
 
 	rec := record{

@@ -12,6 +12,12 @@
 // stderr while the run is in flight:
 //
 //	dmsched -spec "order=sjf backfill=easy placer=memaware cap=3" -progress 6h
+//
+// -scenario perturbs the run with a deterministic intervention
+// timeline (outages, pool resizes, penalty shifts, surges; see
+// dismem.ParseScenario for the grammar):
+//
+//	dmsched -scenario "at=21600 down rack=2; at=64800 up rack=2"
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 	var (
 		policy   = flag.String("policy", "memaware", "scheduling policy: "+strings.Join(dismem.Policies(), ", "))
 		specFlag = flag.String("spec", "", `composable policy spec, e.g. "order=sjf placer=memaware cap=3" (overrides -policy)`)
+		scenFlag = flag.String("scenario", "", `scenario timeline, e.g. "at=3600 down rack=2; at=7200 up rack=2; from=0 period=86400 amp=0.5 diurnal"`)
 		progress = flag.Duration("progress", 0, "print live progress to stderr every given span of simulated time (e.g. 6h; 0 = off)")
 		model    = flag.String("model", "linear:0.5", "memory model spec (linear:b | step:b0,b | bandwidth:b,g)")
 		topology = flag.String("topology", "rack", "pool topology: none | rack | global")
@@ -60,6 +67,9 @@ func main() {
 	if *cfgPath != "" {
 		if *specFlag != "" {
 			fatalf("-spec cannot be combined with -config (set the policy in the config file)")
+		}
+		if *scenFlag != "" {
+			fatalf("-scenario cannot be combined with -config")
 		}
 		runFromConfig(*cfgPath, *verbose, *progress)
 		return
@@ -119,6 +129,13 @@ func main() {
 		Model:      *model,
 		Workload:   wl,
 		StrictKill: *strict,
+	}
+	if *scenFlag != "" {
+		sc, err := dismem.ParseScenario(*scenFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Scenario = sc
 	}
 	if *specFlag != "" {
 		s, err := dismem.ParsePolicy(*specFlag)
@@ -234,6 +251,9 @@ func printReport(policy string, res *dismem.Result) {
 	if r.NodeFailures > 0 {
 		fmt.Printf("failures          %d node failures, %d jobs killed by them\n",
 			r.NodeFailures, r.FailureKills)
+	}
+	if res.ScenarioEvents > 0 {
+		fmt.Printf("scenario          %d interventions applied\n", res.ScenarioEvents)
 	}
 	fair := res.Recorder.Fairness()
 	fmt.Printf("fairness          Jain(wait) %.3f over %d users\n", fair.JainWait, len(fair.Users))

@@ -41,9 +41,22 @@
 //	}
 //	res, err := s.Result()
 //
+// Runs can be perturbed by a deterministic scenario timeline — outages
+// and recoveries, pool degradation, fabric brownouts, arrival surges
+// and diurnal cycles, staged growth — compiled from the same key=value
+// grammar family (see ParseScenario):
+//
+//	sc, err := dismem.ParseScenario("at=21600 down rack=2; at=64800 up rack=2")
+//	res, err := dismem.Simulate(dismem.Options{
+//		Policy: "memaware", Workload: wl, Scenario: sc,
+//	})
+//
+// Interventions run as ordinary simulation events, so scenario runs
+// replay bit-identically per seed.
+//
 // Observer hooks (Options.Observer, Options.SampleEvery) deliver
-// per-dispatch, per-termination, per-pass and periodic-sample callbacks
-// without polling.
+// per-dispatch, per-termination, per-pass, per-intervention and
+// periodic-sample callbacks without polling.
 //
 // See the examples directory for complete programs and DESIGN.md for
 // the architecture and experiment inventory.
@@ -57,6 +70,7 @@ import (
 	"dismem/internal/core"
 	"dismem/internal/memmodel"
 	"dismem/internal/metrics"
+	"dismem/internal/scenario"
 	"dismem/internal/sched"
 	"dismem/internal/sim"
 	"dismem/internal/spec"
@@ -92,6 +106,15 @@ type (
 	MemoryModel = memmodel.Model
 	// FailureConfig parameterises node failure injection.
 	FailureConfig = sim.FailureConfig
+	// Scenario is a deterministic intervention timeline: outages and
+	// recoveries, pool degradation/resize, remote-penalty shifts,
+	// arrival surges and diurnal cycles, staged machine growth. Build
+	// one with ParseScenario or construct it literally; see
+	// internal/scenario for the grammar and the determinism contract.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timed intervention of a Scenario, delivered
+	// to Observer.OnScenarioEvent when applied.
+	ScenarioEvent = scenario.Event
 	// Observer receives engine lifecycle callbacks (see Options).
 	// Implementations must be read-only w.r.t. engine state.
 	Observer = sim.Observer
@@ -170,6 +193,12 @@ type Options struct {
 	StrictKill bool
 	// Failures optionally injects node failures.
 	Failures *FailureConfig
+	// Scenario optionally perturbs the run with a deterministic
+	// intervention timeline (see ParseScenario). Nil and the empty
+	// scenario leave the run bit-identical to a scenario-free one; a
+	// Scenario is immutable once built and may be shared across
+	// concurrent simulations.
+	Scenario *Scenario
 	// CheckInvariants enables O(machine) state validation per event.
 	CheckInvariants bool
 	// Observer optionally receives lifecycle callbacks (dispatches,
@@ -233,6 +262,29 @@ func NewScheduler(name string) (Scheduler, error) {
 // PolicySpec.
 func ParsePolicy(policySpec string) (Scheduler, error) {
 	s, err := spec.Parse(policySpec)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	return s, nil
+}
+
+// ParseScenario compiles a scenario spec — ';'- or newline-separated
+// statements of key=value terms plus one verb, in the same grammar
+// family as ParsePolicy — into an intervention timeline:
+//
+//	at=3600 down rack=2; at=7200 up rack=2
+//	at=3600 resize pool=all cap=1048576
+//	at=3600 beta scale=2
+//	at=86400 grow racks=1
+//	from=3600 until=7200 rate=3 surge
+//	from=0 period=86400 amp=0.5 diurnal
+//
+// Timed interventions run as ordinary DES events (bit-identical per
+// seed); surge/diurnal statements reshape the workload's arrival
+// process before the run starts. Scenario.String() emits a canonical
+// spec that parses back to the same scenario.
+func ParseScenario(scenarioSpec string) (*Scenario, error) {
+	s, err := scenario.Parse(scenarioSpec)
 	if err != nil {
 		return nil, fmt.Errorf("dismem: %w", err)
 	}

@@ -1,12 +1,20 @@
-// Resilience: inject node failures at several MTBF levels and watch
-// their toll on the memory-aware machine — node failures kill the jobs
-// above them, the site resubmits (up to 3 restarts), and waits inflate
-// from lost capacity plus redone work. Also prints per-user fairness,
-// which degrades as restarts hit some users harder than others.
+// Resilience: perturb the memory-aware machine with deterministic
+// scenario timelines — a planned rack outage of growing severity
+// stacked on a diurnal arrival cycle — and watch the toll: outage kills
+// become resubmissions (up to 3 restarts), waits inflate from the lost
+// capacity and redone work, and per-user fairness degrades as restarts
+// hit some users harder than others.
 //
-// The failure toll is tallied live through an Observer: OnTerminate
-// fires once per job with its final record, so the tally is complete
-// the instant the run is — no post-hoc scan over the recorder.
+// Before the scenario subsystem this example hand-rolled its own
+// failure injection; now the whole intervention timeline is one
+// Options.Scenario spec, every run shares the single workload seed, and
+// the same timeline can be replayed bit-identically against any policy
+// (try it with Policy: "easy-oblivious").
+//
+// The toll is tallied live through an Observer: OnScenarioEvent fires
+// per intervention and OnTerminate once per job with its final record,
+// so the tally is complete the instant the run is — no post-hoc scan
+// over the recorder.
 //
 //	go run ./examples/resilience
 package main
@@ -14,14 +22,15 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"dismem"
 )
 
-// tally counts terminal outcomes as they happen.
+// tally counts terminal outcomes and interventions as they happen.
 type tally struct {
 	dismem.NopObserver
-	restarts, killed, done int
+	restarts, killed, done, interventions int
 }
 
 // OnTerminate implements dismem.Observer.
@@ -33,30 +42,41 @@ func (t *tally) OnTerminate(_ int64, rec dismem.JobRecord) {
 	}
 }
 
+// OnScenarioEvent implements dismem.Observer.
+func (t *tally) OnScenarioEvent(int64, dismem.ScenarioEvent) { t.interventions++ }
+
+// outage builds the scenario: racks 0..n-1 go down at t=6 h and come
+// back at t=18 h, under a ±40% diurnal arrival cycle.
+func outage(n int) (*dismem.Scenario, error) {
+	stmts := []string{"from=0 period=86400 amp=0.4 diurnal"}
+	for r := 0; r < n; r++ {
+		stmts = append(stmts,
+			fmt.Sprintf("at=%d down rack=%d", 6*3600, r),
+			fmt.Sprintf("at=%d up rack=%d", 18*3600, r))
+	}
+	return dismem.ParseScenario(strings.Join(stmts, "; "))
+}
+
 func main() {
 	const jobs = 1000
 
-	fmt.Println("Node failures on the disaggregated machine (memaware, repair 1 h)")
-	fmt.Printf("%-14s %10s %10s %12s %10s %12s\n",
-		"MTBF h/node", "failures", "restarts", "wait (s)", "killed", "Jain(wait)")
+	fmt.Println("Planned 12 h rack outages on the disaggregated machine (memaware, diurnal arrivals)")
+	fmt.Printf("%-12s %14s %10s %12s %10s %12s\n",
+		"racks down", "interventions", "restarts", "wait (s)", "killed", "Jain(wait)")
 
-	for _, mtbfHours := range []int64{0, 1000, 250, 50} {
-		var failures *dismem.FailureConfig
-		if mtbfHours > 0 {
-			failures = &dismem.FailureConfig{
-				MTBFPerNodeSec: mtbfHours * 3600,
-				RepairSec:      3600,
-				Seed:           1,
-			}
+	wl := dismem.SyntheticWorkload(jobs, 21)
+	for _, racks := range []int{0, 1, 2, 4} {
+		sc, err := outage(racks)
+		if err != nil {
+			log.Fatal(err)
 		}
 		counts := &tally{}
-		wl := dismem.SyntheticWorkload(jobs, 21)
 		res, err := dismem.Simulate(dismem.Options{
 			Machine:  dismem.DefaultMachine(),
 			Policy:   "memaware",
 			Model:    "linear:0.5",
 			Workload: wl,
-			Failures: failures,
+			Scenario: sc,
 			Observer: counts,
 		})
 		if err != nil {
@@ -67,15 +87,16 @@ func main() {
 			log.Fatalf("observer tally (%d done, %d restarts) disagrees with report (%d, %d)",
 				counts.done, counts.restarts, r.Jobs()+r.Rejected, r.FailureKills)
 		}
-		fair := res.Recorder.Fairness()
-		label := "reliable"
-		if mtbfHours > 0 {
-			label = fmt.Sprintf("%d", mtbfHours)
+		if counts.interventions != res.ScenarioEvents {
+			log.Fatalf("observer saw %d interventions, result says %d",
+				counts.interventions, res.ScenarioEvents)
 		}
-		fmt.Printf("%-14s %10d %10d %12.0f %9.1f%% %12.3f\n",
-			label, r.NodeFailures, counts.restarts,
+		fair := res.Recorder.Fairness()
+		fmt.Printf("%-12d %14d %10d %12.0f %9.1f%% %12.3f\n",
+			racks, res.ScenarioEvents, counts.restarts,
 			r.Wait.Mean(), 100*r.KilledFraction(), fair.JainWait)
 	}
-	fmt.Println("\n(restarts = failure kills that were resubmitted; a job is abandoned")
-	fmt.Println(" and counted killed after 3 restarts)")
+	fmt.Println("\n(restarts = outage kills that were resubmitted; a job is abandoned")
+	fmt.Println(" and counted killed after 3 restarts; the timeline replays")
+	fmt.Println(" bit-identically per seed — swap the policy and compare)")
 }

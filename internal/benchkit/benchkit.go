@@ -89,3 +89,35 @@ func Simulation(b *testing.B) {
 	}
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
+
+// ScenarioSimulation is Simulation with an active intervention
+// timeline: a 12-hour rack outage plus a diurnal arrival cycle. It
+// measures the scenario subsystem's end-to-end overhead — the arrival
+// time-warp, the intervention events, the kill/resubmit churn, and the
+// extra scheduling passes they trigger.
+func ScenarioSimulation(b *testing.B) {
+	b.ReportAllocs()
+	sc, err := dismem.ParseScenario(
+		"at=21600 down rack=2; at=64800 up rack=2; from=0 period=86400 amp=0.4 diurnal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := dismem.New(dismem.Options{
+			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl, Scenario: sc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Jobs() == 0 || res.ScenarioEvents == 0 {
+			b.Fatal("scenario run degenerate")
+		}
+	}
+	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -152,6 +152,14 @@ type Machine struct {
 	downNodes int
 	allocs    map[int]*Allocation // by job ID
 
+	// poolDegraded marks pools whose capacity a SetPoolCapacity call
+	// pushed below live usage (scenario degradation). The flag is kept
+	// exactly equivalent to UsedMiB > CapacityMiB — re-evaluated on
+	// every resize, cleared when releases drain usage back under the
+	// capacity — so CheckInvariants can tolerate over-capacity usage
+	// precisely where degradation caused it and nowhere else.
+	poolDegraded []bool
+
 	// Incremental aggregates: maintained by Allocate/Release/
 	// SetDown/SetUp so schedulers never rescan the node array. Every
 	// counter here is cross-checked against a from-scratch
@@ -205,6 +213,7 @@ func New(cfg Config) (*Machine, error) {
 	m.remoteShares = make([]int, len(m.pools))
 	m.poolNeed = make([]int64, len(m.pools))
 	m.poolsHit = make([]PoolID, 0, len(m.pools))
+	m.poolDegraded = make([]bool, len(m.pools))
 	return m, nil
 }
 
@@ -344,6 +353,83 @@ func (m *Machine) SetUp(id NodeID) error {
 	return nil
 }
 
+// SetPoolCapacity resizes pool id to capMiB: the sanctioned mutation
+// for scenario-driven pool degradation and recovery. Shrinking below
+// the pool's current usage is allowed and puts the pool in a degraded
+// state — existing borrowers keep their memory, FreeMiB goes negative,
+// and no new remote placement is admitted until usage drains back
+// below the new capacity.
+//
+// Config() is NOT updated: Config.PoolMiB is one uniform number and
+// cannot represent heterogeneous pool capacities, so feasibility
+// probes (which plan against an idle machine built from Config) keep
+// assuming the configured size. A pool shrunk this way and never
+// restored can therefore strand admitted jobs, which the engine
+// reports at Finish; use SetAllPoolCapacities for a machine-wide
+// resize that feasibility follows.
+func (m *Machine) SetPoolCapacity(id PoolID, capMiB int64) error {
+	if id < 0 || int(id) >= len(m.pools) {
+		return fmt.Errorf("cluster: SetPoolCapacity: pool %d out of range", id)
+	}
+	if capMiB < 0 {
+		return fmt.Errorf("cluster: SetPoolCapacity: capacity %d < 0", capMiB)
+	}
+	p := &m.pools[id]
+	p.CapacityMiB = capMiB
+	m.poolDegraded[id] = p.UsedMiB > p.CapacityMiB
+	return nil
+}
+
+// SetAllPoolCapacities resizes every pool to capMiB and records the new
+// size in the machine config, so feasibility probes (which plan against
+// an idle machine built from Config) see the new capacity.
+func (m *Machine) SetAllPoolCapacities(capMiB int64) error {
+	if len(m.pools) == 0 {
+		return fmt.Errorf("cluster: SetAllPoolCapacities: machine has no pools")
+	}
+	for i := range m.pools {
+		if err := m.SetPoolCapacity(PoolID(i), capMiB); err != nil {
+			return err
+		}
+	}
+	m.cfg.PoolMiB = capMiB
+	return nil
+}
+
+// AddRack appends one rack of NodesPerRack fresh free nodes to the
+// machine — the sanctioned mutation for staged machine growth — and,
+// under rack topology, a fresh pool with the configured capacity and
+// fabric. It returns the new rack's index. Config() reflects the grown
+// shape immediately, so feasibility probes and report normalization
+// follow the machine as it grows.
+func (m *Machine) AddRack() (int, error) {
+	npr := m.cfg.NodesPerRack
+	base := len(m.nodes)
+	rack := m.cfg.Racks
+	m.cfg.Racks++
+	for i := 0; i < npr; i++ {
+		m.nodes = append(m.nodes, Node{ID: NodeID(base + i), Rack: rack})
+		m.nodeStamp = append(m.nodeStamp, 0)
+	}
+	for need := (len(m.nodes) + 63) / 64; len(m.freeBits) < need; {
+		m.freeBits = append(m.freeBits, 0)
+	}
+	for i := 0; i < npr; i++ {
+		m.setFree(NodeID(base + i))
+	}
+	m.freeNodes += npr
+	m.rackFree = append(m.rackFree, npr)
+	if m.cfg.Topology == TopologyRack {
+		m.pools = append(m.pools, Pool{
+			ID: PoolID(rack), CapacityMiB: m.cfg.PoolMiB, FabricGiBps: m.cfg.FabricGiBps,
+		})
+		m.remoteShares = append(m.remoteShares, 0)
+		m.poolNeed = append(m.poolNeed, 0)
+		m.poolDegraded = append(m.poolDegraded, false)
+	}
+	return rack, nil
+}
+
 // RunningJobs returns the number of committed allocations.
 func (m *Machine) RunningJobs() int { return len(m.allocs) }
 
@@ -467,6 +553,12 @@ func (m *Machine) Release(jobID int) error {
 			p.DemandGiBps -= m.shareDemand(s)
 			m.remoteShares[s.Pool]--
 			m.usedPoolMiB -= s.RemoteMiB
+			// Draining below a shrunken capacity ends the degraded
+			// state; normal admission (and the strict invariant)
+			// resume.
+			if m.poolDegraded[s.Pool] && p.UsedMiB <= p.CapacityMiB {
+				m.poolDegraded[s.Pool] = false
+			}
 			// Absorb float drift only once the pool has no remaining
 			// remote users; zeroing while users remain would erase
 			// their live demand.
@@ -627,8 +719,16 @@ func (m *Machine) CheckInvariants() error {
 		if p.UsedMiB != poolUsed[p.ID] {
 			return fmt.Errorf("cluster: pool %d used=%d, allocations say %d", p.ID, p.UsedMiB, poolUsed[p.ID])
 		}
-		if p.UsedMiB < 0 || p.UsedMiB > p.CapacityMiB {
-			return fmt.Errorf("cluster: pool %d used %d outside [0,%d]", p.ID, p.UsedMiB, p.CapacityMiB)
+		if p.UsedMiB < 0 {
+			return fmt.Errorf("cluster: pool %d used %d < 0", p.ID, p.UsedMiB)
+		}
+		// Over-capacity usage is legal only in the degraded state a
+		// shrinking SetPoolCapacity leaves behind, and the degraded
+		// flag must track used > capacity exactly (this single check
+		// therefore also catches any unsanctioned over-commit).
+		if got, want := m.poolDegraded[p.ID], p.UsedMiB > p.CapacityMiB; got != want {
+			return fmt.Errorf("cluster: pool %d degraded=%v, used %d vs capacity %d says %v",
+				p.ID, got, p.UsedMiB, p.CapacityMiB, want)
 		}
 		if diff := p.DemandGiBps - poolDemand[p.ID]; diff > 1e-6 || diff < -1e-6 {
 			return fmt.Errorf("cluster: pool %d demand=%g, allocations say %g", p.ID, p.DemandGiBps, poolDemand[p.ID])

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScenarioMutationsRandomOps drives the scenario mutation surface —
+// SetPoolCapacity (including degradation below live use),
+// SetAllPoolCapacities, AddRack — interleaved with the ordinary
+// allocate/release/fail/repair mix, asserting CheckInvariants and the
+// aggregate cross-checks after every single mutation.
+func TestScenarioMutationsRandomOps(t *testing.T) {
+	configs := map[string]Config{
+		"rack": {
+			Racks: 3, NodesPerRack: 8, CoresPerNode: 4, LocalMemMiB: 1024,
+			Topology: TopologyRack, PoolMiB: 8 * 1024, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+		},
+		"global": {
+			Racks: 2, NodesPerRack: 6, CoresPerNode: 2, LocalMemMiB: 512,
+			Topology: TopologyGlobal, PoolMiB: 6 * 1024, FabricGiBps: 8, TrafficGiBpsPerNode: 1,
+		},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(cfg)
+			rng := rand.New(rand.NewSource(7))
+			nextJob := 1
+			var live []int
+			var down []NodeID
+			resizes, grows, degradations := 0, 0, 0
+			for step := 0; step < 2500; step++ {
+				switch op := rng.Intn(14); {
+				case op < 5: // allocate
+					var free []NodeID
+					m.ForEachFree(func(id NodeID) bool { free = append(free, id); return true })
+					if len(free) == 0 {
+						break
+					}
+					k := 1 + rng.Intn(min(len(free), 4))
+					a := &Allocation{JobID: nextJob}
+					for _, id := range free[:k] {
+						s := NodeShare{Node: id, LocalMiB: int64(rng.Intn(int(cfg.LocalMemMiB))), Pool: NoPool}
+						if pid := m.PoolOf(id); pid != NoPool && rng.Intn(2) == 0 {
+							s.RemoteMiB = 1 + int64(rng.Intn(1024))
+							s.Pool = pid
+						}
+						a.Shares = append(a.Shares, s)
+					}
+					if err := m.Allocate(a); err == nil {
+						live = append(live, nextJob)
+						nextJob++
+					}
+				case op < 8: // release
+					if len(live) == 0 {
+						break
+					}
+					i := rng.Intn(len(live))
+					if err := m.Release(live[i]); err != nil {
+						t.Fatalf("step %d: release job %d: %v", step, live[i], err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				case op < 9: // fail a free node
+					var free []NodeID
+					m.ForEachFree(func(id NodeID) bool { free = append(free, id); return true })
+					if len(free) == 0 {
+						break
+					}
+					id := free[rng.Intn(len(free))]
+					if err := m.SetDown(id); err != nil {
+						t.Fatalf("step %d: SetDown(%d): %v", step, id, err)
+					}
+					down = append(down, id)
+				case op < 10: // repair
+					if len(down) == 0 {
+						break
+					}
+					i := rng.Intn(len(down))
+					if err := m.SetUp(down[i]); err != nil {
+						t.Fatalf("step %d: SetUp(%d): %v", step, down[i], err)
+					}
+					down[i] = down[len(down)-1]
+					down = down[:len(down)-1]
+				case op < 12: // resize one pool, sometimes below its usage
+					pools := m.Pools()
+					if len(pools) == 0 {
+						break
+					}
+					pid := PoolID(rng.Intn(len(pools)))
+					p, _ := m.Pool(pid)
+					var newCap int64
+					if p.UsedMiB > 0 && rng.Intn(2) == 0 {
+						newCap = rng.Int63n(p.UsedMiB + 1) // degrade below use
+						if newCap < p.UsedMiB {
+							degradations++
+						}
+					} else {
+						newCap = rng.Int63n(2 * cfg.PoolMiB)
+					}
+					if err := m.SetPoolCapacity(pid, newCap); err != nil {
+						t.Fatalf("step %d: SetPoolCapacity(%d, %d): %v", step, pid, newCap, err)
+					}
+					resizes++
+				case op < 13: // resize every pool (config-visible)
+					newCap := 1 + rng.Int63n(2*cfg.PoolMiB)
+					if err := m.SetAllPoolCapacities(newCap); err != nil {
+						t.Fatalf("step %d: SetAllPoolCapacities(%d): %v", step, newCap, err)
+					}
+					if m.Config().PoolMiB != newCap {
+						t.Fatalf("step %d: config PoolMiB %d after SetAllPoolCapacities(%d)",
+							step, m.Config().PoolMiB, newCap)
+					}
+					resizes++
+				default: // grow by a rack (bounded so the test stays fast)
+					if m.Config().Racks >= cfg.Racks+3 {
+						break
+					}
+					before := m.Config().TotalNodes()
+					rack, err := m.AddRack()
+					if err != nil {
+						t.Fatalf("step %d: AddRack: %v", step, err)
+					}
+					if rack != m.Config().Racks-1 {
+						t.Fatalf("step %d: AddRack returned rack %d, config has %d racks", step, rack, m.Config().Racks)
+					}
+					if got := m.Config().TotalNodes(); got != before+cfg.NodesPerRack {
+						t.Fatalf("step %d: grew to %d nodes, want %d", step, got, before+cfg.NodesPerRack)
+					}
+					if cfg.Topology == TopologyRack && len(m.Pools()) != m.Config().Racks {
+						t.Fatalf("step %d: %d pools for %d racks", step, len(m.Pools()), m.Config().Racks)
+					}
+					grows++
+				}
+				checkAggregates(t, m)
+			}
+			t.Logf("%s: %d resizes (%d degradations), %d grows, %d live at end",
+				name, resizes, degradations, grows, len(live))
+			if resizes == 0 || grows == 0 {
+				t.Fatalf("degenerate run: %d resizes, %d grows", resizes, grows)
+			}
+			if name == "rack" && degradations == 0 {
+				t.Fatal("no degradation (shrink below use) exercised")
+			}
+		})
+	}
+}
+
+// TestSetPoolCapacityDegradedAdmission pins the degradation semantics:
+// shrinking below live use keeps borrowers intact, makes FreeMiB
+// negative, and rejects new remote placements until usage drains.
+func TestSetPoolCapacityDegradedAdmission(t *testing.T) {
+	cfg := Config{
+		Racks: 1, NodesPerRack: 4, CoresPerNode: 1, LocalMemMiB: 1024,
+		Topology: TopologyRack, PoolMiB: 4096, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+	}
+	m := MustNew(cfg)
+	a := &Allocation{JobID: 1, Shares: []NodeShare{{Node: 0, LocalMiB: 1024, RemoteMiB: 2048, Pool: 0}}}
+	if err := m.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPoolCapacity(0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Pool(0)
+	if p.UsedMiB != 2048 || p.CapacityMiB != 1024 {
+		t.Fatalf("degraded pool: %+v", p)
+	}
+	if p.FreeMiB() >= 0 {
+		t.Fatalf("degraded pool FreeMiB = %d, want negative", p.FreeMiB())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("degraded state must satisfy invariants: %v", err)
+	}
+	// New remote placement is refused while degraded.
+	b := &Allocation{JobID: 2, Shares: []NodeShare{{Node: 1, LocalMiB: 0, RemoteMiB: 1, Pool: 0}}}
+	if err := m.Allocate(b); err == nil {
+		t.Fatal("degraded pool admitted new remote placement")
+	}
+	// Draining the borrower restores normal admission.
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(b); err != nil {
+		t.Fatalf("recovered pool refused placement: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDegradedFlagExact pins the oracle's precision: the degraded
+// flag tracks used > capacity exactly, so one pool's transient
+// degradation never blinds CheckInvariants to a genuine over-commit on
+// another pool (or a later one on the same pool).
+func TestPoolDegradedFlagExact(t *testing.T) {
+	cfg := Config{
+		Racks: 2, NodesPerRack: 2, CoresPerNode: 1, LocalMemMiB: 1024,
+		Topology: TopologyRack, PoolMiB: 4096, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+	}
+	m := MustNew(cfg)
+	a := &Allocation{JobID: 1, Shares: []NodeShare{{Node: 0, LocalMiB: 512, RemoteMiB: 2048, Pool: 0}}}
+	if err := m.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	// Degrade pool 0; invariants hold in the degraded state.
+	if err := m.SetPoolCapacity(0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring capacity clears the degradation immediately.
+	if err := m.SetPoolCapacity(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if m.poolDegraded[0] {
+		t.Fatal("flag still set after capacity restored")
+	}
+	// Degrade again, then drain the borrower: the flag clears on
+	// release and strict checking resumes.
+	if err := m.SetPoolCapacity(0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.poolDegraded[0] {
+		t.Fatal("flag still set after usage drained")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A capacity shortfall that did NOT come through SetPoolCapacity is
+	// a bug the oracle must still catch — even right after a legitimate
+	// degradation elsewhere.
+	if err := m.SetPoolCapacity(0, 0); err != nil { // pool 0 degraded path again (empty, so not degraded)
+		t.Fatal(err)
+	}
+	b := &Allocation{JobID: 2, Shares: []NodeShare{{Node: 2, LocalMiB: 512, RemoteMiB: 1024, Pool: 1}}}
+	if err := m.Allocate(b); err != nil {
+		t.Fatal(err)
+	}
+	m.pools[1].CapacityMiB = 512 // corrupt: bypasses SetPoolCapacity
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("oracle missed an unsanctioned over-capacity state")
+	}
+}
+
+// TestSetPoolCapacityErrors covers the argument checks.
+func TestSetPoolCapacityErrors(t *testing.T) {
+	m := MustNew(Config{
+		Racks: 1, NodesPerRack: 2, CoresPerNode: 1, LocalMemMiB: 64,
+		Topology: TopologyRack, PoolMiB: 1024, FabricGiBps: 1,
+	})
+	if err := m.SetPoolCapacity(5, 10); err == nil {
+		t.Error("out-of-range pool accepted")
+	}
+	if err := m.SetPoolCapacity(0, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	none := MustNew(Config{Racks: 1, NodesPerRack: 2, CoresPerNode: 1, LocalMemMiB: 64})
+	if err := none.SetAllPoolCapacities(10); err == nil {
+		t.Error("pool-less machine accepted SetAllPoolCapacities")
+	}
+}
+
+// TestAddRackAllocatable proves freshly grown nodes (and their pool)
+// accept allocations immediately.
+func TestAddRackAllocatable(t *testing.T) {
+	cfg := Config{
+		Racks: 1, NodesPerRack: 2, CoresPerNode: 1, LocalMemMiB: 64,
+		Topology: TopologyRack, PoolMiB: 1024, FabricGiBps: 4, TrafficGiBpsPerNode: 1,
+	}
+	m := MustNew(cfg)
+	rack, err := m.AddRack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack != 1 || m.FreeNodes() != 4 || m.RackFreeNodes(1) != 2 {
+		t.Fatalf("grown machine: rack=%d free=%d rackFree=%d", rack, m.FreeNodes(), m.RackFreeNodes(1))
+	}
+	newNode := NodeID(2) // first node of the new rack
+	if got := m.PoolOf(newNode); got != PoolID(1) {
+		t.Fatalf("PoolOf(new node) = %d, want 1", got)
+	}
+	a := &Allocation{JobID: 9, Shares: []NodeShare{{Node: newNode, LocalMiB: 64, RemoteMiB: 512, Pool: 1}}}
+	if err := m.Allocate(a); err != nil {
+		t.Fatalf("allocating on grown rack: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(9); err != nil {
+		t.Fatal(err)
+	}
+}

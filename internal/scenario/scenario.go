@@ -1,0 +1,553 @@
+// Package scenario defines a deterministic timeline of interventions
+// applied to a running simulation: node and rack outages with recovery,
+// pool capacity degradation and resize, remote-penalty (β) shifts,
+// arrival-rate modulation (surge windows, diurnal cycles), and staged
+// machine growth. A scenario is what turns the static evaluation of the
+// paper into the operator questions a production site asks: "what does
+// a 12-hour rack maintenance window cost?", "what if the fabric
+// degrades by 50% at noon?", "can the backlog from a morning surge
+// drain before the evening one?".
+//
+// Scenarios are compiled from a spec-style grammar in the same
+// key=value family as internal/spec. Statements are separated by ';'
+// or newlines; each statement is a set of space-separated key=value
+// terms plus exactly one bare verb:
+//
+//	at=3600 down rack=2          # rack 2 fails at t=1 h (kills occupants)
+//	at=7200 up rack=2            # ...and is repaired at t=2 h
+//	at=3600 down node=17         # single-node variants
+//	at=7200 up node=17
+//	at=3600 resize pool=1 cap=1048576   # pool 1 degraded to 1 TiB
+//	at=7200 resize pool=all cap=4194304 # all pools back to 4 TiB
+//	at=3600 beta scale=2         # remote penalty doubles (fabric brownout)
+//	at=86400 grow racks=2        # two new racks come online at day 1
+//	from=3600 until=7200 rate=3 surge   # 3x arrival rate for an hour
+//	from=0 period=86400 amp=0.5 diurnal # ±50% sinusoidal day/night cycle
+//
+// Timed interventions (down/up/resize/beta/grow) become ordinary DES
+// events in the engine, so runs stay bit-identical per seed; arrival
+// modulations (surge/diurnal) are applied to the workload's submission
+// times before the run starts, by the same deterministic gap-stretching
+// transform the synthetic generator uses. An empty scenario is
+// guaranteed to leave a run bit-identical to a scenario-free run.
+//
+// Determinism and liveness contract (see DESIGN.md §5): interventions
+// mutate the machine only through the sanctioned cluster surface
+// (SetDown/SetUp/SetPoolCapacity/AddRack); jobs killed by an outage are
+// resubmitted under the same restart budget as random failures; and a
+// scenario must leave enough eventual capacity for every feasible job
+// to finish — a rack that goes down and never comes back up can strand
+// queued jobs, which the engine reports as an error at Finish.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the timed intervention kinds.
+type Kind int
+
+const (
+	// Down takes a node or a whole rack out of service; occupants are
+	// killed and resubmitted under the engine's restart budget.
+	Down Kind = iota
+	// Up returns a downed node or rack to service (a no-op for targets
+	// that are not down).
+	Up
+	// Resize sets a pool's capacity. Shrinking below current use
+	// degrades the pool: existing borrowers keep their memory, but no
+	// new remote placement is admitted until usage drains below the new
+	// capacity.
+	Resize
+	// Beta scales the remote penalty: every model-predicted dilation d
+	// becomes 1 + Scale*(d-1) (a fabric brownout or recovery).
+	Beta
+	// Grow adds whole racks of fresh nodes (and, under rack topology,
+	// their pools) to the machine.
+	Grow
+)
+
+// String implements fmt.Stringer with the grammar's verb names.
+func (k Kind) String() string {
+	switch k {
+	case Down:
+		return "down"
+	case Up:
+		return "up"
+	case Resize:
+		return "resize"
+	case Beta:
+		return "beta"
+	case Grow:
+		return "grow"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AllPools is the Event.Pool value meaning "every pool".
+const AllPools = -1
+
+// NoTarget marks an unused Rack/Node target field.
+const NoTarget = -1
+
+// Event is one timed intervention. Exactly the fields its Kind uses
+// are meaningful; the rest hold their zero/NoTarget values so events
+// compare cleanly with ==.
+type Event struct {
+	// At is the virtual time (seconds) the intervention fires.
+	At int64
+	// Kind selects the intervention.
+	Kind Kind
+	// Rack targets a whole rack for Down/Up (NoTarget when Node is
+	// set).
+	Rack int
+	// Node targets a single node for Down/Up (NoTarget when Rack is
+	// set).
+	Node int
+	// Pool targets a pool for Resize (AllPools for every pool).
+	Pool int
+	// CapMiB is the new pool capacity for Resize.
+	CapMiB int64
+	// Scale is the penalty multiplier for Beta.
+	Scale float64
+	// Racks is the number of racks Grow adds.
+	Racks int
+}
+
+// String emits the event as one grammar statement that Parse accepts.
+func (e Event) String() string {
+	switch e.Kind {
+	case Down, Up:
+		if e.Node != NoTarget {
+			return fmt.Sprintf("at=%d %s node=%d", e.At, e.Kind, e.Node)
+		}
+		return fmt.Sprintf("at=%d %s rack=%d", e.At, e.Kind, e.Rack)
+	case Resize:
+		if e.Pool == AllPools {
+			return fmt.Sprintf("at=%d resize pool=all cap=%d", e.At, e.CapMiB)
+		}
+		return fmt.Sprintf("at=%d resize pool=%d cap=%d", e.At, e.Pool, e.CapMiB)
+	case Beta:
+		return fmt.Sprintf("at=%d beta scale=%s", e.At, formatFloat(e.Scale))
+	case Grow:
+		return fmt.Sprintf("at=%d grow racks=%d", e.At, e.Racks)
+	default:
+		return fmt.Sprintf("at=%d %s", e.At, e.Kind)
+	}
+}
+
+// Validate reports the first structural problem with the event, or nil.
+func (e Event) Validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("scenario: %s at=%d before simulation start", e.Kind, e.At)
+	}
+	switch e.Kind {
+	case Down, Up:
+		rackSet, nodeSet := e.Rack != NoTarget, e.Node != NoTarget
+		if rackSet == nodeSet {
+			return fmt.Errorf("scenario: %s needs exactly one of rack= or node=", e.Kind)
+		}
+		if rackSet && e.Rack < 0 || nodeSet && e.Node < 0 {
+			return fmt.Errorf("scenario: %s target must be non-negative", e.Kind)
+		}
+	case Resize:
+		if e.Pool != AllPools && e.Pool < 0 {
+			return fmt.Errorf("scenario: resize pool %d invalid (use pool=all for every pool)", e.Pool)
+		}
+		if e.CapMiB < 0 {
+			return fmt.Errorf("scenario: resize cap %d < 0", e.CapMiB)
+		}
+	case Beta:
+		if e.Scale <= 0 || math.IsNaN(e.Scale) || math.IsInf(e.Scale, 0) {
+			return fmt.Errorf("scenario: beta scale %g must be a finite positive number", e.Scale)
+		}
+	case Grow:
+		if e.Racks <= 0 {
+			return fmt.Errorf("scenario: grow racks %d <= 0", e.Racks)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// ModKind enumerates the arrival-rate modulation kinds.
+type ModKind int
+
+const (
+	// Surge multiplies the arrival rate by Rate within [From, Until).
+	Surge ModKind = iota
+	// Diurnal modulates the arrival rate by 1 + Amp*sin(2π(t-From)/Period)
+	// from From onward.
+	Diurnal
+)
+
+// String implements fmt.Stringer with the grammar's verb names.
+func (k ModKind) String() string {
+	switch k {
+	case Surge:
+		return "surge"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("modkind(%d)", int(k))
+	}
+}
+
+// Modulation is one arrival-rate modulation window. Modulations
+// compose multiplicatively where they overlap.
+type Modulation struct {
+	// Kind selects the modulation shape.
+	Kind ModKind
+	// From is when the modulation starts (seconds).
+	From int64
+	// Until ends a surge window; 0 means "until the end of the trace".
+	// Unused by Diurnal.
+	Until int64
+	// Rate is the surge arrival-rate multiplier.
+	Rate float64
+	// Period is the diurnal cycle length in seconds.
+	Period int64
+	// Amp is the diurnal amplitude in [0, 1).
+	Amp float64
+}
+
+// String emits the modulation as one grammar statement.
+func (m Modulation) String() string {
+	switch m.Kind {
+	case Surge:
+		if m.Until > 0 {
+			return fmt.Sprintf("from=%d until=%d rate=%s surge", m.From, m.Until, formatFloat(m.Rate))
+		}
+		return fmt.Sprintf("from=%d rate=%s surge", m.From, formatFloat(m.Rate))
+	case Diurnal:
+		return fmt.Sprintf("from=%d period=%d amp=%s diurnal", m.From, m.Period, formatFloat(m.Amp))
+	default:
+		return m.Kind.String()
+	}
+}
+
+// Validate reports the first structural problem, or nil.
+func (m Modulation) Validate() error {
+	if m.From < 0 {
+		return fmt.Errorf("scenario: %s from=%d before simulation start", m.Kind, m.From)
+	}
+	switch m.Kind {
+	case Surge:
+		if m.Rate <= 0 || math.IsNaN(m.Rate) || math.IsInf(m.Rate, 0) {
+			return fmt.Errorf("scenario: surge rate %g must be a finite positive number", m.Rate)
+		}
+		if m.Until != 0 && m.Until <= m.From {
+			return fmt.Errorf("scenario: surge window [%d, %d) is empty", m.From, m.Until)
+		}
+	case Diurnal:
+		if m.Period <= 0 {
+			return fmt.Errorf("scenario: diurnal period %d <= 0", m.Period)
+		}
+		if m.Amp < 0 || m.Amp >= 1 {
+			return fmt.Errorf("scenario: diurnal amplitude %g outside [0, 1)", m.Amp)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown modulation kind %d", int(m.Kind))
+	}
+	return nil
+}
+
+// factor returns the modulation's rate multiplier at time t.
+func (m Modulation) factor(t float64) float64 {
+	if t < float64(m.From) {
+		return 1
+	}
+	switch m.Kind {
+	case Surge:
+		if m.Until != 0 && t >= float64(m.Until) {
+			return 1
+		}
+		return m.Rate
+	case Diurnal:
+		phase := 2 * math.Pi * (t - float64(m.From)) / float64(m.Period)
+		return 1 + m.Amp*math.Sin(phase)
+	default:
+		return 1
+	}
+}
+
+// Scenario is a full intervention timeline: timed events plus arrival
+// modulations. The zero value (and a parsed empty spec) is the empty
+// scenario, which leaves a simulation bit-identical to a scenario-free
+// run. Scenarios are immutable once built and safe to share across
+// concurrently running simulations.
+type Scenario struct {
+	// Events fire as ordinary DES events at their At times. Events at
+	// the same instant fire in slice order.
+	Events []Event
+	// Mods reshape the workload's arrival process before the run.
+	Mods []Modulation
+}
+
+// Empty reports whether the scenario intervenes at all.
+func (s *Scenario) Empty() bool {
+	return s == nil || (len(s.Events) == 0 && len(s.Mods) == 0)
+}
+
+// Modulates reports whether the scenario reshapes arrivals.
+func (s *Scenario) Modulates() bool { return s != nil && len(s.Mods) > 0 }
+
+// Rate returns the combined arrival-rate multiplier at time t: the
+// product of every modulation's factor, floored at a small positive
+// value so the time transform stays finite.
+func (s *Scenario) Rate(t float64) float64 {
+	r := 1.0
+	for _, m := range s.Mods {
+		r *= m.factor(t)
+	}
+	if r < 1e-9 {
+		r = 1e-9
+	}
+	return r
+}
+
+// Validate reports the first invalid event or modulation, or nil.
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.Mods {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String emits the scenario in the grammar Parse accepts; Parse(s.String())
+// reproduces s exactly (the round-trip property the tests pin down).
+// Statements appear in input order: events first is NOT imposed — the
+// original interleaving of events and modulations is not retained, so
+// the canonical form lists events then modulations. Event order among
+// events (and modulation order among modulations) is preserved, which
+// is the only order that affects behavior.
+func (s *Scenario) String() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Events)+len(s.Mods))
+	for _, e := range s.Events {
+		parts = append(parts, e.String())
+	}
+	for _, m := range s.Mods {
+		parts = append(parts, m.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// verbs names every statement verb, for error messages.
+var verbs = []string{"down", "up", "resize", "beta", "grow", "surge", "diurnal"}
+
+// Parse compiles a scenario spec (see the package comment for the
+// grammar). An empty or all-whitespace spec yields the empty scenario.
+func Parse(spec string) (*Scenario, error) {
+	s := &Scenario{}
+	normalized := strings.NewReplacer("\n", ";", "\r", ";").Replace(spec)
+	for _, stmt := range strings.Split(normalized, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if err := parseStatement(s, stmt); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse for specs known valid at compile time; it panics
+// on error.
+func MustParse(spec string) *Scenario {
+	s, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// parseStatement parses one verb statement and appends it to s.
+func parseStatement(s *Scenario, stmt string) error {
+	verb := ""
+	terms := map[string]string{}
+	for _, tok := range strings.Fields(stmt) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			if verb != "" {
+				return fmt.Errorf("scenario: statement %q has two verbs (%q and %q)", stmt, verb, tok)
+			}
+			verb = tok
+			continue
+		}
+		if k == "" || v == "" {
+			return fmt.Errorf("scenario: malformed term %q in %q (want key=value)", tok, stmt)
+		}
+		if _, dup := terms[k]; dup {
+			return fmt.Errorf("scenario: duplicate term %q in %q", k, stmt)
+		}
+		terms[k] = v
+	}
+	if verb == "" {
+		return fmt.Errorf("scenario: statement %q has no verb (known: %v)", stmt, verbs)
+	}
+
+	used := map[string]bool{}
+	intTerm := func(key string, def int64, required bool) (int64, error) {
+		v, ok := terms[key]
+		if !ok {
+			if required {
+				return 0, fmt.Errorf("scenario: %s needs %s= in %q", verb, key, stmt)
+			}
+			return def, nil
+		}
+		used[key] = true
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: %s=%s is not an integer in %q", key, v, stmt)
+		}
+		return n, nil
+	}
+	floatTerm := func(key string, required bool) (float64, bool, error) {
+		v, ok := terms[key]
+		if !ok {
+			if required {
+				return 0, false, fmt.Errorf("scenario: %s needs %s= in %q", verb, key, stmt)
+			}
+			return 0, false, nil
+		}
+		used[key] = true
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, false, fmt.Errorf("scenario: %s=%s is not a number in %q", key, v, stmt)
+		}
+		return f, true, nil
+	}
+
+	switch verb {
+	case "down", "up":
+		at, err := intTerm("at", 0, true)
+		if err != nil {
+			return err
+		}
+		ev := Event{At: at, Kind: Down, Rack: NoTarget, Node: NoTarget}
+		if verb == "up" {
+			ev.Kind = Up
+		}
+		if _, ok := terms["rack"]; ok {
+			r, err := intTerm("rack", 0, true)
+			if err != nil {
+				return err
+			}
+			ev.Rack = int(r)
+		}
+		if _, ok := terms["node"]; ok {
+			n, err := intTerm("node", 0, true)
+			if err != nil {
+				return err
+			}
+			ev.Node = int(n)
+		}
+		s.Events = append(s.Events, ev)
+	case "resize":
+		at, err := intTerm("at", 0, true)
+		if err != nil {
+			return err
+		}
+		capMiB, err := intTerm("cap", 0, true)
+		if err != nil {
+			return err
+		}
+		pool := 0
+		if pv, ok := terms["pool"]; ok && pv == "all" {
+			used["pool"] = true
+			pool = AllPools
+		} else {
+			p, err := intTerm("pool", 0, true)
+			if err != nil {
+				return err
+			}
+			pool = int(p)
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: Resize, Rack: NoTarget, Node: NoTarget, Pool: pool, CapMiB: capMiB})
+	case "beta":
+		at, err := intTerm("at", 0, true)
+		if err != nil {
+			return err
+		}
+		scale, _, err := floatTerm("scale", true)
+		if err != nil {
+			return err
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: Beta, Rack: NoTarget, Node: NoTarget, Scale: scale})
+	case "grow":
+		at, err := intTerm("at", 0, true)
+		if err != nil {
+			return err
+		}
+		racks, err := intTerm("racks", 1, false)
+		if err != nil {
+			return err
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: Grow, Rack: NoTarget, Node: NoTarget, Racks: int(racks)})
+	case "surge":
+		from, err := intTerm("from", 0, false)
+		if err != nil {
+			return err
+		}
+		until, err := intTerm("until", 0, false)
+		if err != nil {
+			return err
+		}
+		rate, _, err := floatTerm("rate", true)
+		if err != nil {
+			return err
+		}
+		s.Mods = append(s.Mods, Modulation{Kind: Surge, From: from, Until: until, Rate: rate})
+	case "diurnal":
+		from, err := intTerm("from", 0, false)
+		if err != nil {
+			return err
+		}
+		period, err := intTerm("period", 86400, false)
+		if err != nil {
+			return err
+		}
+		amp, _, err := floatTerm("amp", true)
+		if err != nil {
+			return err
+		}
+		s.Mods = append(s.Mods, Modulation{Kind: Diurnal, From: from, Period: period, Amp: amp})
+	default:
+		return fmt.Errorf("scenario: unknown verb %q in %q (known: %v)", verb, stmt, verbs)
+	}
+
+	for k := range terms {
+		if !used[k] {
+			return fmt.Errorf("scenario: term %s= does not apply to %s in %q", k, verb, stmt)
+		}
+	}
+	return nil
+}
+
+// formatFloat emits floats the way the grammar reads them back
+// losslessly ('g' with full precision parses to the same value).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip pins the grammar's round-trip property for every
+// documented intervention kind: Parse(s.String()) reproduces s exactly.
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"at=3600 down rack=2",
+		"at=3600 down node=17",
+		"at=7200 up rack=2",
+		"at=7200 up node=17",
+		"at=3600 resize pool=1 cap=1048576",
+		"at=7200 resize pool=all cap=4194304",
+		"at=3600 beta scale=2",
+		"at=3600 beta scale=0.5",
+		"at=86400 grow racks=2",
+		"from=3600 until=7200 rate=3 surge",
+		"from=3600 rate=0.25 surge",
+		"from=0 period=86400 amp=0.5 diurnal",
+		// The issue's motivating example.
+		"at=3600 down rack=2; at=7200 up rack=2; from=0 period=86400 amp=0.5 diurnal",
+		// Multi-statement with every kind at once.
+		"at=0 down node=3; at=10 resize pool=0 cap=0; at=20 beta scale=1.5; at=30 grow racks=1; at=40 up node=3; from=5 until=15 rate=2 surge",
+	}
+	for _, spec := range specs {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		out := s.String()
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(String(%q) = %q): %v", spec, out, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("round trip of %q via %q:\n got %+v\nwant %+v", spec, out, s2, s)
+		}
+		if out2 := s2.String(); out2 != out {
+			t.Errorf("String not a fixed point for %q: %q then %q", spec, out, out2)
+		}
+	}
+}
+
+// TestParseStatementSeparators accepts ';' and newlines interchangeably.
+func TestParseStatementSeparators(t *testing.T) {
+	a := MustParse("at=1 down rack=0; at=2 up rack=0")
+	b := MustParse("at=1 down rack=0\nat=2 up rack=0")
+	c := MustParse("  at=1 down rack=0 ;\n ; at=2 up rack=0 ; ")
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+		t.Fatalf("separator forms disagree: %+v vs %+v vs %+v", a, b, c)
+	}
+}
+
+// TestParseEmpty yields the empty scenario for empty input.
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";;", "\n\n"} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if !s.Empty() {
+			t.Errorf("Parse(%q) not empty: %+v", spec, s)
+		}
+		if s.String() != "" {
+			t.Errorf("empty scenario String() = %q", s.String())
+		}
+	}
+	var nilScenario *Scenario
+	if !nilScenario.Empty() {
+		t.Error("nil scenario should be Empty")
+	}
+	if err := nilScenario.Validate(); err != nil {
+		t.Errorf("nil scenario Validate: %v", err)
+	}
+}
+
+// TestParseErrors rejects malformed specs with a pointed message.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"frobnicate at=1", "unknown verb"},
+		{"at=1", "no verb"},
+		{"at=1 down", "exactly one of rack= or node="},
+		{"at=1 down rack=0 node=1", "exactly one of rack= or node="},
+		{"down rack=0", "needs at="},
+		{"at=-5 down rack=0", "before simulation start"},
+		{"at=x down rack=0", "not an integer"},
+		{"at=1 down rack=0 up", "two verbs"},
+		{"at=1 down rack=0 rack=1", "duplicate term"},
+		{"at=1 down rack=0 pool=2", "does not apply"},
+		{"at=1 resize pool=0", "needs cap="},
+		{"at=1 resize cap=5", "needs pool="},
+		{"at=1 resize pool=0 cap=-1", "cap -1 < 0"},
+		{"at=1 beta", "needs scale="},
+		{"at=1 beta scale=0", "finite positive"},
+		{"at=1 beta scale=-2", "finite positive"},
+		{"at=1 grow racks=0", "racks 0 <= 0"},
+		{"from=1 surge", "needs rate="},
+		{"from=10 until=5 rate=2 surge", "window [10, 5) is empty"},
+		{"rate=0 surge", "finite positive"},
+		{"amp=1 diurnal", "outside [0, 1)"},
+		{"amp=-0.1 diurnal", "outside [0, 1)"},
+		{"period=-1 amp=0.5 diurnal", "period -1 <= 0"},
+		{"at=1 down rack", "two verbs"},
+		{"at= down rack=0", "malformed term"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q, got nil", c.spec, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+// TestGrowDefaultsToOneRack omitted racks= means one rack.
+func TestGrowDefaultsToOneRack(t *testing.T) {
+	s := MustParse("at=5 grow")
+	if len(s.Events) != 1 || s.Events[0].Racks != 1 {
+		t.Fatalf("grow default: %+v", s.Events)
+	}
+}
+
+// TestRate checks the combined modulation factor.
+func TestRate(t *testing.T) {
+	s := MustParse("from=100 until=200 rate=3 surge; from=0 period=400 amp=0.5 diurnal")
+	// Before the surge: diurnal only. At t=100 the sine is sin(π/2)=1.
+	if got, want := s.Rate(100), 3*(1+0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Rate(100) = %g, want %g", got, want)
+	}
+	// At t=300 the surge has ended and sin(3π/2) = -1.
+	if got, want := s.Rate(300), 1-0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Rate(300) = %g, want %g", got, want)
+	}
+	// Before a modulation's From it contributes nothing.
+	late := MustParse("from=1000 rate=9 surge")
+	if got := late.Rate(10); got != 1 {
+		t.Errorf("Rate before From = %g, want 1", got)
+	}
+	// The floor keeps the transform finite even for pathological products.
+	deep := &Scenario{Mods: []Modulation{
+		{Kind: Surge, From: 0, Rate: 1e-12},
+	}}
+	if got := deep.Rate(5); got <= 0 {
+		t.Errorf("Rate floor violated: %g", got)
+	}
+	// An open-ended surge stays active.
+	open := MustParse("from=50 rate=2 surge")
+	if got := open.Rate(1e9); got != 2 {
+		t.Errorf("open surge Rate = %g, want 2", got)
+	}
+}
+
+// TestEventStringUnknownKind keeps String total.
+func TestEventStringUnknownKind(t *testing.T) {
+	e := Event{At: 5, Kind: Kind(99)}
+	if !strings.Contains(e.String(), "kind(99)") {
+		t.Errorf("unknown kind String: %q", e.String())
+	}
+	if err := e.Validate(); err == nil {
+		t.Error("unknown kind should not validate")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"dismem/internal/des"
 	"dismem/internal/memmodel"
 	"dismem/internal/metrics"
+	"dismem/internal/scenario"
 	"dismem/internal/sched"
 	"dismem/internal/stats"
 	"dismem/internal/workload"
@@ -40,6 +41,12 @@ type Config struct {
 	// Failures optionally injects node failures (nil = reliable
 	// machine).
 	Failures *FailureConfig
+	// Scenario optionally perturbs the run with a deterministic
+	// intervention timeline (outages, pool resizes, penalty shifts,
+	// growth, arrival modulation); see package scenario. Nil and the
+	// empty scenario both leave the run bit-identical to a
+	// scenario-free one.
+	Scenario *scenario.Scenario
 	// Observer optionally receives lifecycle callbacks (nil = none).
 	// Callbacks must be read-only w.r.t. engine state; see Observer.
 	Observer Observer
@@ -95,6 +102,10 @@ type Result struct {
 	// the simulated prefix, and queued or running jobs at the stop
 	// instant have no records.
 	Stopped bool
+	// ScenarioEvents counts the timed interventions that were applied
+	// (0 without a scenario; pending interventions cancelled when the
+	// last job finished are not counted).
+	ScenarioEvents int
 }
 
 type runningState struct {
@@ -148,6 +159,16 @@ type Engine struct {
 	failKills int // failure kills (each becomes a restart)
 	restarts  map[int]int
 
+	// Scenario state: pending intervention events (cancelled with the
+	// last job), the remote-penalty scale the last beta event set, how
+	// many interventions have been applied, and which nodes a scenario
+	// outage holds down (planned outages take precedence over the
+	// random-failure repair process).
+	scenEvs      []*des.Event
+	dilScale     float64
+	scenApplied  int
+	scenarioDown map[cluster.NodeID]bool
+
 	sampleEv *des.Event
 }
 
@@ -165,15 +186,20 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Scenario.Validate(); err != nil {
+		return nil, err
+	}
 	return &Engine{
-		cfg:      cfg,
-		sim:      des.New(),
-		m:        m,
-		rec:      metrics.NewRecorder(),
-		obs:      cfg.Observer,
-		running:  make(map[int]*runningState),
-		reDilate: memmodel.ContentionSensitive(cfg.Model),
-		restarts: make(map[int]int),
+		cfg:          cfg,
+		sim:          des.New(),
+		m:            m,
+		rec:          metrics.NewRecorder(),
+		obs:          cfg.Observer,
+		running:      make(map[int]*runningState),
+		reDilate:     memmodel.ContentionSensitive(cfg.Model),
+		restarts:     make(map[int]int),
+		dilScale:     1,
+		scenarioDown: make(map[cluster.NodeID]bool),
 	}, nil
 }
 
@@ -195,6 +221,11 @@ func (e *Engine) Start(w *workload.Workload) error {
 	if e.started {
 		return fmt.Errorf("sim: engine already started")
 	}
+	if e.cfg.Scenario.Modulates() {
+		// Arrival modulation is a pre-run workload transform, not an
+		// event stream: the caller's workload is cloned, never mutated.
+		w = workload.ModulateArrivals(w, e.cfg.Scenario.Rate)
+	}
 	if err := w.Validate(); err != nil {
 		return err
 	}
@@ -211,6 +242,13 @@ func (e *Engine) Start(w *workload.Workload) error {
 	}
 	if e.obs != nil && e.cfg.SampleEvery > 0 && e.jobsLeft > 0 {
 		e.scheduleNextSample()
+	}
+	if e.cfg.Scenario != nil && e.jobsLeft > 0 {
+		for _, ev := range e.cfg.Scenario.Events {
+			ev := ev
+			e.scenEvs = append(e.scenEvs,
+				e.sim.Schedule(des.Time(ev.At), func(now des.Time) { e.onScenario(int64(now), ev) }))
+		}
 	}
 	return nil
 }
@@ -280,17 +318,21 @@ func (e *Engine) Finish() (*Result, error) {
 		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
 			len(e.queue), len(e.running), e.cfg.Scheduler.Name())
 	}
-	// Close the last integration interval.
+	// Close the last integration interval. Normalize against the
+	// machine's current config, which scenario growth or uniform pool
+	// resizes may have changed since construction (identical to
+	// cfg.Machine otherwise).
 	e.rec.Observe(e.lastEventTime(), e.m.Usage())
-	report := e.rec.Report(e.cfg.Machine)
+	report := e.rec.Report(e.m.Config())
 	report.NodeFailures = e.failures
 	report.FailureKills = e.failKills
 	e.finished = true
 	e.result = &Result{
-		Report:   report,
-		Recorder: e.rec,
-		Events:   e.sim.Fired(),
-		Stopped:  e.sim.Stopped(),
+		Report:         report,
+		Recorder:       e.rec,
+		Events:         e.sim.Fired(),
+		Stopped:        e.sim.Stopped(),
+		ScenarioEvents: e.scenApplied,
 	}
 	return e.result, nil
 }
@@ -481,7 +523,10 @@ func (e *Engine) start(now int64, d sched.Dispatch) {
 }
 
 // currentDilation evaluates the model against the committed allocation
-// under present congestion (worst pool the job touches).
+// under present congestion (worst pool the job touches), then applies
+// the scenario's remote-penalty scale. Schedulers keep planning with
+// the nominal model: the predictor does not know about a brownout,
+// only the physics does.
 func (e *Engine) currentDilation(a *cluster.Allocation) float64 {
 	if e.cfg.Model == nil || a.RemoteMiB() == 0 {
 		return 1
@@ -494,7 +539,7 @@ func (e *Engine) currentDilation(a *cluster.Allocation) float64 {
 			}
 		}
 	}
-	return e.cfg.Model.Dilation(a.RemoteFraction(), worst)
+	return e.scaledDilation(e.cfg.Model.Dilation(a.RemoteFraction(), worst))
 }
 
 // scheduleEnd (re)schedules the job's termination: completion when its
@@ -540,7 +585,7 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 	if byFailure {
 		e.failKills++
 		e.restarts[job.ID]++
-		if e.restarts[job.ID] < e.cfg.Failures.maxRestarts() {
+		if e.restarts[job.ID] < e.maxRestarts() {
 			// The site resubmits the job: it re-enters the queue and
 			// restarts from scratch. Only its final outcome produces
 			// a job record.
@@ -587,12 +632,21 @@ func (e *Engine) jobDone() {
 		e.sim.Cancel(e.sampleEv)
 		e.sampleEv = nil
 	}
+	// Pending interventions can no longer affect any job; cancel them
+	// so the event queue drains at the true end of the run (Cancel is a
+	// no-op for the ones that already fired).
+	for _, ev := range e.scenEvs {
+		e.sim.Cancel(ev)
+	}
+	e.scenEvs = nil
 }
 
 // scheduleNextFailure arms the next machine-wide failure: N nodes with
-// per-node MTBF M fail as a Poisson process of rate N/M.
+// per-node MTBF M fail as a Poisson process of rate N/M. The node count
+// is read from the live machine, so a scenario-grown machine fails
+// proportionally more often from the next arming on.
 func (e *Engine) scheduleNextFailure() {
-	mean := float64(e.cfg.Failures.MTBFPerNodeSec) / float64(e.cfg.Machine.TotalNodes())
+	mean := float64(e.cfg.Failures.MTBFPerNodeSec) / float64(e.m.Config().TotalNodes())
 	delta := int64(e.failRNG.ExpFloat64()*mean) + 1
 	e.failEv = e.sim.ScheduleDelta(des.Time(delta), func(now des.Time) { e.onFailure(int64(now)) })
 }
@@ -625,8 +679,14 @@ func (e *Engine) onFailure(now int64) {
 		panic(fmt.Sprintf("sim: failing node %d: %v", victim, err))
 	}
 	e.sim.ScheduleDelta(des.Time(e.cfg.Failures.RepairSec), func(t des.Time) {
-		if err := e.m.SetUp(victim); err != nil {
-			panic(fmt.Sprintf("sim: repairing node %d: %v", victim, err))
+		// A scenario "up" may have repaired the node already; only a
+		// still-down node needs (and tolerates) the SetUp. A node a
+		// scenario outage holds down stays down until its "up" event —
+		// planned outages outrank the failure repair process.
+		if e.m.Nodes()[victim].Down && !e.scenarioDown[victim] {
+			if err := e.m.SetUp(victim); err != nil {
+				panic(fmt.Sprintf("sim: repairing node %d: %v", victim, err))
+			}
 		}
 		e.requestPass()
 	})
@@ -648,6 +708,16 @@ func (e *Engine) afterChange(now int64) {
 	if !e.reDilate {
 		return
 	}
+	e.redilateRunning(now)
+}
+
+// redilateRunning integrates every remote job's progress at its old
+// rate, then switches it to the rate current congestion (and the
+// scenario's penalty scale) dictates. Called from afterChange under
+// contention-sensitive models, and unconditionally after a scenario
+// beta shift — which changes rates even under models whose dilation is
+// otherwise fixed at dispatch.
+func (e *Engine) redilateRunning(now int64) {
 	// Deterministic order: ascending job ID. runIDs is maintained in
 	// exactly that order, so no per-call collection or sort is needed
 	// (same-instant DES events fire in scheduling order, so the order

@@ -3,6 +3,7 @@ package sim
 import (
 	"dismem/internal/cluster"
 	"dismem/internal/metrics"
+	"dismem/internal/scenario"
 	"dismem/internal/workload"
 )
 
@@ -53,6 +54,11 @@ type Observer interface {
 	// inserts extra DES events, so Result.Events differs from an
 	// unsampled run; all scheduling outcomes are unchanged.
 	OnSample(s Sample)
+	// OnScenarioEvent fires after a scenario intervention has been
+	// applied to the machine (and before the re-dilation and
+	// scheduling pass it triggers). Interventions cancelled because
+	// every job already terminated do not fire.
+	OnScenarioEvent(now int64, ev scenario.Event)
 }
 
 // NopObserver implements Observer with no-ops; embed it to implement
@@ -70,3 +76,6 @@ func (NopObserver) OnPassEnd(int64, int, int) {}
 
 // OnSample implements Observer.
 func (NopObserver) OnSample(Sample) {}
+
+// OnScenarioEvent implements Observer.
+func (NopObserver) OnScenarioEvent(int64, scenario.Event) {}

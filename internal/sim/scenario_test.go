@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/memmodel"
+	"dismem/internal/scenario"
+	"dismem/internal/sched"
+	"dismem/internal/workload"
+)
+
+// scenarioMachine is a small disaggregated machine scenario tests run
+// on: 4 racks x 4 nodes, 1 GiB local, 4 GiB rack pools.
+func scenarioMachine() cluster.Config {
+	return cluster.Config{
+		Racks: 4, NodesPerRack: 4, CoresPerNode: 2, LocalMemMiB: 1024,
+		Topology: cluster.TopologyRack, PoolMiB: 4 * 1024, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+	}
+}
+
+func scenarioConfig(sc *scenario.Scenario) Config {
+	return Config{
+		Machine: scenarioMachine(),
+		Model:   memmodel.Linear{Beta: 0.5},
+		Scheduler: &sched.Batch{
+			Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: core.New(),
+		},
+		ExtendLimit:     true,
+		CheckInvariants: true,
+		Scenario:        sc,
+	}
+}
+
+// TestScenarioEmptyBitIdentical pins the keystone determinism
+// guarantee: a run with the empty (but non-nil) scenario — and one with
+// an empty parsed spec — is bit-identical to a scenario-free run,
+// events included.
+func TestScenarioEmptyBitIdentical(t *testing.T) {
+	w := scenarioWorkloadSimple(200, 3)
+	run := func(sc *scenario.Scenario) *Result {
+		cfg := scenarioConfig(sc)
+		res, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	empty := run(&scenario.Scenario{})
+	parsed := run(scenario.MustParse("  ;\n "))
+	for name, got := range map[string]*Result{"empty": empty, "parsed-empty": parsed} {
+		if got.Events != plain.Events {
+			t.Errorf("%s scenario: %d events, scenario-free run fired %d", name, got.Events, plain.Events)
+		}
+		if !reflect.DeepEqual(got.Report, plain.Report) {
+			t.Errorf("%s scenario: report differs from scenario-free run", name)
+		}
+		if !reflect.DeepEqual(got.Recorder.Records(), plain.Recorder.Records()) {
+			t.Errorf("%s scenario: records differ from scenario-free run", name)
+		}
+		if got.ScenarioEvents != 0 {
+			t.Errorf("%s scenario applied %d events", name, got.ScenarioEvents)
+		}
+	}
+}
+
+// scenarioWorkloadSimple generates the standard calibrated workload
+// scaled to the test machine.
+func scenarioWorkloadSimple(n int, seed uint64) *workload.Workload {
+	cfg := workload.DefaultGenConfig(n, seed, 16)
+	cfg.MeanInterarrival = 300
+	return workload.MustGenerate(cfg)
+}
+
+// TestScenarioReproducible runs the same scenario+seed twice through
+// two independent engines and demands bit-identical results (the CI
+// determinism job repeats this across processes).
+func TestScenarioReproducible(t *testing.T) {
+	sc := scenario.MustParse(
+		"at=3600 down rack=1; at=20000 up rack=1; at=10000 resize pool=0 cap=512; " +
+			"at=40000 resize pool=0 cap=4096; " + // restore so no job strands
+			"at=30000 beta scale=2; at=50000 grow racks=1; from=0 period=86400 amp=0.4 diurnal")
+	w := scenarioWorkloadSimple(300, 9)
+	var results [2]*Result
+	for i := range results {
+		res, err := Run(scenarioConfig(sc), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	if results[0].Events != results[1].Events {
+		t.Fatalf("event counts differ: %d vs %d", results[0].Events, results[1].Events)
+	}
+	if !reflect.DeepEqual(results[0].Report, results[1].Report) {
+		t.Fatal("reports differ between identical scenario runs")
+	}
+	if !reflect.DeepEqual(results[0].Recorder.Records(), results[1].Recorder.Records()) {
+		t.Fatal("records differ between identical scenario runs")
+	}
+	if results[0].ScenarioEvents == 0 {
+		t.Fatal("no scenario events applied")
+	}
+}
+
+// scenarioObserver records applied interventions.
+type scenarioObserver struct {
+	NopObserver
+	applied []scenario.Event
+	ats     []int64
+}
+
+func (o *scenarioObserver) OnScenarioEvent(now int64, ev scenario.Event) {
+	o.applied = append(o.applied, ev)
+	o.ats = append(o.ats, now)
+}
+
+// TestScenarioRackOutage downs a rack mid-run: occupants are killed and
+// resubmitted, the nodes stay unusable until recovery, and invariants
+// hold throughout (CheckInvariants is on).
+func TestScenarioRackOutage(t *testing.T) {
+	sc := scenario.MustParse("at=7200 down rack=0; at=36000 up rack=0")
+	obs := &scenarioObserver{}
+	cfg := scenarioConfig(sc)
+	cfg.Observer = obs
+	w := scenarioWorkloadSimple(250, 4)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(7200)
+	if got := e.m.DownNodes(); got != 4 {
+		t.Fatalf("after down rack: %d nodes down, want 4", got)
+	}
+	e.RunUntil(36000)
+	if got := e.m.DownNodes(); got != 0 {
+		t.Fatalf("after up rack: %d nodes down, want 0", got)
+	}
+	e.RunAll()
+	res, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenarioEvents != 2 || len(obs.applied) != 2 {
+		t.Fatalf("applied %d scenario events (observer saw %d), want 2", res.ScenarioEvents, len(obs.applied))
+	}
+	if obs.ats[0] != 7200 || obs.ats[1] != 36000 {
+		t.Fatalf("interventions at %v, want [7200 36000]", obs.ats)
+	}
+	if res.Report.NodeFailures == 0 {
+		t.Error("rack outage not counted as node failures")
+	}
+}
+
+// TestScenarioOutageKillsAndRestarts pins the kill-resubmit lifecycle:
+// a job running on a downed node is killed, resubmitted, and finishes
+// later; its record carries the restart count.
+func TestScenarioOutageKillsAndRestarts(t *testing.T) {
+	sc := scenario.MustParse("at=100 down node=0; at=200 up node=0")
+	cfg := scenarioConfig(sc)
+	// One single-node all-local job running from t=0 to well past the
+	// outage.
+	w := &workload.Workload{Jobs: []*workload.Job{{
+		ID: 1, Submit: 0, Nodes: 1, MemPerNode: 256, Estimate: 4000, BaseRuntime: 1000,
+	}}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Recorder.Records()
+	if len(recs) != 1 {
+		t.Fatalf("%d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", r.Restarts)
+	}
+	if r.Killed {
+		t.Fatal("restarted job reported killed")
+	}
+	// Restarted from scratch at the kill instant (the machine has 15
+	// other free nodes): killed at 100, full 1000 s rerun from there.
+	if r.End != 1100 {
+		t.Fatalf("job finished at %d, want 1100 (kill at 100 + full rerun)", r.End)
+	}
+	if res.Report.FailureKills != 1 {
+		t.Fatalf("FailureKills = %d, want 1", res.Report.FailureKills)
+	}
+}
+
+// TestScenarioPermanentOutageExhaustsRestarts pins the restart budget
+// on a machine with no failure config: a job whose only viable node
+// goes down forever is abandoned after the default 3 restarts... but a
+// single-node machine with the node down forever simply strands the
+// job in the queue, which Finish reports as an error. Use a down/up
+// cycle that kills it repeatedly instead.
+func TestScenarioPermanentOutageExhaustsRestarts(t *testing.T) {
+	// Kill the node under the job three times; after the third kill the
+	// restart budget (3) is exhausted and the job is recorded killed.
+	sc := scenario.MustParse(
+		"at=100 down node=0; at=101 up node=0;" +
+			"at=200 down node=0; at=201 up node=0;" +
+			"at=300 down node=0; at=301 up node=0")
+	cfg := scenarioConfig(sc)
+	cfg.Machine = cluster.Config{
+		Racks: 1, NodesPerRack: 1, CoresPerNode: 1, LocalMemMiB: 1024,
+		Topology: cluster.TopologyNone,
+	}
+	w := &workload.Workload{Jobs: []*workload.Job{{
+		ID: 1, Submit: 0, Nodes: 1, MemPerNode: 256, Estimate: 4000, BaseRuntime: 1000,
+	}}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Recorder.Records()
+	if len(recs) != 1 || !recs[0].Killed || recs[0].Restarts != 3 {
+		t.Fatalf("record = %+v, want killed with 3 restarts", recs[0])
+	}
+}
+
+// TestScenarioPoolDegradation shrinks every pool below use mid-run and
+// recovers: the run completes with invariants checked at every event.
+func TestScenarioPoolDegradation(t *testing.T) {
+	sc := scenario.MustParse("at=5000 resize pool=all cap=64; at=40000 resize pool=all cap=4096")
+	w := scenarioWorkloadSimple(250, 5)
+	res, err := Run(scenarioConfig(sc), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenarioEvents != 2 {
+		t.Fatalf("applied %d scenario events, want 2", res.ScenarioEvents)
+	}
+	// The run must differ from the unperturbed one (the degradation
+	// binds: large-memory jobs wait for recovery).
+	plain, err := Run(scenarioConfig(nil), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(plain.Report, res.Report) {
+		t.Error("pool degradation had no observable effect")
+	}
+}
+
+// TestScenarioBetaScaleDilatesRuns doubles the remote penalty mid-run:
+// remote jobs dispatched after the shift run slower than in the
+// unperturbed run, and mean dilation rises.
+func TestScenarioBetaScaleDilatesRuns(t *testing.T) {
+	sc := scenario.MustParse("at=0 beta scale=3")
+	w := scenarioWorkloadSimple(250, 6)
+	scaled, err := Run(scenarioConfig(sc), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(scenarioConfig(nil), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report.DilationRemote.N() == 0 {
+		t.Skip("workload produced no remote jobs")
+	}
+	if got, want := scaled.Report.DilationRemote.Mean(), plain.Report.DilationRemote.Mean(); got <= want {
+		t.Errorf("scaled mean remote dilation %g, want > unperturbed %g", got, want)
+	}
+}
+
+// TestScenarioBetaScaleHitsRunningJobs pins the in-flight semantics
+// under a contention-INSENSITIVE model (linear), where afterChange
+// never re-dilates: a beta shift must still re-rate jobs already
+// running, not only later dispatches.
+func TestScenarioBetaScaleHitsRunningJobs(t *testing.T) {
+	cfg := scenarioConfig(scenario.MustParse("at=750 beta scale=3"))
+	cfg.Model = memmodel.Linear{Beta: 1}
+	cfg.Machine = cluster.Config{
+		Racks: 1, NodesPerRack: 1, CoresPerNode: 1, LocalMemMiB: 512,
+		Topology: cluster.TopologyRack, PoolMiB: 4096, FabricGiBps: 16, TrafficGiBpsPerNode: 2,
+	}
+	// One job, half its footprint remote: dilation 1 + 1*0.5 = 1.5, so
+	// 1000 s of work ends at t=1500 unperturbed. At t=750 it has done
+	// 500 s of work; scale=3 lifts its dilation to 1 + 3*0.5 = 2.5, so
+	// the remaining 500 s take 1250 s: end = 2000.
+	w := &workload.Workload{Jobs: []*workload.Job{{
+		ID: 1, Submit: 0, Nodes: 1, MemPerNode: 1024, Estimate: 4000, BaseRuntime: 1000,
+	}}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Recorder.Records()
+	if len(recs) != 1 || recs[0].RemoteMiB == 0 {
+		t.Fatalf("setup: records %+v", recs)
+	}
+	if got := recs[0].End; got != 2000 {
+		t.Fatalf("job ended at %d, want 2000 (brownout must slow the in-flight job)", got)
+	}
+}
+
+// TestScenarioOutageOutranksFailureRepair pins the precedence rule: a
+// node a random failure downed, then a scenario outage claimed, must
+// stay down through its pending failure repair until the scenario's
+// "up".
+func TestScenarioOutageOutranksFailureRepair(t *testing.T) {
+	const downAt, upAt = 5000, 40000
+	sc := scenario.MustParse("at=5000 down rack=0; at=40000 up rack=0")
+	cfg := scenarioConfig(sc)
+	// Aggressive failures with a repair longer than the pre-window:
+	// rack-0 nodes are all but certain to carry pending repairs into
+	// the outage window (without the precedence guard, every seed
+	// 1..30 of this configuration sees a mid-outage SetUp).
+	cfg.Failures = &FailureConfig{MTBFPerNodeSec: 5000, RepairSec: 3000, Seed: 3}
+	w := scenarioWorkloadSimple(300, 14)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for e.Now() < upAt-1000 && !e.Done() {
+		e.RunUntil(e.Now() + 250)
+		if e.Now() > downAt && e.Now() < upAt {
+			checked++
+			for i := 0; i < cfg.Machine.NodesPerRack; i++ {
+				if !e.m.Nodes()[i].Down {
+					t.Fatalf("t=%d: rack-0 node %d is up inside the planned outage window", e.Now(), i)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("never observed the outage window")
+	}
+	e.RunAll()
+	if _, err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Machine.NodesPerRack; i++ {
+		if e.scenarioDown[cluster.NodeID(i)] {
+			t.Fatalf("node %d still scenario-held after the up event", i)
+		}
+	}
+}
+
+// TestScenarioGrow adds racks mid-run: capacity grows, the new nodes
+// take jobs, and the report normalizes against the grown machine.
+func TestScenarioGrow(t *testing.T) {
+	sc := scenario.MustParse("at=10000 grow racks=2")
+	w := scenarioWorkloadSimple(250, 7)
+	cfg := scenarioConfig(sc)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(10000)
+	if got := e.m.Config().Racks; got != 6 {
+		t.Fatalf("racks after grow = %d, want 6", got)
+	}
+	if got := len(e.m.Pools()); got != 6 {
+		t.Fatalf("pools after grow = %d, want 6", got)
+	}
+	e.RunAll()
+	if _, err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScenarioArrivalModulation checks surge/diurnal statements reshape
+// the arrival process deterministically without touching the caller's
+// workload.
+func TestScenarioArrivalModulation(t *testing.T) {
+	sc := scenario.MustParse("from=0 rate=2 surge")
+	w := scenarioWorkloadSimple(100, 8)
+	lastOriginal := w.Jobs[len(w.Jobs)-1].Submit
+	res, err := Run(scenarioConfig(sc), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Jobs[len(w.Jobs)-1].Submit != lastOriginal {
+		t.Fatal("scenario modulation mutated the caller's workload")
+	}
+	// Doubling the arrival rate halves the span of submissions; the
+	// makespan must shrink accordingly (runtime-bound tail aside).
+	plain, err := Run(scenarioConfig(nil), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.MakespanSec >= plain.Report.MakespanSec {
+		t.Errorf("surge makespan %d not shorter than unperturbed %d",
+			res.Report.MakespanSec, plain.Report.MakespanSec)
+	}
+}
+
+// TestScenarioTargetsOutOfRange: interventions naming absent targets
+// are no-ops, not crashes.
+func TestScenarioTargetsOutOfRange(t *testing.T) {
+	sc := scenario.MustParse("at=100 down rack=99; at=200 down node=9999; at=300 resize pool=77 cap=5; at=400 up rack=50")
+	w := scenarioWorkloadSimple(50, 2)
+	res, err := Run(scenarioConfig(sc), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenarioEvents == 0 {
+		t.Fatal("events should still fire (as no-ops)")
+	}
+}
+
+// TestScenarioWithFailureInjection runs outages and random failures
+// together: the scenario "up" may race the failure repair, which must
+// stay benign (the repair guard).
+func TestScenarioWithFailureInjection(t *testing.T) {
+	sc := scenario.MustParse("at=5000 down rack=2; at=9000 up rack=2; from=2000 until=30000 rate=2 surge")
+	cfg := scenarioConfig(sc)
+	cfg.Failures = &FailureConfig{MTBFPerNodeSec: 40000, RepairSec: 1800, Seed: 11}
+	w := scenarioWorkloadSimple(250, 12)
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.NodeFailures == 0 {
+		t.Fatal("no failures at all")
+	}
+}

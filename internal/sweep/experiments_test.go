@@ -14,8 +14,8 @@ var tinyOptions = Options{Jobs: 250, Seeds: 1}
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table1", "table2", "table3", "table4", "val1", "val2"}
+	want := []string{"fig1", "fig10", "fig11", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "table1", "table2", "table3", "table4", "val1", "val2"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}

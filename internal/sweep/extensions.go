@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"strings"
 
 	"dismem"
 	"dismem/internal/cluster"
@@ -24,6 +25,7 @@ func init() {
 	registry["fig10"] = Fig10Failures
 	registry["table4"] = Table4Fairness
 	registry["val2"] = Val2Lublin
+	registry["fig11"] = Fig11OutageSeverity
 }
 
 // Val1Queueing validates the DES core against closed-form queueing
@@ -228,6 +230,52 @@ func loadMatchedLublin(jobs int, seed uint64, mc dismem.MachineConfig, target fl
 	load := nodeSeconds / (span * float64(mc.TotalNodes()))
 	cfg.MeanInterarrival *= load / target
 	return workload.GenerateLublin(cfg)
+}
+
+// Fig11OutageSeverity drives the scenario subsystem across the paper's
+// headline policies: a planned 12-hour outage (racks down at t=6 h,
+// repaired at t=18 h) of increasing severity. Unlike fig10's random
+// Poisson failures, the outage is a deterministic timeline — every
+// policy faces the identical intervention — so the table isolates how
+// policies absorb a correlated capacity loss: kills and resubmissions
+// at the outage instant, then queueing through the shrunken machine.
+func Fig11OutageSeverity(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		ID:    "fig11",
+		Title: "Outage severity: 12 h planned rack outage at t=6 h (64 GiB + 2 TiB/rack, linear β=0.5)",
+		Note:  o.note() + "; identical deterministic outage timeline per policy",
+		Cols: []string{"racks down", "wait easy-local (s)", "wait easy-obliv (s)", "wait memaware (s)",
+			"bsld easy-obliv", "bsld memaware", "killed memaware", "restarts memaware"},
+	}
+	mc := disaggMachine(64, 2048)
+	for _, racks := range []int{0, 1, 2, 4} {
+		sc := outageScenario(racks, 6*3600, 18*3600)
+		el := Cell{Machine: mc, Policy: "easy-local", Scenario: sc}.MustRun(o)
+		ob := Cell{Machine: mc, Policy: "easy-oblivious", Scenario: sc}.MustRun(o)
+		ma := Cell{Machine: mc, Policy: "memaware", Scenario: sc}.MustRun(o)
+		t.AddRow(f0(float64(racks)), f0(el.MeanWait), f0(ob.MeanWait), f0(ma.MeanWait),
+			f1(ob.MeanBSld), f1(ma.MeanBSld), fp(ma.KilledFrac), f1(ma.FailureKills))
+	}
+	return []*Table{t}
+}
+
+// outageScenario builds a timeline downing the first n racks at downAt
+// and repairing them at upAt (nil for n = 0: the undisturbed baseline).
+func outageScenario(n int, downAt, upAt int64) *dismem.Scenario {
+	if n == 0 {
+		return nil
+	}
+	var b []string
+	for r := 0; r < n; r++ {
+		b = append(b, fmt.Sprintf("at=%d down rack=%d", downAt, r),
+			fmt.Sprintf("at=%d up rack=%d", upAt, r))
+	}
+	sc, err := dismem.ParseScenario(strings.Join(b, "; "))
+	if err != nil {
+		panic(err)
+	}
+	return sc
 }
 
 // Fig10Failures injects node failures at decreasing MTBF and reports

@@ -51,6 +51,12 @@ type Cell struct {
 	// Failures optionally injects node failures (each seed gets an
 	// independent failure stream derived from its workload seed).
 	Failures *sim.FailureConfig
+	// Scenario optionally perturbs every seed's run with the same
+	// deterministic intervention timeline (dismem.ParseScenario), so
+	// experiment tables can sweep over outage severities, surge
+	// amplitudes, and the like. Scenarios are immutable and shared
+	// across the parallel seed goroutines.
+	Scenario *dismem.Scenario
 	// StopWhen, when set, aborts each seed's simulation early: it is
 	// evaluated against periodic engine samples (every SampleEvery
 	// simulated seconds) and the run stops at the first true. The
@@ -147,6 +153,7 @@ func (c Cell) Run(o Options) (Agg, error) {
 				Model:      c.Model,
 				Workload:   wl,
 				StrictKill: c.StrictKill,
+				Scenario:   c.Scenario,
 			}
 			if c.Failures != nil {
 				fc := *c.Failures

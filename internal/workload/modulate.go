@@ -1,0 +1,37 @@
+package workload
+
+// ModulateArrivals rescales a workload's arrival process by a
+// time-varying rate multiplier: a gap between consecutive submissions
+// is divided by rate(t) evaluated at the (already transformed) time the
+// gap starts, so rate > 1 compresses arrivals (a surge) and rate < 1
+// stretches them (a lull). This is the same deterministic
+// gap-stretching transform the synthetic generator applies for its
+// diurnal cycle, now available for any trace — synthetic, Lublin, or
+// imported SWF.
+//
+// The input workload is not mutated; the returned clone preserves job
+// IDs, users and resource demands, only Submit changes. Because rate is
+// strictly positive, gaps keep their sign and the output stays sorted
+// by (Submit, ID).
+func ModulateArrivals(w *Workload, rate func(t float64) float64) *Workload {
+	out := w.Clone()
+	if len(out.Jobs) == 0 || rate == nil {
+		return out
+	}
+	var prev int64 // previous original submit time
+	t := 0.0       // transformed clock
+	for _, j := range out.Jobs {
+		gap := float64(j.Submit - prev)
+		prev = j.Submit
+		r := rate(t)
+		if r < 1e-9 {
+			r = 1e-9 // keep the transform finite for pathological rates
+		}
+		t += gap / r
+		j.Submit = int64(t)
+	}
+	if w.Name != "" {
+		out.Name = w.Name + "+modulated"
+	}
+	return out
+}

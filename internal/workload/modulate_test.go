@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func arrivalJobs(submits ...int64) *Workload {
+	w := &Workload{Name: "t"}
+	for i, s := range submits {
+		w.Jobs = append(w.Jobs, &Job{
+			ID: i + 1, Submit: s, Nodes: 1, MemPerNode: 1, Estimate: 10, BaseRuntime: 5,
+		})
+	}
+	return w
+}
+
+// TestModulateConstantRate halves every arrival time at rate 2.
+func TestModulateConstantRate(t *testing.T) {
+	w := arrivalJobs(0, 100, 300, 1000)
+	out := ModulateArrivals(w, func(float64) float64 { return 2 })
+	want := []int64{0, 50, 150, 500}
+	for i, j := range out.Jobs {
+		if j.Submit != want[i] {
+			t.Errorf("job %d submit = %d, want %d", j.ID, j.Submit, want[i])
+		}
+	}
+	// Original untouched.
+	if w.Jobs[1].Submit != 100 {
+		t.Fatalf("input workload mutated: %d", w.Jobs[1].Submit)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("modulated workload invalid: %v", err)
+	}
+}
+
+// TestModulateSurgeWindow compresses only gaps starting inside the
+// window (rate evaluated on the transformed clock).
+func TestModulateSurgeWindow(t *testing.T) {
+	w := arrivalJobs(0, 100, 200, 300)
+	rate := func(tm float64) float64 {
+		if tm >= 100 && tm < 150 {
+			return 2
+		}
+		return 1
+	}
+	out := ModulateArrivals(w, rate)
+	// gaps: 0,100,100,100 → times 0,100 (rate 1 at t=0), 150 (rate 2 at
+	// t=100), 250 (rate 1 at t=150).
+	want := []int64{0, 100, 150, 250}
+	for i, j := range out.Jobs {
+		if j.Submit != want[i] {
+			t.Errorf("job %d submit = %d, want %d", j.ID, j.Submit, want[i])
+		}
+	}
+}
+
+// TestModulateKeepsOrderUnderDiurnal keeps arrivals sorted for a
+// sinusoidal rate with amplitude < 1.
+func TestModulateKeepsOrderUnderDiurnal(t *testing.T) {
+	w := MustGenerate(DefaultGenConfig(500, 7, 256))
+	rate := func(tm float64) float64 {
+		return 1 + 0.9*math.Sin(2*math.Pi*tm/86400)
+	}
+	out := ModulateArrivals(w, rate)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("modulated workload invalid: %v", err)
+	}
+	if out.Name != w.Name+"+modulated" {
+		t.Errorf("name = %q", out.Name)
+	}
+	// Deterministic: the same transform twice is bit-identical.
+	again := ModulateArrivals(w, rate)
+	for i := range out.Jobs {
+		if out.Jobs[i].Submit != again.Jobs[i].Submit {
+			t.Fatalf("nondeterministic transform at job %d", i)
+		}
+	}
+}
+
+// TestModulateDegenerate keeps empty and nil-rate inputs intact.
+func TestModulateDegenerate(t *testing.T) {
+	empty := ModulateArrivals(&Workload{}, func(float64) float64 { return 2 })
+	if len(empty.Jobs) != 0 {
+		t.Fatal("empty workload grew jobs")
+	}
+	w := arrivalJobs(5, 10)
+	same := ModulateArrivals(w, nil)
+	if same.Jobs[0].Submit != 5 || same.Jobs[1].Submit != 10 {
+		t.Fatal("nil rate should be identity")
+	}
+	// A pathologically small rate is floored, not divided to +Inf.
+	floored := ModulateArrivals(w, func(float64) float64 { return 0 })
+	if floored.Jobs[1].Submit < 0 {
+		t.Fatal("overflowed submit")
+	}
+}

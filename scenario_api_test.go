@@ -1,0 +1,108 @@
+package dismem_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dismem"
+)
+
+// TestScenarioGolden pins the subsystem's two determinism guarantees
+// through the public API: an empty scenario is bit-identical to no
+// scenario, and the same scenario+seed reproduces identical Reports
+// across independent simulations (the CI determinism job repeats the
+// latter across two processes).
+func TestScenarioGolden(t *testing.T) {
+	wl := dismem.SyntheticWorkload(300, 17)
+	run := func(sc *dismem.Scenario) *dismem.Result {
+		res, err := dismem.Simulate(dismem.Options{
+			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl, Scenario: sc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(nil)
+	empty := run(&dismem.Scenario{})
+	if empty.Events != plain.Events {
+		t.Errorf("empty scenario fired %d events, scenario-free run %d", empty.Events, plain.Events)
+	}
+	if !reflect.DeepEqual(empty.Report, plain.Report) {
+		t.Error("empty scenario changed the report")
+	}
+	if !reflect.DeepEqual(empty.Recorder.Records(), plain.Recorder.Records()) {
+		t.Error("empty scenario changed per-job records")
+	}
+
+	sc, err := dismem.ParseScenario(
+		"at=21600 down rack=1; at=43200 up rack=1; from=0 period=86400 amp=0.5 diurnal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := run(sc), run(sc)
+	if a.Events != b.Events || !reflect.DeepEqual(a.Report, b.Report) {
+		t.Fatal("same scenario+seed did not reproduce identical results")
+	}
+	if !reflect.DeepEqual(a.Recorder.Records(), b.Recorder.Records()) {
+		t.Fatal("same scenario+seed produced different records")
+	}
+	if a.ScenarioEvents == 0 {
+		t.Fatal("scenario applied no interventions")
+	}
+	if reflect.DeepEqual(a.Report, plain.Report) {
+		t.Error("rack outage scenario had no observable effect")
+	}
+}
+
+// TestParseScenarioAPI covers the public wrapper: round trip and error
+// wrapping.
+func TestParseScenarioAPI(t *testing.T) {
+	spec := "at=3600 down rack=2; at=7200 up rack=2; from=0 period=86400 amp=0.5 diurnal"
+	sc, err := dismem.ParseScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := dismem.ParseScenario(sc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, sc2) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", sc, sc2)
+	}
+	if _, err := dismem.ParseScenario("at=1 explode"); err == nil {
+		t.Fatal("nonsense scenario accepted")
+	}
+}
+
+// TestScenarioObserverHook delivers OnScenarioEvent through the public
+// Observer surface (countingObserver in simulation_test.go covers the
+// embedded-NopObserver path).
+func TestScenarioObserverHook(t *testing.T) {
+	wl := dismem.SyntheticWorkload(200, 3)
+	sc, err := dismem.ParseScenario("at=3600 beta scale=2; at=7200 beta scale=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []dismem.ScenarioEvent
+	rec := &recordingObserver{events: &got}
+	if _, err := dismem.Simulate(dismem.Options{
+		Policy: "memaware", Workload: wl, Scenario: sc, Observer: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].At != 3600 || got[1].At != 7200 {
+		t.Fatalf("observer saw %+v", got)
+	}
+}
+
+// recordingObserver appends every applied intervention.
+type recordingObserver struct {
+	dismem.NopObserver
+	events *[]dismem.ScenarioEvent
+}
+
+func (r *recordingObserver) OnScenarioEvent(_ int64, ev dismem.ScenarioEvent) {
+	*r.events = append(*r.events, ev)
+}

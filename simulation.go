@@ -59,6 +59,7 @@ func New(o Options) (*Simulation, error) {
 		ExtendLimit:     !o.StrictKill,
 		CheckInvariants: o.CheckInvariants,
 		Failures:        o.Failures,
+		Scenario:        o.Scenario,
 		Observer:        o.Observer,
 		SampleEvery:     o.SampleEvery,
 	})

@@ -219,8 +219,16 @@ type countingObserver struct {
 	terminals  int
 	passes     int
 	samples    int
+	scenarios  int
 	lastSample int64
 	every      int64
+}
+
+func (c *countingObserver) OnScenarioEvent(now int64, ev dismem.ScenarioEvent) {
+	c.scenarios++
+	if now != ev.At {
+		c.t.Errorf("scenario event scheduled for %d applied at %d", ev.At, now)
+	}
 }
 
 func (c *countingObserver) OnDispatch(now int64, job *dismem.Job, remoteMiB int64, dil float64) {
