@@ -127,5 +127,14 @@ func BenchmarkSimulation(b *testing.B) { benchkit.Simulation(b) }
 // scenario subsystem's end-to-end overhead.
 func BenchmarkScenarioSimulation(b *testing.B) { benchkit.ScenarioSimulation(b) }
 
+// BenchmarkStreamingReplay measures bounded-memory trace replay: a
+// 100k-job SWF trace streamed through SWFSource with the
+// online-aggregate sink, reporting jobs/s and the live-heap high-water
+// mark (peakheap-MB). `go run ./cmd/dmbench -stream` runs this and the
+// 1M-job variant and records BENCH_<date>_stream.json; the 1M peak
+// heap staying within 2x of the 100k one is the subsystem's memory
+// contract (DESIGN.md §7).
+func BenchmarkStreamingReplay(b *testing.B) { benchkit.StreamingReplay100k(b) }
+
 // BenchmarkFig11OutageSeverity regenerates the outage-severity sweep.
 func BenchmarkFig11OutageSeverity(b *testing.B) { benchExperiment(b, "fig11") }

@@ -9,6 +9,8 @@
 //	dmbench                     # writes ./BENCH_<today>.json
 //	dmbench -out results.json   # explicit output path
 //	dmbench -benchtime 5s       # more stable numbers
+//	dmbench -stream             # streaming-replay pair (100k + 1M jobs)
+//	                            # -> BENCH_<today>_stream.json
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 	var (
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		benchtime = flag.Duration("benchtime", time.Second, "target run time per benchmark")
+		stream    = flag.Bool("stream", false, "run the streaming-replay benchmarks (100k + 1M jobs; minutes of runtime) instead of the headline set, writing BENCH_<date>_stream.json")
 	)
 	flag.Parse()
 
@@ -59,6 +62,15 @@ func main() {
 		{"Simulation", benchkit.Simulation},
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
+	if *stream {
+		benches = []struct {
+			name string
+			fn   func(*testing.B)
+		}{
+			{"StreamingReplay100k", benchkit.StreamingReplay100k},
+			{"StreamingReplay1M", benchkit.StreamingReplay1M},
+		}
+	}
 
 	rec := record{
 		Date:      time.Now().UTC().Format("2006-01-02"),
@@ -69,7 +81,11 @@ func main() {
 	}
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", rec.Date)
+		suffix := ""
+		if *stream {
+			suffix = "_stream"
+		}
+		path = fmt.Sprintf("BENCH_%s%s.json", rec.Date, suffix)
 	}
 
 	// testing.Benchmark calibrates b.N against the test.benchtime flag

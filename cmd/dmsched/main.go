@@ -18,6 +18,13 @@
 // dismem.ParseScenario for the grammar):
 //
 //	dmsched -scenario "at=21600 down rack=2; at=64800 up rack=2"
+//
+// For archive-scale traces, -swf-stream replays the trace with memory
+// bounded by live simulation state (not trace length), and
+// -records-out streams per-job records to a JSONL/CSV file instead of
+// retaining them (report percentiles become P² estimates):
+//
+//	dmsched -swf trace.swf -swf-stream -records-out records.jsonl
 package main
 
 import (
@@ -34,26 +41,28 @@ import (
 
 func main() {
 	var (
-		policy   = flag.String("policy", "memaware", "scheduling policy: "+strings.Join(dismem.Policies(), ", "))
-		specFlag = flag.String("spec", "", `composable policy spec, e.g. "order=sjf placer=memaware cap=3" (overrides -policy)`)
-		scenFlag = flag.String("scenario", "", `scenario timeline, e.g. "at=3600 down rack=2; at=7200 up rack=2; from=0 period=86400 amp=0.5 diurnal"`)
-		progress = flag.Duration("progress", 0, "print live progress to stderr every given span of simulated time (e.g. 6h; 0 = off)")
-		model    = flag.String("model", "linear:0.5", "memory model spec (linear:b | step:b0,b | bandwidth:b,g)")
-		topology = flag.String("topology", "rack", "pool topology: none | rack | global")
-		racks    = flag.Int("racks", 16, "racks")
-		nodes    = flag.Int("nodes", 16, "nodes per rack")
-		cores    = flag.Int("cores", 32, "cores per node")
-		localGiB = flag.Int64("local", 64, "local DRAM per node (GiB)")
-		poolGiB  = flag.Int64("pool", 4096, "pool capacity (GiB; per rack, or total for -topology global)")
-		fabric   = flag.Float64("fabric", 64, "fabric bandwidth per pool (GiB/s)")
-		jobs     = flag.Int("jobs", 5000, "synthetic workload size")
-		seed     = flag.Uint64("seed", 1, "synthetic workload seed")
-		swf      = flag.String("swf", "", "SWF trace file (overrides synthetic workload)")
-		swfCores = flag.Int("node-cores", 0, "SWF import: processors per node (0 = processors are nodes)")
-		strict   = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
-		verbose  = flag.Bool("v", false, "also print workload summary")
-		cfgPath  = flag.String("config", "", "JSON experiment config (overrides the flags above)")
-		writeCfg = flag.Bool("write-config", false, "print a starter config JSON and exit")
+		policy    = flag.String("policy", "memaware", "scheduling policy: "+strings.Join(dismem.Policies(), ", "))
+		specFlag  = flag.String("spec", "", `composable policy spec, e.g. "order=sjf placer=memaware cap=3" (overrides -policy)`)
+		scenFlag  = flag.String("scenario", "", `scenario timeline, e.g. "at=3600 down rack=2; at=7200 up rack=2; from=0 period=86400 amp=0.5 diurnal"`)
+		progress  = flag.Duration("progress", 0, "print live progress to stderr every given span of simulated time (e.g. 6h; 0 = off)")
+		model     = flag.String("model", "linear:0.5", "memory model spec (linear:b | step:b0,b | bandwidth:b,g)")
+		topology  = flag.String("topology", "rack", "pool topology: none | rack | global")
+		racks     = flag.Int("racks", 16, "racks")
+		nodes     = flag.Int("nodes", 16, "nodes per rack")
+		cores     = flag.Int("cores", 32, "cores per node")
+		localGiB  = flag.Int64("local", 64, "local DRAM per node (GiB)")
+		poolGiB   = flag.Int64("pool", 4096, "pool capacity (GiB; per rack, or total for -topology global)")
+		fabric    = flag.Float64("fabric", 64, "fabric bandwidth per pool (GiB/s)")
+		jobs      = flag.Int("jobs", 5000, "synthetic workload size")
+		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
+		swf       = flag.String("swf", "", "SWF trace file (overrides synthetic workload)")
+		swfStream = flag.Bool("swf-stream", false, "stream the -swf trace instead of loading it: memory stays bounded by live simulation state, not trace length (requires a submit-sorted trace; implies bounded metrics recording, so report percentiles are P² estimates)")
+		recordOut = flag.String("records-out", "", "stream per-job records to this file (.csv for CSV, else JSONL) with bounded metrics recording; report percentiles become P² estimates")
+		swfCores  = flag.Int("node-cores", 0, "SWF import: processors per node (0 = processors are nodes)")
+		strict    = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
+		verbose   = flag.Bool("v", false, "also print workload summary")
+		cfgPath   = flag.String("config", "", "JSON experiment config (overrides the flags above)")
+		writeCfg  = flag.Bool("write-config", false, "print a starter config JSON and exit")
 	)
 	flag.Parse()
 
@@ -93,24 +102,36 @@ func main() {
 	}
 
 	var wl *dismem.Workload
+	var src dismem.Source
 	if *swf != "" {
 		f, err := os.Open(*swf)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer f.Close()
-		var skipped int
-		wl, skipped, err = workload.ReadSWF(f, workload.SWFReadOptions{
+		swfOpts := workload.SWFReadOptions{
 			NodeCores:         *swfCores,
 			DefaultMemPerNode: mc.LocalMemMiB / 2,
-		})
-		if err != nil {
-			fatalf("reading %s: %v", *swf, err)
 		}
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "note: skipped %d unusable SWF records\n", skipped)
+		if *swfStream {
+			// Bounded-memory replay: jobs decode lazily as the clock
+			// reaches them; nothing is materialised (so no upfront
+			// skipped-record count and no -v summary).
+			src = dismem.SWFSource(f, swfOpts)
+		} else {
+			var skipped int
+			wl, skipped, err = workload.ReadSWF(f, swfOpts)
+			if err != nil {
+				fatalf("reading %s: %v", *swf, err)
+			}
+			if skipped > 0 {
+				fmt.Fprintf(os.Stderr, "note: skipped %d unusable SWF records\n", skipped)
+			}
 		}
 	} else {
+		if *swfStream {
+			fatalf("-swf-stream requires -swf")
+		}
 		var err error
 		wl, err = dismem.GenerateWorkload(dismem.DefaultGen(*jobs, *seed, mc))
 		if err != nil {
@@ -118,8 +139,12 @@ func main() {
 		}
 	}
 	if *verbose {
-		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
-		fmt.Println()
+		if wl == nil {
+			fmt.Fprintln(os.Stderr, "note: -v workload summary unavailable when streaming (-swf-stream)")
+		} else {
+			fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
+			fmt.Println()
+		}
 	}
 
 	label := *policy
@@ -128,7 +153,29 @@ func main() {
 		Policy:     *policy,
 		Model:      *model,
 		Workload:   wl,
+		Source:     src,
 		StrictKill: *strict,
+	}
+	if *recordOut != "" {
+		f, err := os.Create(*recordOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *recordOut, err)
+			}
+		}()
+		if strings.HasSuffix(*recordOut, ".csv") {
+			opts.RecordSink = dismem.NewCSVSink(f)
+		} else {
+			opts.RecordSink = dismem.NewJSONLSink(f)
+		}
+	} else if *swfStream {
+		// Streaming a trace only to retain every record would defeat
+		// the point: without -records-out, drop records and keep the
+		// whole run flat-memory.
+		opts.RecordSink = dismem.DiscardRecords
 	}
 	if *scenFlag != "" {
 		sc, err := dismem.ParseScenario(*scenFlag)

@@ -54,6 +54,24 @@
 // Interventions run as ordinary simulation events, so scenario runs
 // replay bit-identically per seed.
 //
+// Workloads can stream instead of materialising: Options.Source pulls
+// jobs lazily (SWF traces via SWFSource, lazy generators via
+// GenSource/LublinSource), and Options.RecordSink streams per-job
+// records out instead of retaining them, so memory stays bounded by
+// live simulation state rather than trace length — a million-job
+// replay runs in a few megabytes:
+//
+//	f, _ := os.Open("million_jobs.swf")
+//	res, err := dismem.Simulate(dismem.Options{
+//		Policy:     "memaware",
+//		Source:     dismem.SWFSource(f, dismem.SWFReadOptions{}),
+//		RecordSink: dismem.DiscardRecords, // or NewJSONLSink(out)
+//	})
+//
+// Streamed replays are bit-identical to slice replays of the same
+// trace; bounded recording keeps every report field exact except the
+// four percentile fields, which become P² estimates (DESIGN.md §7).
+//
 // Observer hooks (Options.Observer, Options.SampleEvery) deliver
 // per-dispatch, per-termination, per-pass, per-intervention and
 // periodic-sample callbacks without polling.
@@ -64,6 +82,7 @@ package dismem
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"dismem/internal/cluster"
@@ -73,6 +92,7 @@ import (
 	"dismem/internal/scenario"
 	"dismem/internal/sched"
 	"dismem/internal/sim"
+	"dismem/internal/source"
 	"dismem/internal/spec"
 	"dismem/internal/workload"
 )
@@ -125,7 +145,25 @@ type (
 	Sample = sim.Sample
 	// Usage is the machine occupancy snapshot.
 	Usage = cluster.Usage
+	// Source streams jobs into a simulation lazily, in nondecreasing
+	// submit order, so memory stays bounded by live state instead of
+	// trace length. Build one with WorkloadSource, SWFSource, GenSource
+	// or LublinSource, and attach it with Options.Source; see
+	// internal/source for the contract.
+	Source = source.Source
+	// Sink consumes per-job records as they are produced: the
+	// bounded-memory alternative to retaining them all. Build one with
+	// NewJSONLSink / NewCSVSink (or use DiscardRecords) and attach it
+	// with Options.RecordSink.
+	Sink = metrics.Sink
+	// SWFReadOptions controls SWF trace import (ReadSWF and SWFSource).
+	SWFReadOptions = workload.SWFReadOptions
 )
+
+// DiscardRecords is the Sink that drops every record: bounded
+// recording with no streamed output. The Report still carries exact
+// counts and means plus P² percentile estimates.
+var DiscardRecords Sink = metrics.Discard
 
 // Topology constants for MachineConfig.
 const (
@@ -167,6 +205,57 @@ func LublinWorkload(n int, seed uint64, mc MachineConfig) (*Workload, error) {
 // "step:0.1,0.5" or "bandwidth:0.5,1".
 func ParseModel(spec string) (MemoryModel, error) { return memmodel.Parse(spec) }
 
+// WorkloadSource streams an in-memory workload: the adapter that runs
+// the classic slice path through Options.Source (bit-identical to
+// passing Options.Workload).
+func WorkloadSource(w *Workload) Source { return source.FromWorkload(w) }
+
+// SWFSource streams jobs lazily from an SWF trace reader with O(1)
+// memory: the bounded-memory replay path for archive-scale traces. The
+// trace must be sorted by submit time (the archive convention); the
+// caller keeps ownership of r. See also ReadSWF via the workload
+// helpers for traces that need sorting.
+func SWFSource(r io.Reader, opt SWFReadOptions) Source { return source.SWF(r, opt) }
+
+// GenSource streams the calibrated synthetic generator lazily: with
+// cfg.Jobs == 0 it produces until maxJobs jobs have been emitted or the
+// first submit past horizonSec (0 disables either cap — an open-ended
+// saturation source). A capped stream equals the materialised
+// equivalent job for job.
+func GenSource(cfg GenConfig, maxJobs int, horizonSec int64) (Source, error) {
+	st, err := workload.NewGenStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return source.Gen(st, maxJobs, horizonSec), nil
+}
+
+// LublinSource streams the Lublin–Feitelson generator lazily, with the
+// same cap semantics as GenSource.
+func LublinSource(cfg LublinConfig, maxJobs int, horizonSec int64) (Source, error) {
+	st, err := workload.NewLublinStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return source.Gen(st, maxJobs, horizonSec), nil
+}
+
+// ModulateSource wraps src with a time-varying arrival-rate multiplier
+// (the lazy form of the scenario surge/diurnal warp), for custom
+// arrival shaping of streamed workloads.
+func ModulateSource(src Source, rate func(t float64) float64) Source {
+	return source.Modulate(src, rate)
+}
+
+// NewJSONLSink returns a Sink writing one JSON object per record line
+// to w. The sink buffers; the engine flushes and closes it at the end
+// of the run (the caller still closes any underlying file).
+func NewJSONLSink(w io.Writer) Sink { return metrics.NewJSONLSink(w) }
+
+// NewCSVSink returns a Sink writing a header plus one CSV row per
+// record to w, with the same lifecycle as NewJSONLSink.
+func NewCSVSink(w io.Writer) Sink { return metrics.NewCSVSink(w) }
+
 // Options configures a simulation (see New and Simulate).
 type Options struct {
 	// Machine is the machine configuration (DefaultMachine if zero).
@@ -185,8 +274,24 @@ type Options struct {
 	Model string
 	// ModelImpl overrides Model with a concrete implementation.
 	ModelImpl MemoryModel
-	// Workload is the trace to run.
+	// Workload is the trace to run. Exactly one of Workload and Source
+	// must be set.
 	Workload *Workload
+	// Source streams the workload lazily instead: memory stays bounded
+	// by live simulation state (running + queued jobs), not trace
+	// length, which is what makes multi-million-job replay and
+	// open-ended saturation runs possible. Streamed jobs are validated
+	// as they arrive (structural checks plus submit ordering; the
+	// whole-trace duplicate-ID check is skipped) and a mid-stream
+	// source error surfaces from Result after in-flight work drains.
+	Source Source
+	// RecordSink switches metrics to bounded recording: per-job records
+	// stream to the sink (DiscardRecords to drop them, NewJSONLSink /
+	// NewCSVSink to export) instead of being retained, and the Report's
+	// four percentile fields become P² estimates — counts, means,
+	// utilizations and fairness stay exact. Result.Recorder then
+	// retains no records. Nil keeps the default retain-all recorder.
+	RecordSink Sink
 	// StrictKill disables the dilation-extended walltime limit: jobs
 	// are killed at the raw user estimate even when the system itself
 	// slowed them down.

@@ -35,6 +35,7 @@ type Handler func(now Time)
 // hold it only to Cancel it or inspect its time.
 type Event struct {
 	time    Time
+	band    int8
 	seq     uint64
 	index   int // heap index; -1 when not queued
 	handler Handler
@@ -47,13 +48,18 @@ func (e *Event) Time() Time { return e.time }
 // (either cancelled or already fired).
 func (e *Event) Cancelled() bool { return e.index < 0 }
 
-// eventHeap orders events by (time, seq).
+// eventHeap orders events by (time, band, seq): earlier bands fire
+// before later bands at the same instant, and scheduling order breaks
+// ties within a band.
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
+	}
+	if h[i].band != h[j].band {
+		return h[i].band < h[j].band
 	}
 	return h[i].seq < h[j].seq
 }
@@ -106,13 +112,29 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // the past (at < Now) panics: it is always a simulation logic bug and
 // silently reordering would corrupt causality.
 func (s *Simulator) Schedule(at Time, handler Handler) *Event {
+	return s.schedule(at, 0, handler)
+}
+
+// ScheduleFront enqueues handler to run at absolute time at, ahead of
+// every event Schedule has queued (or will queue) for the same instant.
+// Among ScheduleFront events at one instant, scheduling order still
+// breaks ties. The engine uses this for streamed job arrivals: with one
+// pending arrival at a time, front scheduling reproduces exactly the
+// firing order of the historical design that pre-scheduled every
+// arrival first (lowest sequence numbers), keeping streamed replays
+// bit-identical to slice replays.
+func (s *Simulator) ScheduleFront(at Time, handler Handler) *Event {
+	return s.schedule(at, -1, handler)
+}
+
+func (s *Simulator) schedule(at Time, band int8, handler Handler) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past: at=%d now=%d", at, s.now))
 	}
 	if handler == nil {
 		panic("des: nil handler")
 	}
-	e := &Event{time: at, seq: s.seq, handler: handler}
+	e := &Event{time: at, band: band, seq: s.seq, handler: handler}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -137,8 +159,8 @@ func (s *Simulator) Cancel(e *Event) {
 }
 
 // Reschedule moves a pending event to a new time, preserving FIFO
-// fairness at the new instant (it is assigned a fresh sequence number).
-// If the event already fired it is re-created.
+// fairness at the new instant (it is assigned a fresh sequence number,
+// in the default band). If the event already fired it is re-created.
 func (s *Simulator) Reschedule(e *Event, at Time) *Event {
 	s.Cancel(e)
 	return s.Schedule(at, e.handler)

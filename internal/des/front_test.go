@@ -1,0 +1,60 @@
+package des
+
+import "testing"
+
+func TestScheduleFrontFiresBeforeSameInstantEvents(t *testing.T) {
+	// Front events at one instant fire before default-band events at
+	// that instant, regardless of scheduling order; within each band,
+	// scheduling order is preserved.
+	s := New()
+	var got []string
+	mark := func(name string) Handler { return func(Time) { got = append(got, name) } }
+
+	s.Schedule(10, mark("a"))
+	s.Schedule(10, mark("b"))
+	s.ScheduleFront(10, mark("x"))
+	s.Schedule(10, mark("c"))
+	s.ScheduleFront(10, mark("y"))
+	s.Schedule(5, mark("early"))
+
+	s.RunAll()
+	want := []string{"early", "x", "y", "a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleFrontChainsAtOneInstant(t *testing.T) {
+	// A front handler scheduling another front event at the same
+	// instant (the streamed-arrival pattern: arrival k schedules
+	// arrival k+1) must see the chain complete before any default-band
+	// event at that instant fires.
+	s := New()
+	var got []string
+	s.Schedule(10, func(Time) { got = append(got, "pass") })
+	var arrive func(n int) Handler
+	arrive = func(n int) Handler {
+		return func(Time) {
+			got = append(got, "arrival")
+			if n > 0 {
+				s.ScheduleFront(10, arrive(n-1))
+			}
+		}
+	}
+	s.ScheduleFront(10, arrive(2))
+	s.RunAll()
+	want := []string{"arrival", "arrival", "arrival", "pass"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}

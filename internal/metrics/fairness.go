@@ -32,35 +32,40 @@ type FairnessReport struct {
 	WorstUserMeanWait, BestUserMeanWait float64
 }
 
-// Fairness reduces the recorder's job records to per-user statistics.
-// Rejected jobs are excluded (they carry no wait). Users with no
-// completed jobs do not appear.
+// userAcc is one user's incremental fairness tally, maintained by
+// Recorder.Add in both modes — O(users) memory, so per-user fairness
+// survives bounded (non-retaining) runs. The accumulation order is the
+// record order, exactly what a scan over retained records would sum.
+type userAcc struct {
+	jobs      int
+	wait      float64
+	bsld      float64
+	nodeHours float64
+}
+
+// tallyUser folds one record into the per-user accumulators.
+func (rec *Recorder) tallyUser(r JobRecord) {
+	if r.Rejected {
+		return
+	}
+	a := rec.byUser[r.User]
+	if a == nil {
+		a = &userAcc{}
+		rec.byUser[r.User] = a
+	}
+	a.jobs++
+	a.wait += float64(r.Wait())
+	a.bsld += r.BoundedSlowdown()
+	a.nodeHours += float64(r.Nodes) * float64(r.Runtime()) / 3600
+}
+
+// Fairness reduces the recorder's per-user tallies to fairness
+// statistics. Rejected jobs are excluded (they carry no wait). Users
+// with no completed jobs do not appear. Works in both recorder modes.
 func (rec *Recorder) Fairness() *FairnessReport {
-	type acc struct {
-		jobs      int
-		wait      float64
-		bsld      float64
-		nodeHours float64
-	}
-	byUser := map[int]*acc{}
-	for i := range rec.records {
-		r := &rec.records[i]
-		if r.Rejected {
-			continue
-		}
-		a := byUser[r.User]
-		if a == nil {
-			a = &acc{}
-			byUser[r.User] = a
-		}
-		a.jobs++
-		a.wait += float64(r.Wait())
-		a.bsld += r.BoundedSlowdown()
-		a.nodeHours += float64(r.Nodes) * float64(r.Runtime()) / 3600
-	}
 	fr := &FairnessReport{}
 	var speeds, hours []float64
-	for user, a := range byUser {
+	for user, a := range rec.byUser {
 		us := UserStats{
 			User:      user,
 			Jobs:      a.jobs,

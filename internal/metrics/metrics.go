@@ -71,9 +71,23 @@ func (r *JobRecord) BoundedSlowdown() float64 {
 }
 
 // Recorder accumulates job records and resource-usage integrals. Create
-// with NewRecorder and feed Observe before every machine state change.
+// with NewRecorder (retain-all: per-job records are kept for CDFs and
+// custom reductions, O(jobs) memory) or NewBoundedRecorder (streaming:
+// records are reduced online — exact counts/means, P² percentile
+// estimates — and Records returns nil; memory is O(users), independent
+// of job count). Feed Observe before every machine state change; an
+// optional Sink additionally receives every record as it is added.
+//
+// Memory bounds (DESIGN.md §7): the usage integrals and makespan
+// tracking are O(1) in both modes — Observe never retains samples, it
+// integrates them — and the per-user fairness tallies are O(users).
+// Only the record slice scales with job count, and only in retain mode.
 type Recorder struct {
+	retain  bool
 	records []JobRecord
+	agg     *Aggregate // bounded-mode online reduction (nil when retaining)
+	sink    Sink       // optional streaming consumer of every record
+	byUser  map[int]*userAcc
 
 	lastT     int64
 	haveT     bool
@@ -86,8 +100,34 @@ type Recorder struct {
 	haveSubmit           bool
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// NewRecorder returns an empty retain-all recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{retain: true, byUser: map[int]*userAcc{}}
+}
+
+// NewBoundedRecorder returns a recorder whose memory is independent of
+// job count: per-job records feed online aggregates (and the sink, when
+// set) instead of being retained. Report is exact except for the four
+// percentile fields, which are P² estimates.
+func NewBoundedRecorder() *Recorder {
+	return &Recorder{agg: NewAggregate(), byUser: map[int]*userAcc{}}
+}
+
+// Bounded reports whether the recorder runs in bounded (non-retaining)
+// mode.
+func (rec *Recorder) Bounded() bool { return !rec.retain }
+
+// SetSink streams every subsequent record to s as well. The caller (or
+// the engine, at Finish) is responsible for Close.
+func (rec *Recorder) SetSink(s Sink) { rec.sink = s }
+
+// CloseSink closes the attached sink, if any, and returns its error.
+func (rec *Recorder) CloseSink() error {
+	if rec.sink == nil {
+		return nil
+	}
+	return rec.sink.Close()
+}
 
 // Observe integrates current usage up to time now. Call it with the
 // pre-change usage before every allocation or release, and once at the
@@ -116,16 +156,33 @@ func (rec *Recorder) OnSubmit(now int64) {
 	}
 }
 
-// Add appends a finished (or rejected) job record.
+// Add records a finished (or rejected) job: retained or reduced online
+// per the recorder's mode, streamed to the sink when one is attached,
+// and tallied into the per-user fairness accumulators either way.
 func (rec *Recorder) Add(r JobRecord) {
-	rec.records = append(rec.records, r)
+	if rec.sink != nil {
+		rec.sink.Add(r)
+	}
+	if rec.retain {
+		rec.records = append(rec.records, r)
+	} else {
+		rec.agg.Add(r)
+	}
+	rec.tallyUser(r)
 	if !r.Rejected && r.End > rec.lastEnd {
 		rec.lastEnd = r.End
 	}
 }
 
-// Records returns all job records (shared slice; treat as read-only).
-func (rec *Recorder) Records() []JobRecord { return rec.records }
+// Records returns a copy of the job records, so callers can sort or
+// mutate freely without corrupting recorder state. It returns nil for
+// a bounded recorder (nothing is retained).
+func (rec *Recorder) Records() []JobRecord {
+	if len(rec.records) == 0 {
+		return nil
+	}
+	return append([]JobRecord(nil), rec.records...)
+}
 
 // Report reduces the recorder to summary metrics for a machine built
 // from cfg.
@@ -134,6 +191,36 @@ func (rec *Recorder) Report(cfg cluster.Config) *Report {
 		FirstSubmit: rec.firstSubmit,
 		LastEnd:     rec.lastEnd,
 	}
+	if rec.retain {
+		rec.exactReport(rp)
+	} else {
+		rec.agg.fillReport(rp)
+	}
+	n := rp.Completed + rp.Killed
+	if n > 0 {
+		rp.RemoteJobFraction = float64(rp.RemoteJobs) / float64(n)
+	}
+
+	makespan := rec.lastEnd - rec.firstSubmit
+	rp.MakespanSec = makespan
+	if makespan > 0 {
+		span := float64(makespan)
+		rp.NodeUtil = rec.nodeInt / (span * float64(cfg.TotalNodes()))
+		if cap := cfg.TotalLocalMiB(); cap > 0 {
+			rp.LocalMemUtil = rec.localInt / (span * float64(cap))
+		}
+		if cap := cfg.TotalPoolMiB(); cap > 0 {
+			rp.PoolUtil = rec.poolInt / (span * float64(cap))
+		}
+		rp.MeanFabricDemand = rec.demandInt / span
+		rp.ThroughputPerHour = float64(n) / (span / 3600)
+	}
+	return rp
+}
+
+// exactReport fills the per-job share of a report from the retained
+// records: exact percentiles from fully materialised arrays.
+func (rec *Recorder) exactReport(rp *Report) {
 	var waits, bslds []float64
 	var remoteDils []float64
 	for i := range rec.records {
@@ -160,30 +247,10 @@ func (rec *Recorder) Report(cfg cluster.Config) *Report {
 			rp.DilationRemote.Add(r.Dilation)
 		}
 	}
-	n := rp.Completed + rp.Killed
-	if n > 0 {
-		rp.RemoteJobFraction = float64(rp.RemoteJobs) / float64(n)
-	}
 	rp.P95Wait = stats.Percentile(waits, 95)
 	rp.P99Wait = stats.Percentile(waits, 99)
 	rp.P95BSld = stats.Percentile(bslds, 95)
 	rp.P95DilationRemote = stats.Percentile(remoteDils, 95)
-
-	makespan := rec.lastEnd - rec.firstSubmit
-	rp.MakespanSec = makespan
-	if makespan > 0 {
-		span := float64(makespan)
-		rp.NodeUtil = rec.nodeInt / (span * float64(cfg.TotalNodes()))
-		if cap := cfg.TotalLocalMiB(); cap > 0 {
-			rp.LocalMemUtil = rec.localInt / (span * float64(cap))
-		}
-		if cap := cfg.TotalPoolMiB(); cap > 0 {
-			rp.PoolUtil = rec.poolInt / (span * float64(cap))
-		}
-		rp.MeanFabricDemand = rec.demandInt / span
-		rp.ThroughputPerHour = float64(n) / (span / 3600)
-	}
-	return rp
 }
 
 // Report is the reduced result of one simulation run.

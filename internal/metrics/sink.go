@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dismem/internal/stats"
+)
+
+// Sink consumes per-job records as the simulation produces them: the
+// bounded-memory alternative to the Recorder's retain-all slice. A
+// Sink is driven from the single simulation goroutine; Close flushes
+// buffered output and reports the first write error. The engine closes
+// its configured sink at Finish.
+type Sink interface {
+	Add(r JobRecord)
+	Close() error
+}
+
+// Discard is the sink that drops every record: bounded recording with
+// no streamed output (the online aggregates in the Recorder still
+// produce a full Report).
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Add(JobRecord) {}
+func (discardSink) Close() error  { return nil }
+
+// Aggregate reduces a job-record stream to the Report's per-job
+// quantities in O(1) memory: exact counts, means, min/max and variance
+// via stats.Online — the identical accumulation the retain-all path
+// performs — plus P² estimates for the wait, slowdown and dilation
+// percentiles that the exact path computes from retained arrays. It is
+// both the Recorder's bounded-mode core and a standalone Sink.
+type Aggregate struct {
+	Completed, Killed, Rejected int
+	RemoteJobs                  int
+	NodeHours                   float64
+
+	Wait, Response, BSld        stats.Online
+	DilationAll, DilationRemote stats.Online
+
+	p95Wait, p99Wait, p95BSld, p95DilRemote *stats.P2
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		p95Wait:      stats.NewP2(0.95),
+		p99Wait:      stats.NewP2(0.99),
+		p95BSld:      stats.NewP2(0.95),
+		p95DilRemote: stats.NewP2(0.95),
+	}
+}
+
+// Add implements Sink. The accumulation order mirrors Recorder.Report's
+// exact loop operation for operation, so every non-percentile Report
+// field is bit-identical between the two modes.
+func (a *Aggregate) Add(r JobRecord) {
+	switch {
+	case r.Rejected:
+		a.Rejected++
+		return
+	case r.Killed:
+		a.Killed++
+	default:
+		a.Completed++
+	}
+	a.NodeHours += float64(r.Nodes) * float64(r.Runtime()) / 3600
+	wait := float64(r.Wait())
+	bsld := r.BoundedSlowdown()
+	a.Wait.Add(wait)
+	a.Response.Add(float64(r.Response()))
+	a.BSld.Add(bsld)
+	a.DilationAll.Add(r.Dilation)
+	a.p95Wait.Add(wait)
+	a.p99Wait.Add(wait)
+	a.p95BSld.Add(bsld)
+	if r.RemoteMiB > 0 {
+		a.RemoteJobs++
+		a.DilationRemote.Add(r.Dilation)
+		a.p95DilRemote.Add(r.Dilation)
+	}
+}
+
+// Close implements Sink (a no-op; aggregates live in memory).
+func (a *Aggregate) Close() error { return nil }
+
+// P95Wait returns the wait-time 95th-percentile estimate.
+func (a *Aggregate) P95Wait() float64 { return a.p95Wait.Quantile() }
+
+// P99Wait returns the wait-time 99th-percentile estimate.
+func (a *Aggregate) P99Wait() float64 { return a.p99Wait.Quantile() }
+
+// P95BSld returns the bounded-slowdown 95th-percentile estimate.
+func (a *Aggregate) P95BSld() float64 { return a.p95BSld.Quantile() }
+
+// P95DilationRemote returns the remote-job dilation 95th-percentile
+// estimate.
+func (a *Aggregate) P95DilationRemote() float64 { return a.p95DilRemote.Quantile() }
+
+// fillReport writes the aggregate's share of a Report: everything the
+// exact path derives from retained records.
+func (a *Aggregate) fillReport(rp *Report) {
+	rp.Completed, rp.Killed, rp.Rejected = a.Completed, a.Killed, a.Rejected
+	rp.RemoteJobs = a.RemoteJobs
+	rp.NodeHours = a.NodeHours
+	rp.Wait, rp.Response, rp.BSld = a.Wait, a.Response, a.BSld
+	rp.DilationAll, rp.DilationRemote = a.DilationAll, a.DilationRemote
+	rp.P95Wait = a.P95Wait()
+	rp.P99Wait = a.P99Wait()
+	rp.P95BSld = a.P95BSld()
+	rp.P95DilationRemote = a.P95DilationRemote()
+}
+
+// StreamSink encodes each record as one line — JSONL or CSV — to a
+// buffered writer: flat-memory record export for runs too large to
+// retain. The first write error latches: subsequent Adds are no-ops
+// and Close reports it. The sink does not close the underlying writer.
+type StreamSink struct {
+	bw       *bufio.Writer
+	csv      bool
+	headered bool
+	err      error
+}
+
+// NewJSONLSink returns a sink writing one JSON object per record line.
+func NewJSONLSink(w io.Writer) *StreamSink {
+	return &StreamSink{bw: bufio.NewWriter(w)}
+}
+
+// NewCSVSink returns a sink writing a header row plus one CSV row per
+// record.
+func NewCSVSink(w io.Writer) *StreamSink {
+	return &StreamSink{bw: bufio.NewWriter(w), csv: true}
+}
+
+// jsonRecord fixes the export schema (and field order) independently of
+// the in-memory JobRecord layout, with the derived per-job metrics
+// consumers always recompute anyway.
+type jsonRecord struct {
+	ID          int     `json:"id"`
+	User        int     `json:"user"`
+	Nodes       int     `json:"nodes"`
+	Submit      int64   `json:"submit"`
+	Start       int64   `json:"start"`
+	End         int64   `json:"end"`
+	Wait        int64   `json:"wait"`
+	BSld        float64 `json:"bsld"`
+	Estimate    int64   `json:"estimate"`
+	Limit       int64   `json:"limit"`
+	BaseRuntime int64   `json:"base_runtime"`
+	MemPerNode  int64   `json:"mem_per_node"`
+	RemoteMiB   int64   `json:"remote_mib"`
+	RemoteFrac  float64 `json:"remote_frac"`
+	Dilation    float64 `json:"dilation"`
+	Killed      bool    `json:"killed,omitempty"`
+	Rejected    bool    `json:"rejected,omitempty"`
+	Restarts    int     `json:"restarts,omitempty"`
+}
+
+// csvHeader matches jsonRecord's field order.
+const csvHeader = "id,user,nodes,submit,start,end,wait,bsld,estimate,limit,base_runtime,mem_per_node,remote_mib,remote_frac,dilation,killed,rejected,restarts"
+
+// Add implements Sink.
+func (s *StreamSink) Add(r JobRecord) {
+	if s.err != nil {
+		return
+	}
+	if s.csv {
+		if !s.headered {
+			s.headered = true
+			if _, err := fmt.Fprintln(s.bw, csvHeader); err != nil {
+				s.err = err
+				return
+			}
+		}
+		_, err := fmt.Fprintf(s.bw, "%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%g,%g,%t,%t,%d\n",
+			r.ID, r.User, r.Nodes, r.Submit, r.Start, r.End, r.Wait(), r.BoundedSlowdown(),
+			r.Estimate, r.Limit, r.BaseRuntime, r.MemPerNode, r.RemoteMiB, r.RemoteFrac,
+			r.Dilation, r.Killed, r.Rejected, r.Restarts)
+		s.err = err
+		return
+	}
+	blob, err := json.Marshal(jsonRecord{
+		ID: r.ID, User: r.User, Nodes: r.Nodes, Submit: r.Submit,
+		Start: r.Start, End: r.End, Wait: r.Wait(), BSld: r.BoundedSlowdown(),
+		Estimate: r.Estimate, Limit: r.Limit, BaseRuntime: r.BaseRuntime,
+		MemPerNode: r.MemPerNode, RemoteMiB: r.RemoteMiB, RemoteFrac: r.RemoteFrac,
+		Dilation: r.Dilation, Killed: r.Killed, Rejected: r.Rejected, Restarts: r.Restarts,
+	})
+	if err != nil {
+		s.err = err
+		return
+	}
+	blob = append(blob, '\n')
+	_, s.err = s.bw.Write(blob)
+}
+
+// Close implements Sink: it flushes and returns the first error.
+func (s *StreamSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dismem/internal/cluster"
+	"dismem/internal/stats"
+)
+
+// fakeRecords builds a deterministic mixed stream of job outcomes.
+func fakeRecords(n int) []JobRecord {
+	rng := stats.NewRNG(17)
+	out := make([]JobRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		r := JobRecord{
+			ID: i, User: i % 7, Nodes: 1 + rng.Intn(16),
+			Submit: int64(i * 10), MemPerNode: 1024,
+		}
+		switch {
+		case i%23 == 0:
+			r.Rejected = true
+			r.Dilation = 1
+		default:
+			r.Start = r.Submit + int64(rng.Intn(5000))
+			r.End = r.Start + 60 + int64(rng.ExpFloat64()*3000)
+			r.BaseRuntime = r.End - r.Start
+			r.Estimate = r.BaseRuntime * 2
+			r.Limit = r.Estimate
+			r.Dilation = 1
+			if i%3 == 0 {
+				r.RemoteMiB = 512
+				r.RemoteFrac = 0.5
+				r.Dilation = 1 + rng.Float64()
+			}
+			if i%17 == 0 {
+				r.Killed = true
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestBoundedRecorderMatchesExactReport(t *testing.T) {
+	// Every non-percentile report field must be bit-identical between
+	// the retain-all and bounded recorders; the four percentile fields
+	// must agree within P² tolerance.
+	exact, bounded := NewRecorder(), NewBoundedRecorder()
+	for _, r := range fakeRecords(5000) {
+		exact.Add(r)
+		bounded.Add(r)
+	}
+	cfg := cluster.DefaultConfig()
+	re, rb := exact.Report(cfg), bounded.Report(cfg)
+
+	if re.Completed != rb.Completed || re.Killed != rb.Killed || re.Rejected != rb.Rejected ||
+		re.RemoteJobs != rb.RemoteJobs || re.NodeHours != rb.NodeHours ||
+		re.RemoteJobFraction != rb.RemoteJobFraction {
+		t.Fatalf("counts differ: exact %+v bounded %+v", re, rb)
+	}
+	if re.Wait != rb.Wait || re.Response != rb.Response || re.BSld != rb.BSld ||
+		re.DilationAll != rb.DilationAll || re.DilationRemote != rb.DilationRemote {
+		t.Fatal("online accumulators differ between modes")
+	}
+	approx := func(name string, a, b float64) {
+		if b == 0 && a == 0 {
+			return
+		}
+		if rel := math.Abs(a-b) / math.Max(math.Abs(b), 1); rel > 0.05 {
+			t.Errorf("%s: bounded %g vs exact %g (rel err %.3f)", name, a, b, rel)
+		}
+	}
+	approx("P95Wait", rb.P95Wait, re.P95Wait)
+	approx("P99Wait", rb.P99Wait, re.P99Wait)
+	approx("P95BSld", rb.P95BSld, re.P95BSld)
+	approx("P95DilationRemote", rb.P95DilationRemote, re.P95DilationRemote)
+
+	if rb.Jobs() != re.Jobs() {
+		t.Fatalf("jobs: %d vs %d", rb.Jobs(), re.Jobs())
+	}
+	if bounded.Records() != nil {
+		t.Fatal("bounded recorder must retain no records")
+	}
+}
+
+func TestBoundedRecorderFairnessMatchesExact(t *testing.T) {
+	exact, bounded := NewRecorder(), NewBoundedRecorder()
+	for _, r := range fakeRecords(2000) {
+		exact.Add(r)
+		bounded.Add(r)
+	}
+	fe, fb := exact.Fairness(), bounded.Fairness()
+	if fe.JainWait != fb.JainWait || fe.GiniNodeHours != fb.GiniNodeHours ||
+		len(fe.Users) != len(fb.Users) {
+		t.Fatalf("fairness differs: exact %+v bounded %+v", fe, fb)
+	}
+	for i := range fe.Users {
+		if fe.Users[i] != fb.Users[i] {
+			t.Fatalf("user %d stats differ: %+v vs %+v", i, fe.Users[i], fb.Users[i])
+		}
+	}
+}
+
+func TestRecordsReturnsACopy(t *testing.T) {
+	rec := NewRecorder()
+	rec.Add(JobRecord{ID: 1, User: 2, Nodes: 1, Submit: 0, Start: 5, End: 10, BaseRuntime: 5, Estimate: 10})
+	got := rec.Records()
+	got[0].ID = 999
+	if rec.Records()[0].ID != 1 {
+		t.Fatal("mutating the returned slice corrupted recorder state")
+	}
+}
+
+func TestObserveIsConstantMemory(t *testing.T) {
+	// Usage observation integrates; it must never retain samples, so
+	// feeding a million ticks allocates nothing per call.
+	rec := NewRecorder()
+	u := cluster.Usage{BusyNodes: 3, UsedLocal: 1024, UsedPool: 512, PoolDemand: 1.5}
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Observe(rec.lastT+1, u)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestJSONLSinkStreamsRecords(t *testing.T) {
+	var sb strings.Builder
+	s := NewJSONLSink(&sb)
+	recs := fakeRecords(50)
+	for _, r := range recs {
+		s.Add(r)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		if int(m["id"].(float64)) != recs[n].ID {
+			t.Fatalf("line %d: id %v, want %d", n+1, m["id"], recs[n].ID)
+		}
+		n++
+	}
+	if n != len(recs) {
+		t.Fatalf("wrote %d lines, want %d", n, len(recs))
+	}
+}
+
+func TestCSVSinkStreamsRecords(t *testing.T) {
+	var sb strings.Builder
+	s := NewCSVSink(&sb)
+	recs := fakeRecords(10)
+	for _, r := range recs {
+		s.Add(r)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(recs)+1 {
+		t.Fatalf("wrote %d lines, want header+%d", len(lines), len(recs))
+	}
+	if lines[0] != csvHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestDiscardSink(t *testing.T) {
+	Discard.Add(JobRecord{ID: 1})
+	if err := Discard.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

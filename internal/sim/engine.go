@@ -19,6 +19,7 @@ import (
 	"dismem/internal/metrics"
 	"dismem/internal/scenario"
 	"dismem/internal/sched"
+	"dismem/internal/source"
 	"dismem/internal/stats"
 	"dismem/internal/workload"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// Observer.OnSample ticks (0 = no sampling). Ignored without an
 	// Observer.
 	SampleEvery int64
+	// RecordSink switches metrics to bounded recording: per-job records
+	// stream to the sink (metrics.Discard to drop them) instead of
+	// being retained, and the Report's percentile fields become P²
+	// estimates — everything else stays exact. Nil (the default) keeps
+	// the retain-all Recorder. The engine closes the sink at Finish.
+	RecordSink metrics.Sink
 }
 
 // FailureConfig models node failures as a Poisson process per node with
@@ -137,6 +144,16 @@ type Engine struct {
 	finished bool
 	result   *Result
 
+	// Arrival stream: the engine pulls one job ahead of the clock, so
+	// exactly one pending-arrival event sits in the DES heap at a time
+	// (heap residency O(running+1), not O(jobs)). src is exhausted when
+	// srcDone; srcErr records a mid-stream production failure, surfaced
+	// at Finish.
+	src         source.Source
+	srcDone     bool
+	srcErr      error
+	lastArrival int64
+
 	queue   []*workload.Job
 	running map[int]*runningState
 	// runIDs and endOrder are the running job IDs under two
@@ -151,13 +168,13 @@ type Engine struct {
 	passQueue bool
 
 	// Failure injection state.
-	failRNG   *stats.RNG
-	failEv    *des.Event
-	totalJobs int
-	jobsLeft  int // jobs not yet terminated or rejected
-	failures  int // node failures that occurred
-	failKills int // failure kills (each becomes a restart)
-	restarts  map[int]int
+	failRNG    *stats.RNG
+	failEv     *des.Event
+	terminated int // jobs that reached a terminal state
+	jobsLeft   int // arrived jobs not yet terminated or rejected
+	failures   int // node failures that occurred
+	failKills  int // failure kills (each becomes a restart)
+	restarts   map[int]int
 
 	// Scenario state: pending intervention events (cancelled with the
 	// last job), the remote-penalty scale the last beta event set, how
@@ -189,11 +206,16 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Scenario.Validate(); err != nil {
 		return nil, err
 	}
+	rec := metrics.NewRecorder()
+	if cfg.RecordSink != nil {
+		rec = metrics.NewBoundedRecorder()
+		rec.SetSink(cfg.RecordSink)
+	}
 	return &Engine{
 		cfg:          cfg,
 		sim:          des.New(),
 		m:            m,
-		rec:          metrics.NewRecorder(),
+		rec:          rec,
 		obs:          cfg.Observer,
 		running:      make(map[int]*runningState),
 		reDilate:     memmodel.ContentionSensitive(cfg.Model),
@@ -213,14 +235,13 @@ func (e *Engine) Run(w *workload.Workload) (*Result, error) {
 	return e.Finish()
 }
 
-// Start validates the workload and primes the event queue (arrivals,
-// failure stream, sampling ticks) without firing any event: the clock
-// stays at 0 until the first Step / RunUntil / RunAll. It may be called
-// once per engine.
+// Start validates the workload and primes the event queue without
+// firing any event: the clock stays at 0 until the first Step /
+// RunUntil / RunAll. It may be called once per engine (StartSource is
+// the streaming alternative). Internally the workload runs through the
+// same pull-based arrival path as any other source, so slice and
+// streamed replays of the same trace are bit-identical.
 func (e *Engine) Start(w *workload.Workload) error {
-	if e.started {
-		return fmt.Errorf("sim: engine already started")
-	}
 	if e.cfg.Scenario.Modulates() {
 		// Arrival modulation is a pre-run workload transform, not an
 		// event stream: the caller's workload is cloned, never mutated.
@@ -229,21 +250,50 @@ func (e *Engine) Start(w *workload.Workload) error {
 	if err := w.Validate(); err != nil {
 		return err
 	}
-	e.started = true
-	e.totalJobs = len(w.Jobs)
-	e.jobsLeft = len(w.Jobs)
-	for _, job := range w.Jobs {
-		job := job
-		e.sim.Schedule(des.Time(job.Submit), func(now des.Time) { e.onArrival(int64(now), job) })
+	return e.startSource(source.FromWorkload(w))
+}
+
+// StartSource primes the engine to pull arrivals lazily from src: one
+// pending-arrival event in the heap at a time, memory bounded by live
+// state instead of trace length. Jobs are validated as they stream
+// (structural validity plus nondecreasing submit order; the O(jobs)
+// duplicate-ID check of Workload.Validate is deliberately skipped) and
+// a production error surfaces from Finish after the in-flight work
+// drains. Scenario arrival modulation composes lazily via
+// source.Modulate. It may be called once per engine, instead of Start.
+func (e *Engine) StartSource(src source.Source) error {
+	if src == nil {
+		return fmt.Errorf("sim: nil source")
 	}
-	if e.cfg.Failures != nil && e.jobsLeft > 0 {
+	if e.cfg.Scenario.Modulates() {
+		src = source.Modulate(src, e.cfg.Scenario.Rate)
+	}
+	return e.startSource(src)
+}
+
+// startSource arms the event queue: the first pending arrival, then —
+// only when there is any work — the failure stream, sampling ticks and
+// scenario interventions, in that order (the scheduling order at one
+// instant is part of observable behavior, see DESIGN.md §2).
+func (e *Engine) startSource(src source.Source) error {
+	if e.started {
+		return fmt.Errorf("sim: engine already started")
+	}
+	e.started = true
+	e.src = src
+	e.scheduleNextArrival()
+	hasWork := !e.srcDone
+	if e.srcErr != nil {
+		return e.srcErr
+	}
+	if e.cfg.Failures != nil && hasWork {
 		e.failRNG = stats.NewRNG(e.cfg.Failures.Seed)
 		e.scheduleNextFailure()
 	}
-	if e.obs != nil && e.cfg.SampleEvery > 0 && e.jobsLeft > 0 {
+	if e.obs != nil && e.cfg.SampleEvery > 0 && hasWork {
 		e.scheduleNextSample()
 	}
-	if e.cfg.Scenario != nil && e.jobsLeft > 0 {
+	if e.cfg.Scenario != nil && hasWork {
 		for _, ev := range e.cfg.Scenario.Events {
 			ev := ev
 			e.scenEvs = append(e.scenEvs,
@@ -252,6 +302,37 @@ func (e *Engine) Start(w *workload.Workload) error {
 	}
 	return nil
 }
+
+// scheduleNextArrival pulls one job from the source and schedules its
+// arrival. Arrival events are front-scheduled: at any instant they fire
+// before every other event, in stream order — exactly the firing order
+// the historical pre-schedule-everything design produced, which keeps
+// streamed replays bit-identical to slice replays.
+func (e *Engine) scheduleNextArrival() {
+	job, ok := e.src.Next()
+	if !ok {
+		e.srcDone = true
+		e.srcErr = e.src.Err()
+		return
+	}
+	if err := source.Validate(job, e.lastArrival); err != nil {
+		// A broken stream stops producing; in-flight work drains and
+		// Finish reports the error.
+		e.srcDone = true
+		e.srcErr = err
+		return
+	}
+	e.lastArrival = job.Submit
+	e.sim.ScheduleFront(des.Time(job.Submit), func(now des.Time) {
+		e.jobsLeft++
+		e.scheduleNextArrival()
+		e.onArrival(int64(now), job)
+	})
+}
+
+// outstanding reports whether any work remains: an arrived job not yet
+// terminated, or arrivals the source has still to deliver.
+func (e *Engine) outstanding() bool { return e.jobsLeft > 0 || !e.srcDone }
 
 // Step fires the single earliest event. It returns false once the
 // simulation is done (event queue drained or Stop called).
@@ -297,7 +378,7 @@ func (e *Engine) Sample() Sample {
 		Now:        e.Now(),
 		QueueDepth: len(e.queue),
 		Running:    len(e.running),
-		Done:       e.totalJobs - e.jobsLeft,
+		Done:       e.terminated,
 		Events:     e.sim.Fired(),
 		Usage:      e.m.Usage(),
 	}
@@ -314,7 +395,15 @@ func (e *Engine) Finish() (*Result, error) {
 	if !e.started {
 		return nil, fmt.Errorf("sim: engine not started")
 	}
+	if e.srcErr != nil {
+		// Flush what the drained in-flight work streamed before
+		// surfacing the source failure (the close error, if any, is
+		// secondary to the source error).
+		_ = e.rec.CloseSink()
+		return nil, fmt.Errorf("sim: workload source failed: %w", e.srcErr)
+	}
 	if !e.sim.Stopped() && (len(e.queue) != 0 || len(e.running) != 0) {
+		_ = e.rec.CloseSink()
 		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
 			len(e.queue), len(e.running), e.cfg.Scheduler.Name())
 	}
@@ -326,6 +415,9 @@ func (e *Engine) Finish() (*Result, error) {
 	report := e.rec.Report(e.m.Config())
 	report.NodeFailures = e.failures
 	report.FailureKills = e.failKills
+	if err := e.rec.CloseSink(); err != nil {
+		return nil, fmt.Errorf("sim: closing record sink: %w", err)
+	}
 	e.finished = true
 	e.result = &Result{
 		Report:         report,
@@ -617,11 +709,12 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 }
 
 // jobDone decrements the outstanding-work counter; once everything has
-// terminated the failure and sampling processes stop so the event queue
-// can drain.
+// terminated (and the source has no more arrivals to deliver) the
+// failure and sampling processes stop so the event queue can drain.
 func (e *Engine) jobDone() {
 	e.jobsLeft--
-	if e.jobsLeft != 0 {
+	e.terminated++
+	if e.outstanding() {
 		return
 	}
 	if e.failEv != nil {
@@ -655,7 +748,7 @@ func (e *Engine) scheduleNextFailure() {
 // and schedules the repair.
 func (e *Engine) onFailure(now int64) {
 	e.failEv = nil
-	if e.jobsLeft == 0 {
+	if !e.outstanding() {
 		return
 	}
 	defer e.scheduleNextFailure()

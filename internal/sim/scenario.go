@@ -17,7 +17,7 @@ import (
 
 // onScenario applies one intervention at its scheduled time.
 func (e *Engine) onScenario(now int64, ev scenario.Event) {
-	if e.jobsLeft == 0 {
+	if !e.outstanding() {
 		return // nothing outstanding; jobDone already cancels the rest
 	}
 	e.applyScenario(now, ev)
@@ -113,7 +113,7 @@ func (e *Engine) downNode(now int64, id cluster.NodeID) {
 	if n.Busy != 0 {
 		e.terminate(now, n.Busy, true, true)
 	}
-	if e.jobsLeft == 0 {
+	if !e.outstanding() {
 		// The kill above was the last outstanding job (it exhausted its
 		// restart budget); the machine state no longer matters.
 		return

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dismem/internal/core"
+	"dismem/internal/memmodel"
+	"dismem/internal/metrics"
+	"dismem/internal/scenario"
+	"dismem/internal/sched"
+	"dismem/internal/source"
+	"dismem/internal/stats"
+	"dismem/internal/workload"
+)
+
+// memaware builds the full-stack scheduler (EASY backfill + the
+// paper's memory-aware placer); with the contention-sensitive model it
+// exercises re-dilation, spilling and kills on the streaming path.
+func memaware() *sched.Batch {
+	return &sched.Batch{Order: sched.FCFS{}, Backfill: sched.BackfillEASY, Placer: core.New()}
+}
+
+// streamCfg is the shared full-stack configuration for replay tests.
+func streamCfg() Config {
+	return Config{
+		Machine:     tinyMachine(4000, 1),
+		Model:       memmodel.Bandwidth{Beta: 1, Gamma: 1},
+		Scheduler:   memaware(),
+		ExtendLimit: true,
+	}
+}
+
+// testWorkload generates a trace sized for tinyMachine: 1-2 node jobs
+// whose footprints mix local fits and pool spills.
+func testWorkload(n int, seed uint64) *workload.Workload {
+	cfg := workload.DefaultGenConfig(n, seed, 2)
+	cfg.MeanInterarrival = 400
+	cfg.MemSmall = stats.Truncated{Inner: stats.LogNormal{Mu: 6, Sigma: 0.8}, Lo: 100, Hi: 900}
+	cfg.MemLarge = stats.Truncated{Inner: stats.LogNormal{Mu: 7.5, Sigma: 0.5}, Lo: 1000, Hi: 2400}
+	cfg.MaxMemPerNode = 2400
+	return workload.MustGenerate(cfg)
+}
+
+func runSlice(t *testing.T, cfg Config, w *workload.Workload) *Result {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	res, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runSource(t *testing.T, cfg Config, src source.Source) *Result {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartSource(src); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	res, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// identicalResults pins the bit-identical replay contract: same
+// records, same event count, same report.
+func identicalResults(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.Events != b.Events {
+		t.Fatalf("%s: event counts differ: %d vs %d", label, a.Events, b.Events)
+	}
+	ra, rb := a.Recorder.Records(), b.Recorder.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("%s: record %d differs:\n%+v\n%+v", label, i, ra[i], rb[i])
+		}
+	}
+	if *a.Report != *b.Report {
+		t.Fatalf("%s: reports differ:\n%+v\n%+v", label, a.Report, b.Report)
+	}
+}
+
+func TestStreamedSliceReplayBitIdentical(t *testing.T) {
+	// The pinned golden test of the streaming refactor: replaying a
+	// workload through Start (slice) and through StartSource must be
+	// bit-identical — records, event count, report.
+	w := testWorkload(300, 1)
+	a := runSlice(t, streamCfg(), w)
+	b := runSource(t, streamCfg(), source.FromWorkload(w))
+	identicalResults(t, a, b, "slice vs source")
+}
+
+func TestStreamedSWFReplayBitIdentical(t *testing.T) {
+	// SWFSource replay must equal ReadSWF + slice replay of the same
+	// trace bytes.
+	w := testWorkload(300, 2)
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	wl, _, err := workload.ReadSWF(bytes.NewReader(data), workload.SWFReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runSlice(t, streamCfg(), wl)
+	b := runSource(t, streamCfg(), source.SWF(bytes.NewReader(data), workload.SWFReadOptions{}))
+	identicalResults(t, a, b, "swf slice vs swf stream")
+}
+
+func TestScenarioModulationComposesWithSource(t *testing.T) {
+	// Slice path warps arrivals via workload.ModulateArrivals; the
+	// source path wraps lazily via source.Modulate. Same scenario, same
+	// trace, bit-identical outcome — and timed interventions ride on
+	// both.
+	w := testWorkload(250, 3)
+	sc := scenario.MustParse(
+		"at=20000 down node=1; at=40000 up node=1; from=0 period=86400 amp=0.5 diurnal; from=10000 until=30000 rate=2 surge")
+	cfg := streamCfg()
+	cfg.Scenario = sc
+	a := runSlice(t, cfg, w)
+	cfgB := streamCfg()
+	cfgB.Scenario = sc
+	b := runSource(t, cfgB, source.FromWorkload(w))
+	identicalResults(t, a, b, "scenario slice vs source")
+	if a.ScenarioEvents != b.ScenarioEvents {
+		t.Fatalf("scenario events differ: %d vs %d", a.ScenarioEvents, b.ScenarioEvents)
+	}
+}
+
+func TestBoundedRecordingMatchesExactEndToEnd(t *testing.T) {
+	w := testWorkload(400, 4)
+	exact := runSlice(t, streamCfg(), w)
+
+	bounded := streamCfg()
+	bounded.RecordSink = metrics.Discard
+	got := runSource(t, bounded, source.FromWorkload(w))
+
+	re, rb := exact.Report, got.Report
+	if re.Completed != rb.Completed || re.Killed != rb.Killed || re.Rejected != rb.Rejected ||
+		re.Wait != rb.Wait || re.BSld != rb.BSld || re.NodeUtil != rb.NodeUtil ||
+		re.PoolUtil != rb.PoolUtil || re.MakespanSec != rb.MakespanSec ||
+		re.ThroughputPerHour != rb.ThroughputPerHour {
+		t.Fatalf("bounded run diverges beyond percentiles:\nexact   %+v\nbounded %+v", re, rb)
+	}
+	for _, q := range []struct {
+		name     string
+		ex, appr float64
+	}{
+		{"P95Wait", re.P95Wait, rb.P95Wait},
+		{"P99Wait", re.P99Wait, rb.P99Wait},
+		{"P95BSld", re.P95BSld, rb.P95BSld},
+	} {
+		if q.ex == 0 && q.appr == 0 {
+			continue
+		}
+		if rel := math.Abs(q.appr-q.ex) / math.Max(q.ex, 1); rel > 0.1 {
+			t.Errorf("%s: P² %g vs exact %g (rel err %.3f)", q.name, q.appr, q.ex, rel)
+		}
+	}
+	if got.Recorder.Records() != nil {
+		t.Fatal("bounded run must retain no records")
+	}
+	fe, fb := exact.Recorder.Fairness(), got.Recorder.Fairness()
+	if fe.JainWait != fb.JainWait {
+		t.Fatalf("fairness differs: %g vs %g", fe.JainWait, fb.JainWait)
+	}
+}
+
+func TestArrivalHeapResidencyIsBounded(t *testing.T) {
+	// The point of streaming: at every instant the heap holds at most
+	// one pending arrival + one end event per running job + one
+	// coalesced pass event (no failures/sampling/scenario here), no
+	// matter how long the trace is.
+	w := testWorkload(500, 5)
+	e, err := New(streamCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	for e.Step() {
+		if limit := e.RunningCount() + 2; e.sim.Pending() > limit {
+			t.Fatalf("heap residency %d exceeds running+2 = %d at t=%d",
+				e.sim.Pending(), limit, e.Now())
+		}
+	}
+	if _, err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokenSourceSurfacesAtFinish(t *testing.T) {
+	// An out-of-order stream stops producing; in-flight work drains and
+	// Finish reports the error instead of pretending the run completed.
+	jobs := []*workload.Job{
+		{ID: 1, Submit: 100, Nodes: 1, MemPerNode: 1, Estimate: 50, BaseRuntime: 10},
+		{ID: 2, Submit: 50, Nodes: 1, MemPerNode: 1, Estimate: 50, BaseRuntime: 10},
+	}
+	e, err := New(Config{Machine: tinyMachine(0, 0), Scheduler: easyLocal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartSource(source.FromJobs(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if _, err := e.Finish(); err == nil || !strings.Contains(err.Error(), "before previous arrival") {
+		t.Fatalf("want out-of-order source error from Finish, got %v", err)
+	}
+}
+
+func TestEmptySourceFinishesCleanly(t *testing.T) {
+	e, err := New(Config{Machine: tinyMachine(0, 0), Scheduler: easyLocal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartSource(source.FromJobs(nil)); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	res, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Jobs() != 0 || res.Events != 0 {
+		t.Fatalf("empty source produced %d jobs, %d events", res.Report.Jobs(), res.Events)
+	}
+}

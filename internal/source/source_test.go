@@ -1,0 +1,172 @@
+package source
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dismem/internal/workload"
+)
+
+func drain(t *testing.T, s Source) []*workload.Job {
+	t.Helper()
+	var out []*workload.Job
+	for {
+		if peek := s.PeekSubmit(); peek >= 0 {
+			j, ok := s.Next()
+			if !ok {
+				t.Fatalf("PeekSubmit=%d but Next ended", peek)
+			}
+			if j.Submit != peek {
+				t.Fatalf("PeekSubmit=%d but job submits at %d", peek, j.Submit)
+			}
+			out = append(out, j)
+			continue
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatal("PeekSubmit=-1 but Next produced a job")
+		}
+		return out
+	}
+}
+
+func sameJobs(t *testing.T, got []*workload.Job, want []*workload.Job, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d jobs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Fatalf("%s: job %d: %+v != %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSliceSourceYieldsWorkloadInOrder(t *testing.T) {
+	wl := workload.MustGenerate(workload.DefaultGenConfig(100, 3, 64))
+	sameJobs(t, drain(t, FromWorkload(wl)), wl.Jobs, "slice")
+}
+
+func TestGenSourceCapEqualsGenerate(t *testing.T) {
+	// The tentpole property: a capped lazy source is the materialised
+	// workload, job for job — for both generator models.
+	cfg := workload.DefaultGenConfig(0, 11, 128) // unbounded stream
+	st, err := workload.NewGenStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := drain(t, Gen(st, 300, 0))
+	cfg.Jobs = 300
+	want := workload.MustGenerate(cfg)
+	sameJobs(t, capped, want.Jobs, "gen cap")
+
+	lcfg := workload.DefaultLublinConfig(0, 6, 128)
+	lst, err := workload.NewLublinStream(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcapped := drain(t, Gen(lst, 300, 0))
+	lcfg.Jobs = 300
+	lwant := workload.MustGenerateLublin(lcfg)
+	sameJobs(t, lcapped, lwant.Jobs, "lublin cap")
+}
+
+func TestGenSourceHorizonCap(t *testing.T) {
+	cfg := workload.DefaultGenConfig(0, 1, 64)
+	st, err := workload.NewGenStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 6 * 3600
+	jobs := drain(t, Gen(st, 0, horizon))
+	if len(jobs) == 0 {
+		t.Fatal("horizon-capped source produced nothing")
+	}
+	for _, j := range jobs {
+		if j.Submit > horizon {
+			t.Fatalf("job %d submits at %d past horizon %d", j.ID, j.Submit, horizon)
+		}
+	}
+	// The cap is "first job past the horizon ends the stream", so the
+	// prefix must match an uncapped regeneration.
+	st2, _ := workload.NewGenStream(cfg)
+	for i, want := range jobs {
+		got, _ := st2.Next()
+		if *got != *want {
+			t.Fatalf("job %d differs from uncapped stream", i)
+		}
+	}
+}
+
+func TestModulateMatchesModulateArrivals(t *testing.T) {
+	// The lazy warp and the batch warp are the same transform.
+	wl := workload.MustGenerate(workload.DefaultGenConfig(400, 5, 64))
+	rate := func(tt float64) float64 {
+		if tt >= 3600 && tt < 7200 {
+			return 3 // surge hour
+		}
+		return 0.8
+	}
+	want := workload.ModulateArrivals(wl, rate)
+	got := drain(t, Modulate(FromWorkload(wl), rate))
+	sameJobs(t, got, want.Jobs, "modulate")
+	// The inner workload must be untouched (Modulate copies).
+	fresh := workload.MustGenerate(workload.DefaultGenConfig(400, 5, 64))
+	sameJobs(t, wl.Jobs, fresh.Jobs, "input unmutated")
+}
+
+func TestModulateNilRateIsIdentity(t *testing.T) {
+	wl := workload.MustGenerate(workload.DefaultGenConfig(10, 1, 16))
+	src := FromWorkload(wl)
+	if Modulate(src, nil) != Source(src) {
+		t.Fatal("nil rate should return the source unchanged")
+	}
+}
+
+func TestSWFSourceMatchesReadSWF(t *testing.T) {
+	wl := workload.MustGenerate(workload.DefaultGenConfig(300, 7, 128))
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	want, skipped, err := workload.ReadSWF(bytes.NewReader(data), workload.SWFReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := SWF(bytes.NewReader(data), workload.SWFReadOptions{})
+	got := drain(t, src)
+	sameJobs(t, got, want.Jobs, "swf stream")
+	if src.Err() != nil || src.Skipped() != skipped {
+		t.Fatalf("err=%v skipped=%d, want nil and %d", src.Err(), src.Skipped(), skipped)
+	}
+}
+
+func TestSWFSourceRejectsUnsortedTrace(t *testing.T) {
+	trace := "1 100 -1 50 2 -1 -1 2 60 1024 1 7 0 -1 -1 -1 -1 -1\n" +
+		"2 10 -1 50 2 -1 -1 2 60 1024 1 7 0 -1 -1 -1 -1 -1\n"
+	src := SWF(strings.NewReader(trace), workload.SWFReadOptions{})
+	if j, ok := src.Next(); !ok || j.ID != 1 {
+		t.Fatalf("first job should decode, got %v %v", j, ok)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("out-of-order record should end the stream")
+	}
+	if src.Err() == nil || !strings.Contains(src.Err().Error(), "before previous arrival") {
+		t.Fatalf("want out-of-order error, got %v", src.Err())
+	}
+}
+
+func TestValidateStreamedJob(t *testing.T) {
+	good := &workload.Job{ID: 1, Submit: 10, Nodes: 1, MemPerNode: 1, Estimate: 10, BaseRuntime: 5}
+	if err := Validate(good, 10); err != nil {
+		t.Fatalf("valid in-order job rejected: %v", err)
+	}
+	if err := Validate(good, 11); err == nil {
+		t.Fatal("out-of-order job accepted")
+	}
+	bad := &workload.Job{ID: 0}
+	if err := Validate(bad, 0); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+}

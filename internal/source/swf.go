@@ -1,0 +1,72 @@
+package source
+
+import (
+	"fmt"
+	"io"
+
+	"dismem/internal/workload"
+)
+
+// SWFSource streams jobs from an SWF trace without materialising it:
+// one decoded job buffered ahead (for PeekSubmit), O(1) memory
+// regardless of trace length. The trace must already be sorted by
+// submit time — the Parallel Workloads Archive convention — because a
+// stream cannot sort; an out-of-order record ends the stream with an
+// error (use workload.ReadSWF for traces that need sorting).
+type SWFSource struct {
+	dec  *workload.SWFDecoder
+	next *workload.Job
+	last int64
+	err  error
+}
+
+// SWF returns a source decoding lazily from r. The caller keeps
+// ownership of r (close files after the run).
+func SWF(r io.Reader, opt workload.SWFReadOptions) *SWFSource {
+	s := &SWFSource{dec: workload.NewSWFDecoder(r, opt)}
+	s.fill()
+	return s
+}
+
+func (s *SWFSource) fill() {
+	s.next = nil
+	if s.err != nil {
+		return
+	}
+	j, ok := s.dec.Next()
+	if !ok {
+		s.err = s.dec.Err()
+		return
+	}
+	if j.Submit < s.last {
+		s.err = fmt.Errorf("source: swf job %d arrives at %d before previous arrival %d (streaming needs a submit-sorted trace; use ReadSWF)",
+			j.ID, j.Submit, s.last)
+		return
+	}
+	s.last = j.Submit
+	s.next = j
+}
+
+// Next implements Source.
+func (s *SWFSource) Next() (*workload.Job, bool) {
+	if s.next == nil {
+		return nil, false
+	}
+	j := s.next
+	s.fill()
+	return j, true
+}
+
+// PeekSubmit implements Source.
+func (s *SWFSource) PeekSubmit() int64 {
+	if s.next == nil {
+		return -1
+	}
+	return s.next.Submit
+}
+
+// Err implements Source.
+func (s *SWFSource) Err() error { return s.err }
+
+// Skipped returns how many unusable records the decoder dropped so far.
+func (s *SWFSource) Skipped() int { return s.dec.Skipped() }

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestP2SmallNIsExact(t *testing.T) {
+	e := NewP2(0.95)
+	xs := []float64{30, 10, 20}
+	for _, x := range xs {
+		e.Add(x)
+	}
+	if got, want := e.Quantile(), Percentile(xs, 95); got != want {
+		t.Fatalf("small-n quantile = %g, want exact %g", got, want)
+	}
+	if NewP2(0.5).Quantile() != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+}
+
+func TestP2TracksKnownQuantiles(t *testing.T) {
+	// Heavy-tailed and uniform streams: the estimate must land within a
+	// few percent of the exact sample quantile.
+	rng := NewRNG(7)
+	dists := []struct {
+		name   string
+		sample func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 1000 }},
+		{"lognormal", func() float64 { return math.Exp(2 + 1.5*rng.NormFloat64()) }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 300 }},
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			e := NewP2(p)
+			xs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := d.sample()
+				xs = append(xs, x)
+				e.Add(x)
+			}
+			exact := Percentile(xs, p*100)
+			got := e.Quantile()
+			// Tolerance: 5% relative, generous for the p99 tail.
+			if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+				t.Errorf("%s p%.0f: P2 %g vs exact %g (rel err %.3f)", d.name, p*100, got, exact, rel)
+			}
+		}
+	}
+}
+
+func TestP2Deterministic(t *testing.T) {
+	a, b := NewP2(0.95), NewP2(0.95)
+	rng := NewRNG(3)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	for _, x := range xs {
+		a.Add(x)
+		b.Add(x)
+	}
+	if a.Quantile() != b.Quantile() || a.N() != 1000 {
+		t.Fatalf("same stream produced %g vs %g", a.Quantile(), b.Quantile())
+	}
+}
+
+func TestP2ConstantStream(t *testing.T) {
+	e := NewP2(0.95)
+	for i := 0; i < 100; i++ {
+		e.Add(42)
+	}
+	if e.Quantile() != 42 {
+		t.Fatalf("constant stream quantile = %g, want 42", e.Quantile())
+	}
+}

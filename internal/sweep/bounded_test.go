@@ -1,0 +1,34 @@
+package sweep
+
+import (
+	"testing"
+)
+
+func TestBoundedCellMatchesExactAggregates(t *testing.T) {
+	// A bounded cell must reproduce every aggregate column exactly
+	// except the percentile ones (P² estimates), with no retained
+	// records.
+	o := Options{Jobs: 800, Seeds: 2}
+	exact := Cell{Policy: "memaware"}.MustRun(o)
+	bounded := Cell{Policy: "memaware", Bounded: true}.MustRun(o)
+
+	if exact.MeanWait != bounded.MeanWait || exact.MeanBSld != bounded.MeanBSld ||
+		exact.NodeUtil != bounded.NodeUtil || exact.Throughput != bounded.Throughput ||
+		exact.RemoteFrac != bounded.RemoteFrac || exact.KilledFrac != bounded.KilledFrac ||
+		exact.Jobs != bounded.Jobs || exact.JainWait != bounded.JainWait {
+		t.Fatalf("bounded cell diverges beyond percentiles:\nexact   %+v\nbounded %+v", exact, bounded)
+	}
+	if bounded.Records != nil {
+		t.Fatal("bounded cell must retain no records")
+	}
+	// Percentiles are P² estimates; on short, temporally correlated
+	// wait streams (backlog ramps) they are rough — accuracy improves
+	// with scale (see the metrics tests for the i.i.d. behaviour and
+	// EXPERIMENTS.md for the 1M-job run). Sanity band only.
+	if exact.P95Wait > 0 {
+		if ratio := bounded.P95Wait / exact.P95Wait; ratio < 0.5 || ratio > 2 {
+			t.Errorf("P95Wait: bounded %g vs exact %g (ratio %.2f outside sanity band)",
+				bounded.P95Wait, exact.P95Wait, ratio)
+		}
+	}
+}

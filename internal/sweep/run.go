@@ -57,6 +57,12 @@ type Cell struct {
 	// amplitudes, and the like. Scenarios are immutable and shared
 	// across the parallel seed goroutines.
 	Scenario *dismem.Scenario
+	// Bounded runs every seed with bounded metrics recording
+	// (dismem.DiscardRecords): memory stays independent of Jobs, the
+	// aggregate columns are unchanged except the percentile ones, which
+	// become P² estimates, and Agg.Records stays nil (CDF reductions
+	// need retain mode). Use it for cells far above the default scale.
+	Bounded bool
 	// StopWhen, when set, aborts each seed's simulation early: it is
 	// evaluated against periodic engine samples (every SampleEvery
 	// simulated seconds) and the run stops at the first true. The
@@ -154,6 +160,9 @@ func (c Cell) Run(o Options) (Agg, error) {
 				Workload:   wl,
 				StrictKill: c.StrictKill,
 				Scenario:   c.Scenario,
+			}
+			if c.Bounded {
+				opts.RecordSink = dismem.DiscardRecords
 			}
 			if c.Failures != nil {
 				fc := *c.Failures

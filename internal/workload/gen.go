@@ -116,68 +116,19 @@ func (c *GenConfig) Validate() error {
 }
 
 // Generate produces a synthetic workload from the configuration. The
-// output is sorted by submit time and validates cleanly.
+// output is sorted by submit time and validates cleanly. It is the
+// materialising wrapper over GenStream: pulling a fresh stream cfg.Jobs
+// times yields the identical job sequence.
 func Generate(cfg GenConfig) (*Workload, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.SizeZipfExponent == 0 {
-		cfg.SizeZipfExponent = 1.4
+	st, err := NewGenStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.EstimateQuantum <= 0 {
-		cfg.EstimateQuantum = 300
-	}
-
-	rng := stats.NewRNG(cfg.Seed)
-	arrivalRNG := rng.Split()
-	sizeRNG := rng.Split()
-	runtimeRNG := rng.Split()
-	memRNG := rng.Split()
-	estRNG := rng.Split()
-	userRNG := rng.Split()
-
-	sizeClasses := int(math.Log2(float64(cfg.MaxNodes))) + 1
-	sizeZipf := stats.NewZipf(sizeClasses, cfg.SizeZipfExponent)
-	interarrival := stats.Weibull{
-		K:      cfg.ArrivalBurstiness,
-		Lambda: cfg.MeanInterarrival / weibullMeanFactor(cfg.ArrivalBurstiness),
-	}
-	runtime := stats.LogNormal{Mu: cfg.RuntimeLogMean, Sigma: cfg.RuntimeLogSigma}
-
-	w := &Workload{
-		Name: fmt.Sprintf("synthetic(n=%d,seed=%d)", cfg.Jobs, cfg.Seed),
-		Jobs: make([]*Job, 0, cfg.Jobs),
-	}
-	now := 0.0
-	for i := 1; i <= cfg.Jobs; i++ {
-		gap := interarrival.Sample(arrivalRNG)
-		if cfg.DiurnalAmplitude > 0 {
-			// Thin arrivals at "night": stretch the gap when the
-			// diurnal intensity is low at the current virtual hour.
-			phase := 2 * math.Pi * math.Mod(now, 86400) / 86400
-			intensity := 1 + cfg.DiurnalAmplitude*math.Sin(phase)
-			gap /= intensity
-		}
-		now += gap
-
-		j := &Job{
-			ID:          i,
-			User:        userRNG.Intn(cfg.Users),
-			Group:       0,
-			Submit:      int64(now),
-			Nodes:       sampleNodes(sizeRNG, sizeZipf, cfg),
-			MemPerNode:  sampleMem(memRNG, cfg),
-			BaseRuntime: sampleRuntime(runtimeRNG, runtime, cfg),
-		}
-		j.Group = j.User % 8
-		j.Estimate = sampleEstimate(estRNG, j.BaseRuntime, cfg)
-		w.Jobs = append(w.Jobs, j)
-	}
-	w.Sort()
-	if err := w.Validate(); err != nil {
-		return nil, fmt.Errorf("workload: generator produced invalid trace: %w", err)
-	}
-	return w, nil
+	name := fmt.Sprintf("synthetic(n=%d,seed=%d)", cfg.Jobs, cfg.Seed)
+	return drainStream(name, "generator", cfg.Jobs, st.Next)
 }
 
 // MustGenerate is Generate for configurations known valid at compile

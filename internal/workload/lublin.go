@@ -120,68 +120,18 @@ var dailyCycleWeights = [24]float64{
 }
 
 // GenerateLublin produces a workload from the Lublin-Feitelson model.
+// It is the materialising wrapper over LublinStream: pulling a fresh
+// stream cfg.Jobs times yields the identical job sequence.
 func GenerateLublin(cfg LublinConfig) (*Workload, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.EstimateQuantum <= 0 {
-		cfg.EstimateQuantum = 300
+	st, err := NewLublinStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-	rng := stats.NewRNG(cfg.Seed)
-	arrivalRNG := rng.Split()
-	sizeRNG := rng.Split()
-	runtimeRNG := rng.Split()
-	memRNG := rng.Split()
-	estRNG := rng.Split()
-	userRNG := rng.Split()
-
-	// Pre-normalise the daily cycle to a mean weight of 1.
-	var cycleSum float64
-	for _, w := range dailyCycleWeights {
-		cycleSum += w
-	}
-	cycleMean := cycleSum / 24
-
-	estCfg := GenConfig{
-		EstimateAccuracy: cfg.EstimateAccuracy,
-		EstimateQuantum:  cfg.EstimateQuantum,
-		MaxRuntime:       cfg.MaxRuntime,
-	}
-	memCfg := GenConfig{
-		MemSmall: cfg.MemSmall, MemLarge: cfg.MemLarge,
-		LargeMemFraction: cfg.LargeMemFraction, MaxMemPerNode: cfg.MaxMemPerNode,
-	}
-
-	w := &Workload{
-		Name: fmt.Sprintf("lublin(n=%d,seed=%d)", cfg.Jobs, cfg.Seed),
-		Jobs: make([]*Job, 0, cfg.Jobs),
-	}
-	now := 0.0
-	for i := 1; i <= cfg.Jobs; i++ {
-		// Exponential gap modulated by the hour-of-day intensity.
-		hour := int(math.Mod(now, 86400)) / 3600
-		intensity := dailyCycleWeights[hour] / cycleMean
-		now += arrivalRNG.ExpFloat64() * cfg.MeanInterarrival / intensity
-
-		nodes := lublinSize(sizeRNG, &cfg)
-		rt := lublinRuntime(runtimeRNG, &cfg, nodes)
-		j := &Job{
-			ID:          i,
-			User:        userRNG.Intn(cfg.Users),
-			Submit:      int64(now),
-			Nodes:       nodes,
-			MemPerNode:  sampleMem(memRNG, memCfg),
-			BaseRuntime: rt,
-		}
-		j.Group = j.User % 8
-		j.Estimate = sampleEstimate(estRNG, rt, estCfg)
-		w.Jobs = append(w.Jobs, j)
-	}
-	w.Sort()
-	if err := w.Validate(); err != nil {
-		return nil, fmt.Errorf("workload: lublin generator produced invalid trace: %w", err)
-	}
-	return w, nil
+	name := fmt.Sprintf("lublin(n=%d,seed=%d)", cfg.Jobs, cfg.Seed)
+	return drainStream(name, "lublin generator", cfg.Jobs, st.Next)
 }
 
 // lublinSize draws a job width: two-stage log-uniform, snapped to a

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dismem/internal/stats"
+)
+
+// This file holds the lazy core of both synthetic generators. Each
+// stream produces jobs one at a time in nondecreasing submit order with
+// O(1) memory; Generate and GenerateLublin are thin materialising
+// wrappers, so a stream pulled N times is the same job sequence a
+// materialised N-job workload holds (pinned by tests). Streams are the
+// engine-facing form: internal/source adapts them to arbitrary-length
+// saturation and soak runs that never hold a full Workload in memory.
+
+// GenStream lazily produces the calibrated synthetic workload. A
+// cfg.Jobs of 0 means "produce forever"; otherwise the stream ends
+// after cfg.Jobs jobs. Create with NewGenStream; not safe for
+// concurrent use.
+type GenStream struct {
+	cfg GenConfig
+
+	arrivalRNG, sizeRNG, runtimeRNG *stats.RNG
+	memRNG, estRNG, userRNG         *stats.RNG
+	sizeZipf                        *stats.Zipf
+	interarrival                    stats.Weibull
+	runtime                         stats.LogNormal
+
+	now float64
+	i   int
+}
+
+// NewGenStream validates cfg and primes the generator state. Unlike
+// Generate, cfg.Jobs may be 0 (unbounded production).
+func NewGenStream(cfg GenConfig) (*GenStream, error) {
+	v := cfg
+	if v.Jobs == 0 {
+		v.Jobs = 1 // unbounded stream; satisfy the jobs>0 batch check
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SizeZipfExponent == 0 {
+		cfg.SizeZipfExponent = 1.4
+	}
+	if cfg.EstimateQuantum <= 0 {
+		cfg.EstimateQuantum = 300
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	s := &GenStream{
+		cfg:        cfg,
+		arrivalRNG: rng.Split(),
+		sizeRNG:    rng.Split(),
+		runtimeRNG: rng.Split(),
+		memRNG:     rng.Split(),
+		estRNG:     rng.Split(),
+		userRNG:    rng.Split(),
+	}
+	sizeClasses := int(math.Log2(float64(cfg.MaxNodes))) + 1
+	s.sizeZipf = stats.NewZipf(sizeClasses, cfg.SizeZipfExponent)
+	s.interarrival = stats.Weibull{
+		K:      cfg.ArrivalBurstiness,
+		Lambda: cfg.MeanInterarrival / weibullMeanFactor(cfg.ArrivalBurstiness),
+	}
+	s.runtime = stats.LogNormal{Mu: cfg.RuntimeLogMean, Sigma: cfg.RuntimeLogSigma}
+	return s, nil
+}
+
+// Next produces the next job, or (nil, false) once cfg.Jobs jobs have
+// been produced (never for an unbounded stream).
+func (s *GenStream) Next() (*Job, bool) {
+	if s.cfg.Jobs > 0 && s.i >= s.cfg.Jobs {
+		return nil, false
+	}
+	s.i++
+	gap := s.interarrival.Sample(s.arrivalRNG)
+	if s.cfg.DiurnalAmplitude > 0 {
+		// Thin arrivals at "night": stretch the gap when the
+		// diurnal intensity is low at the current virtual hour.
+		phase := 2 * math.Pi * math.Mod(s.now, 86400) / 86400
+		intensity := 1 + s.cfg.DiurnalAmplitude*math.Sin(phase)
+		gap /= intensity
+	}
+	s.now += gap
+
+	j := &Job{
+		ID:          s.i,
+		User:        s.userRNG.Intn(s.cfg.Users),
+		Submit:      int64(s.now),
+		Nodes:       sampleNodes(s.sizeRNG, s.sizeZipf, s.cfg),
+		MemPerNode:  sampleMem(s.memRNG, s.cfg),
+		BaseRuntime: sampleRuntime(s.runtimeRNG, s.runtime, s.cfg),
+	}
+	j.Group = j.User % 8
+	j.Estimate = sampleEstimate(s.estRNG, j.BaseRuntime, s.cfg)
+	return j, true
+}
+
+// LublinStream lazily produces the Lublin–Feitelson workload. A
+// cfg.Jobs of 0 means "produce forever". Create with NewLublinStream;
+// not safe for concurrent use.
+type LublinStream struct {
+	cfg LublinConfig
+
+	arrivalRNG, sizeRNG, runtimeRNG *stats.RNG
+	memRNG, estRNG, userRNG         *stats.RNG
+	cycleMean                       float64
+	estCfg, memCfg                  GenConfig
+
+	now float64
+	i   int
+}
+
+// NewLublinStream validates cfg and primes the generator state. Unlike
+// GenerateLublin, cfg.Jobs may be 0 (unbounded production).
+func NewLublinStream(cfg LublinConfig) (*LublinStream, error) {
+	v := cfg
+	if v.Jobs == 0 {
+		v.Jobs = 1
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EstimateQuantum <= 0 {
+		cfg.EstimateQuantum = 300
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	s := &LublinStream{
+		cfg:        cfg,
+		arrivalRNG: rng.Split(),
+		sizeRNG:    rng.Split(),
+		runtimeRNG: rng.Split(),
+		memRNG:     rng.Split(),
+		estRNG:     rng.Split(),
+		userRNG:    rng.Split(),
+	}
+	// Pre-normalise the daily cycle to a mean weight of 1.
+	var cycleSum float64
+	for _, w := range dailyCycleWeights {
+		cycleSum += w
+	}
+	s.cycleMean = cycleSum / 24
+	s.estCfg = GenConfig{
+		EstimateAccuracy: cfg.EstimateAccuracy,
+		EstimateQuantum:  cfg.EstimateQuantum,
+		MaxRuntime:       cfg.MaxRuntime,
+	}
+	s.memCfg = GenConfig{
+		MemSmall: cfg.MemSmall, MemLarge: cfg.MemLarge,
+		LargeMemFraction: cfg.LargeMemFraction, MaxMemPerNode: cfg.MaxMemPerNode,
+	}
+	return s, nil
+}
+
+// Next produces the next job, or (nil, false) once cfg.Jobs jobs have
+// been produced (never for an unbounded stream).
+func (s *LublinStream) Next() (*Job, bool) {
+	if s.cfg.Jobs > 0 && s.i >= s.cfg.Jobs {
+		return nil, false
+	}
+	s.i++
+	// Exponential gap modulated by the hour-of-day intensity.
+	hour := int(math.Mod(s.now, 86400)) / 3600
+	intensity := dailyCycleWeights[hour] / s.cycleMean
+	s.now += s.arrivalRNG.ExpFloat64() * s.cfg.MeanInterarrival / intensity
+
+	nodes := lublinSize(s.sizeRNG, &s.cfg)
+	rt := lublinRuntime(s.runtimeRNG, &s.cfg, nodes)
+	j := &Job{
+		ID:          s.i,
+		User:        s.userRNG.Intn(s.cfg.Users),
+		Submit:      int64(s.now),
+		Nodes:       nodes,
+		MemPerNode:  sampleMem(s.memRNG, s.memCfg),
+		BaseRuntime: rt,
+	}
+	j.Group = j.User % 8
+	j.Estimate = sampleEstimate(s.estRNG, rt, s.estCfg)
+	return j, true
+}
+
+// drainStream materialises a bounded stream into a named workload,
+// re-establishing the batch invariants (sorted, valid).
+func drainStream(name, errLabel string, jobs int, next func() (*Job, bool)) (*Workload, error) {
+	w := &Workload{Name: name, Jobs: make([]*Job, 0, jobs)}
+	for {
+		j, ok := next()
+		if !ok {
+			break
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	w.Sort()
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %s produced invalid trace: %w", errLabel, err)
+	}
+	return w, nil
+}

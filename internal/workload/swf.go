@@ -37,49 +37,102 @@ type SWFReadOptions struct {
 	MaxJobs int
 }
 
-// ReadSWF parses an SWF trace. Jobs with unusable records (zero size,
-// zero runtime, negative submit) are skipped rather than failing the
-// whole trace, matching common simulator practice; a count of skipped
-// lines is returned.
-func ReadSWF(r io.Reader, opt SWFReadOptions) (*Workload, int, error) {
+// SWFDecoder decodes an SWF trace one job at a time with O(1) memory:
+// the lazy half of ReadSWF, and what internal/source.SWF builds on for
+// bounded-memory replay of archive-scale traces. Jobs are yielded in
+// file order; unlike ReadSWF it cannot sort, so streaming consumers
+// must either require a submit-sorted trace (the archive convention)
+// or tolerate disorder themselves. Not safe for concurrent use.
+type SWFDecoder struct {
+	sc      *bufio.Scanner
+	opt     SWFReadOptions
+	lineNo  int
+	skipped int
+	emitted int
+	err     error
+	done    bool
+	v       [18]int64 // per-line field scratch, reused across calls
+}
+
+// NewSWFDecoder returns a decoder reading from r.
+func NewSWFDecoder(r io.Reader, opt SWFReadOptions) *SWFDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	w := &Workload{Name: "swf"}
-	skipped := 0
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &SWFDecoder{sc: sc, opt: opt}
+}
+
+// Next returns the next usable job, or (nil, false) at end of trace, on
+// the first malformed line, or once opt.MaxJobs jobs have been yielded.
+// Check Err after the stream ends to distinguish the cases.
+func (d *SWFDecoder) Next() (*Job, bool) {
+	if d.done || (d.opt.MaxJobs > 0 && d.emitted >= d.opt.MaxJobs) {
+		return nil, false
+	}
+	for d.sc.Scan() {
+		d.lineNo++
+		line := strings.TrimSpace(d.sc.Text())
 		if line == "" || strings.HasPrefix(line, ";") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 18 {
-			return nil, skipped, fmt.Errorf("workload: swf line %d: %d fields, want 18", lineNo, len(fields))
+			d.fail(fmt.Errorf("workload: swf line %d: %d fields, want 18", d.lineNo, len(fields)))
+			return nil, false
 		}
-		v := make([]int64, 18)
 		for i := 0; i < 18; i++ {
 			x, err := strconv.ParseInt(fields[i], 10, 64)
 			if err != nil {
-				return nil, skipped, fmt.Errorf("workload: swf line %d field %d: %v", lineNo, i+1, err)
+				d.fail(fmt.Errorf("workload: swf line %d field %d: %v", d.lineNo, i+1, err))
+				return nil, false
 			}
-			v[i] = x
+			d.v[i] = x
 		}
-		j := jobFromSWF(v, opt)
+		j := jobFromSWF(d.v[:], d.opt)
 		if j == nil {
-			skipped++
+			d.skipped++
 			continue
 		}
-		w.Jobs = append(w.Jobs, j)
-		if opt.MaxJobs > 0 && len(w.Jobs) >= opt.MaxJobs {
+		d.emitted++
+		return j, true
+	}
+	if err := d.sc.Err(); err != nil {
+		d.fail(fmt.Errorf("workload: reading swf: %w", err))
+		return nil, false
+	}
+	d.done = true
+	return nil, false
+}
+
+func (d *SWFDecoder) fail(err error) {
+	d.err = err
+	d.done = true
+}
+
+// Skipped returns how many unusable records were dropped so far.
+func (d *SWFDecoder) Skipped() int { return d.skipped }
+
+// Err returns the first decode error, or nil.
+func (d *SWFDecoder) Err() error { return d.err }
+
+// ReadSWF parses an SWF trace. Jobs with unusable records (zero size,
+// zero runtime, negative submit) are skipped rather than failing the
+// whole trace, matching common simulator practice; a count of skipped
+// lines is returned.
+func ReadSWF(r io.Reader, opt SWFReadOptions) (*Workload, int, error) {
+	d := NewSWFDecoder(r, opt)
+	w := &Workload{Name: "swf"}
+	for {
+		j, ok := d.Next()
+		if !ok {
 			break
 		}
+		w.Jobs = append(w.Jobs, j)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, skipped, fmt.Errorf("workload: reading swf: %w", err)
+	if err := d.Err(); err != nil {
+		return nil, d.Skipped(), err
 	}
 	w.Sort()
-	return w, skipped, nil
+	return w, d.Skipped(), nil
 }
 
 func jobFromSWF(v []int64, opt SWFReadOptions) *Job {
@@ -136,25 +189,93 @@ func jobFromSWF(v []int64, opt SWFReadOptions) *Job {
 	}
 }
 
+// SWFWriter serialises jobs to SWF one at a time: the streaming half of
+// WriteSWF, used by tracegen's flat-memory generation path. Create with
+// NewSWFWriter, optionally emit Comment lines, then WriteJob per job and
+// Flush once at the end.
+type SWFWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewSWFWriter returns a writer encoding to w.
+func NewSWFWriter(w io.Writer) *SWFWriter {
+	return &SWFWriter{bw: bufio.NewWriter(w)}
+}
+
+// Comment emits one ';'-prefixed header line (readers skip it).
+func (sw *SWFWriter) Comment(text string) {
+	if sw.err != nil {
+		return
+	}
+	_, err := fmt.Fprintf(sw.bw, "; %s\n", text)
+	sw.setErr(err)
+}
+
+// WriteJob encodes one job record. Unknown fields are written as -1 per
+// the format convention; memory goes to field 10 in KB per processor
+// (processor == node when CoresPerNode is 0). After the first error,
+// further writes are no-ops and Flush reports it.
+func (sw *SWFWriter) WriteJob(j *Job) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	procs := j.Nodes
+	memKBPerProc := j.MemPerNode * 1024
+	if j.CoresPerNode > 0 {
+		procs = j.Nodes * j.CoresPerNode
+		memKBPerProc = j.MemPerNode * 1024 / int64(j.CoresPerNode)
+	}
+	_, err := fmt.Fprintf(sw.bw, "%d %d -1 %d %d -1 -1 %d %d %d 1 %d %d -1 -1 -1 -1 -1\n",
+		j.ID, j.Submit, j.BaseRuntime, procs,
+		procs, j.Estimate, memKBPerProc, j.User, j.Group)
+	sw.setErr(err)
+	return sw.err
+}
+
+// WriteAll drains a lazy producer into the writer — one job in flight
+// at a time — and flushes: the shared encode loop of tracegen -n, the
+// replay benchmarks and the streaming example. next is any pull
+// function in the JobStream shape (e.g. a source's or stream's Next
+// method value).
+func (sw *SWFWriter) WriteAll(next func() (*Job, bool)) error {
+	for {
+		j, ok := next()
+		if !ok {
+			break
+		}
+		if err := sw.WriteJob(j); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// Flush writes buffered output and returns the first error seen.
+func (sw *SWFWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	sw.setErr(sw.bw.Flush())
+	return sw.err
+}
+
+func (sw *SWFWriter) setErr(err error) {
+	if sw.err == nil && err != nil {
+		sw.err = fmt.Errorf("workload: writing swf: %w", err)
+	}
+}
+
 // WriteSWF serialises the workload in SWF. Unknown fields are written as
 // -1 per the format convention. Memory is written to field 10 in KB per
 // processor (processor == node when CoresPerNode is 0).
 func WriteSWF(w io.Writer, wl *Workload) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "; SWF trace %q, %d jobs, generated by dismem\n", wl.Name, len(wl.Jobs))
+	sw := NewSWFWriter(w)
+	sw.Comment(fmt.Sprintf("SWF trace %q, %d jobs, generated by dismem", wl.Name, len(wl.Jobs)))
 	for _, j := range wl.Jobs {
-		procs := j.Nodes
-		memKBPerProc := j.MemPerNode * 1024
-		if j.CoresPerNode > 0 {
-			procs = j.Nodes * j.CoresPerNode
-			memKBPerProc = j.MemPerNode * 1024 / int64(j.CoresPerNode)
-		}
-		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d %d 1 %d %d -1 -1 -1 -1 -1\n",
-			j.ID, j.Submit, j.BaseRuntime, procs,
-			procs, j.Estimate, memKBPerProc, j.User, j.Group)
-		if err != nil {
-			return fmt.Errorf("workload: writing swf: %w", err)
+		if err := sw.WriteJob(j); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }

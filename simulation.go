@@ -22,8 +22,11 @@ type Simulation struct {
 // every arrival scheduled. Drive it with Step / RunUntil / Run and
 // collect the outcome with Result.
 func New(o Options) (*Simulation, error) {
-	if o.Workload == nil {
-		return nil, fmt.Errorf("dismem: nil workload")
+	if o.Workload == nil && o.Source == nil {
+		return nil, fmt.Errorf("dismem: nil workload (set Options.Workload or Options.Source)")
+	}
+	if o.Workload != nil && o.Source != nil {
+		return nil, fmt.Errorf("dismem: both Workload and Source set; choose one")
 	}
 	mc := o.Machine
 	if mc.IsZero() {
@@ -62,11 +65,17 @@ func New(o Options) (*Simulation, error) {
 		Scenario:        o.Scenario,
 		Observer:        o.Observer,
 		SampleEvery:     o.SampleEvery,
+		RecordSink:      o.RecordSink,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Start(o.Workload); err != nil {
+	if o.Source != nil {
+		err = eng.StartSource(o.Source)
+	} else {
+		err = eng.Start(o.Workload)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return &Simulation{eng: eng}, nil

@@ -1,0 +1,100 @@
+package dismem_test
+
+import (
+	"strings"
+	"testing"
+
+	"dismem"
+)
+
+// TestSourceOptionMatchesWorkloadOption pins the public contract: a
+// simulation fed through Options.Source is bit-identical to the same
+// trace through Options.Workload.
+func TestSourceOptionMatchesWorkloadOption(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 21)
+	a, err := dismem.Simulate(dismem.Options{Policy: "memaware", Model: "bandwidth:1,1", Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dismem.Simulate(dismem.Options{Policy: "memaware", Model: "bandwidth:1,1", Source: dismem.WorkloadSource(wl)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || *a.Report != *b.Report {
+		t.Fatalf("source run differs from workload run:\n%+v\n%+v", a.Report, b.Report)
+	}
+	ra, rb := a.Recorder.Records(), b.Recorder.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenSourceCapMatchesGeneratedWorkload(t *testing.T) {
+	mc := dismem.DefaultMachine()
+	cfg := dismem.DefaultGen(0, 5, mc) // unbounded stream config
+	src, err := dismem.GenSource(cfg, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = 500
+	wl, err := dismem.GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wl.Jobs {
+		got, ok := src.Next()
+		if !ok {
+			t.Fatalf("source ended at %d, want %d jobs", i, len(wl.Jobs))
+		}
+		if *got != *want {
+			t.Fatalf("job %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source produced more than its cap")
+	}
+}
+
+func TestOptionsWorkloadSourceExclusive(t *testing.T) {
+	wl := dismem.SyntheticWorkload(10, 1)
+	if _, err := dismem.New(dismem.Options{Policy: "memaware"}); err == nil ||
+		!strings.Contains(err.Error(), "nil workload") {
+		t.Fatalf("want nil-workload error, got %v", err)
+	}
+	_, err := dismem.New(dismem.Options{
+		Policy: "memaware", Workload: wl, Source: dismem.WorkloadSource(wl),
+	})
+	if err == nil || !strings.Contains(err.Error(), "choose one") {
+		t.Fatalf("want both-set error, got %v", err)
+	}
+}
+
+func TestBoundedRecordingPublicSurface(t *testing.T) {
+	wl := dismem.SyntheticWorkload(500, 9)
+	var sb strings.Builder
+	res, err := dismem.Simulate(dismem.Options{
+		Policy: "memaware", Workload: wl,
+		RecordSink: dismem.NewJSONLSink(&sb),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder.Records() != nil {
+		t.Fatal("bounded run must retain no records")
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != res.Report.Jobs()+res.Report.Rejected {
+		t.Fatalf("streamed %d record lines, want %d", lines, res.Report.Jobs()+res.Report.Rejected)
+	}
+	if res.Report.Wait.N() == 0 || res.Report.NodeUtil <= 0 {
+		t.Fatalf("bounded report degenerate: %+v", res.Report)
+	}
+	if fair := res.Recorder.Fairness(); fair.JainWait <= 0 || fair.JainWait > 1 {
+		t.Fatalf("bounded fairness degenerate: %+v", fair)
+	}
+}
