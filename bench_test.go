@@ -138,3 +138,9 @@ func BenchmarkStreamingReplay(b *testing.B) { benchkit.StreamingReplay100k(b) }
 
 // BenchmarkFig11OutageSeverity regenerates the outage-severity sweep.
 func BenchmarkFig11OutageSeverity(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkCheckpointFork measures checkpoint+fork of a mid-trace
+// simulation (state cloning only, the forked future is not run): the
+// per-variant overhead of shared-prefix what-if studies. `go run
+// ./cmd/dmbench -fork` records it as BENCH_<date>_fork.json.
+func BenchmarkCheckpointFork(b *testing.B) { benchkit.CheckpointFork(b) }

@@ -11,6 +11,8 @@
 //	dmbench -benchtime 5s       # more stable numbers
 //	dmbench -stream             # streaming-replay pair (100k + 1M jobs)
 //	                            # -> BENCH_<today>_stream.json
+//	dmbench -fork               # checkpoint+fork overhead
+//	                            # -> BENCH_<today>_fork.json
 package main
 
 import (
@@ -50,25 +52,39 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		benchtime = flag.Duration("benchtime", time.Second, "target run time per benchmark")
 		stream    = flag.Bool("stream", false, "run the streaming-replay benchmarks (100k + 1M jobs; minutes of runtime) instead of the headline set, writing BENCH_<date>_stream.json")
+		fork      = flag.Bool("fork", false, "run the checkpoint+fork overhead benchmark instead of the headline set, writing BENCH_<date>_fork.json")
 	)
 	flag.Parse()
 
-	benches := []struct {
+	type bench struct {
 		name string
 		fn   func(*testing.B)
-	}{
+	}
+	benches := []bench{
 		{"MachineAllocRelease", benchkit.MachineAllocRelease},
 		{"MemAwarePlan", benchkit.MemAwarePlan},
 		{"Simulation", benchkit.Simulation},
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
-	if *stream {
-		benches = []struct {
-			name string
-			fn   func(*testing.B)
-		}{
+	suffix := ""
+	switch {
+	case *stream && *fork:
+		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream and -fork")
+		os.Exit(1)
+	case *stream:
+		suffix = "_stream"
+		benches = []bench{
 			{"StreamingReplay100k", benchkit.StreamingReplay100k},
 			{"StreamingReplay1M", benchkit.StreamingReplay1M},
+		}
+	case *fork:
+		suffix = "_fork"
+		benches = []bench{
+			{"CheckpointFork", benchkit.CheckpointFork},
+			// Simulation rides along as the same-process reference: the
+			// fork overhead is meaningful relative to what simulating
+			// the prefix from scratch would cost.
+			{"Simulation", benchkit.Simulation},
 		}
 	}
 
@@ -81,10 +97,6 @@ func main() {
 	}
 	path := *out
 	if path == "" {
-		suffix := ""
-		if *stream {
-			suffix = "_stream"
-		}
 		path = fmt.Sprintf("BENCH_%s%s.json", rec.Date, suffix)
 	}
 

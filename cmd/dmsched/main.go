@@ -22,9 +22,16 @@
 // For archive-scale traces, -swf-stream replays the trace with memory
 // bounded by live simulation state (not trace length), and
 // -records-out streams per-job records to a JSONL/CSV file instead of
-// retaining them (report percentiles become P² estimates):
+// retaining them (report percentiles become P² estimates beyond the
+// exact-buffer threshold):
 //
 //	dmsched -swf trace.swf -swf-stream -records-out records.jsonl
+//
+// -checkpoint-at freezes the run at a virtual instant and replays a
+// forked future from it — identical by default (a determinism check),
+// or under a different intervention tail with -fork-scenario:
+//
+//	dmsched -checkpoint-at 43200 -fork-scenario "at=50000 down rack=2; at=64800 up rack=2"
 package main
 
 import (
@@ -56,8 +63,10 @@ func main() {
 		jobs      = flag.Int("jobs", 5000, "synthetic workload size")
 		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
 		swf       = flag.String("swf", "", "SWF trace file (overrides synthetic workload)")
-		swfStream = flag.Bool("swf-stream", false, "stream the -swf trace instead of loading it: memory stays bounded by live simulation state, not trace length (requires a submit-sorted trace; implies bounded metrics recording, so report percentiles are P² estimates)")
-		recordOut = flag.String("records-out", "", "stream per-job records to this file (.csv for CSV, else JSONL) with bounded metrics recording; report percentiles become P² estimates")
+		swfStream = flag.Bool("swf-stream", false, "stream the -swf trace instead of loading it: memory stays bounded by live simulation state, not trace length (requires a submit-sorted trace; implies bounded metrics recording, so report percentiles are streaming estimates: exact up to 1024 jobs, P² beyond)")
+		recordOut = flag.String("records-out", "", "stream per-job records to this file (.csv for CSV, else JSONL) with bounded metrics recording; report percentiles become streaming estimates (exact up to 1024 jobs, P² beyond)")
+		cpAt      = flag.Int64("checkpoint-at", 0, "virtual time (seconds) to checkpoint the run at: the run is frozen there, completed, and a forked future is replayed from the same instant and printed after the original report (0 = off; not with -swf-stream, whose source cannot fork)")
+		forkScen  = flag.String("fork-scenario", "", `scenario timeline for the forked future (requires -checkpoint-at): replaces the interventions remaining after the checkpoint, e.g. "at=50000 down rack=2; at=60000 up rack=2"`)
 		swfCores  = flag.Int("node-cores", 0, "SWF import: processors per node (0 = processors are nodes)")
 		strict    = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
 		verbose   = flag.Bool("v", false, "also print workload summary")
@@ -73,12 +82,37 @@ func main() {
 		}
 		return
 	}
+	if *forkScen != "" && *cpAt <= 0 {
+		fatalf("-fork-scenario requires -checkpoint-at")
+	}
+	if *cpAt > 0 && *swfStream {
+		// Fail in milliseconds, not after simulating the whole prefix:
+		// a streamed SWF source cannot fork (see source.Forkable).
+		fatalf("-checkpoint-at cannot be combined with -swf-stream (a streamed trace source cannot fork; load the trace with -swf alone)")
+	}
+	// Parse the fork scenario up front for the same reason: a grammar
+	// typo or an unsupported modulation must not cost a full prefix
+	// simulation before erroring.
+	var forkSc *dismem.Scenario
+	if *forkScen != "" {
+		var err error
+		forkSc, err = dismem.ParseScenario(*forkScen)
+		if err != nil {
+			fatalf("-fork-scenario: %v", err)
+		}
+		if forkSc.Modulates() {
+			fatalf("-fork-scenario must not modulate arrivals (surge/diurnal warp submit times before a run starts and cannot be re-applied at a fork)")
+		}
+	}
 	if *cfgPath != "" {
 		if *specFlag != "" {
 			fatalf("-spec cannot be combined with -config (set the policy in the config file)")
 		}
 		if *scenFlag != "" {
 			fatalf("-scenario cannot be combined with -config")
+		}
+		if *cpAt > 0 {
+			fatalf("-checkpoint-at cannot be combined with -config")
 		}
 		runFromConfig(*cfgPath, *verbose, *progress)
 		return
@@ -192,6 +226,10 @@ func main() {
 		opts.SchedulerImpl = s
 		label = s.Name()
 	}
+	if *cpAt > 0 {
+		runCheckpointed(label, opts, *progress, *cpAt, forkSc, *recordOut)
+		return
+	}
 	res, err := runSim(opts, *progress)
 	if err != nil {
 		fatalf("%v", err)
@@ -199,9 +237,69 @@ func main() {
 	printReport(label, res)
 }
 
-// runSim drives the simulation through the steppable handle, streaming
-// live progress to stderr when requested.
-func runSim(opts dismem.Options, progressEvery time.Duration) (*dismem.Result, error) {
+// runCheckpointed freezes the run at virtual time at, completes the
+// original, then replays a forked future from the same instant —
+// under forkSc's intervention tail when given, otherwise identical:
+// both printed reports must match, which the CI fork-determinism
+// smoke checks. The one exception is -progress, whose sampling ticks
+// restart phase-shifted at the fork instant, so with it the two
+// reports may differ in the DES event count alone. With -records-out,
+// the forked run's records stream to a sibling <path>.fork file (the
+// original's sink cannot be shared across runs).
+func runCheckpointed(label string, opts dismem.Options, progressEvery time.Duration, at int64, forkSc *dismem.Scenario, recordOut string) {
+	opts = withProgress(opts, progressEvery)
+	h, err := dismem.New(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	h.RunUntil(at)
+	cp, err := h.Checkpoint()
+	if err != nil {
+		fatalf("checkpoint at t=%d: %v", at, err)
+	}
+	res, err := h.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printReport(label, res)
+
+	// The fork gets the same progress printer (observers are never
+	// carried across a checkpoint; see dismem.ForkOptions) and, with
+	// -records-out, its own record file.
+	fo := dismem.ForkOptions{Observer: opts.Observer, SampleEvery: opts.SampleEvery, Scenario: forkSc}
+	if recordOut != "" {
+		forkOut := recordOut + ".fork"
+		f, err := os.Create(forkOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", forkOut, err)
+			}
+		}()
+		if strings.HasSuffix(recordOut, ".csv") {
+			fo.RecordSink = dismem.NewCSVSink(f)
+		} else {
+			fo.RecordSink = dismem.NewJSONLSink(f)
+		}
+		fmt.Fprintf(os.Stderr, "note: forked run records stream to %s\n", forkOut)
+	}
+	fork, err := dismem.Fork(cp, fo)
+	if err != nil {
+		fatalf("fork: %v", err)
+	}
+	fres, err := fork.Run()
+	if err != nil {
+		fatalf("fork: %v", err)
+	}
+	fmt.Printf("--- fork at t=%d ---\n", at)
+	printReport(label, fres)
+}
+
+// withProgress wires the live progress printer into opts when a
+// period was requested.
+func withProgress(opts dismem.Options, progressEvery time.Duration) dismem.Options {
 	if progressEvery > 0 {
 		opts.Observer = progressPrinter{}
 		opts.SampleEvery = int64(progressEvery / time.Second)
@@ -209,7 +307,13 @@ func runSim(opts dismem.Options, progressEvery time.Duration) (*dismem.Result, e
 			opts.SampleEvery = 1 // sub-second flags still mean "show progress"
 		}
 	}
-	h, err := dismem.New(opts)
+	return opts
+}
+
+// runSim drives the simulation through the steppable handle, streaming
+// live progress to stderr when requested.
+func runSim(opts dismem.Options, progressEvery time.Duration) (*dismem.Result, error) {
+	h, err := dismem.New(withProgress(opts, progressEvery))
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,19 @@
 //	}
 //	res, err := s.Result()
 //
+// A live Simulation can be frozen and forked into divergent futures —
+// the "same prefix, divergent futures" methodology of outage and
+// policy what-if studies — without replaying the shared prefix:
+//
+//	s.RunUntil(21600)                    // replay the morning
+//	cp, err := s.Checkpoint()            // freeze 06:00
+//	base, err := dismem.Fork(cp, dismem.ForkOptions{})
+//	hit, err := dismem.Fork(cp, dismem.ForkOptions{Scenario: outage})
+//
+// A fork with no overrides is bit-identical to a from-scratch run
+// (DESIGN.md §8); overrides swap the scenario tail, policy, or
+// failure seed from the fork instant on.
+//
 // Runs can be perturbed by a deterministic scenario timeline — outages
 // and recoveries, pool degradation, fabric brownouts, arrival surges
 // and diurnal cycles, staged growth — compiled from the same key=value
@@ -70,7 +83,8 @@
 //
 // Streamed replays are bit-identical to slice replays of the same
 // trace; bounded recording keeps every report field exact except the
-// four percentile fields, which become P² estimates (DESIGN.md §7).
+// four percentile fields, which become streaming estimates — exact up
+// to 1024 jobs, P² beyond (DESIGN.md §7).
 //
 // Observer hooks (Options.Observer, Options.SampleEvery) deliver
 // per-dispatch, per-termination, per-pass, per-intervention and
@@ -162,7 +176,8 @@ type (
 
 // DiscardRecords is the Sink that drops every record: bounded
 // recording with no streamed output. The Report still carries exact
-// counts and means plus P² percentile estimates.
+// counts and means plus streaming percentile estimates (exact up to
+// 1024 jobs, P² beyond).
 var DiscardRecords Sink = metrics.Discard
 
 // Topology constants for MachineConfig.
@@ -288,7 +303,8 @@ type Options struct {
 	// RecordSink switches metrics to bounded recording: per-job records
 	// stream to the sink (DiscardRecords to drop them, NewJSONLSink /
 	// NewCSVSink to export) instead of being retained, and the Report's
-	// four percentile fields become P² estimates — counts, means,
+	// four percentile fields become streaming estimates (exact up to
+	// 1024 jobs, P² beyond) — counts, means,
 	// utilizations and fairness stay exact. Result.Recorder then
 	// retains no records. Nil keeps the default retain-all recorder.
 	RecordSink Sink

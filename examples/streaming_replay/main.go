@@ -58,7 +58,8 @@ func main() {
 	// 2. Replay it: SWFSource decodes jobs lazily as the virtual clock
 	// reaches them, and the JSONL sink streams every job record out
 	// instead of retaining it (bounded recording: the report's
-	// percentile fields become P² estimates, everything else is exact).
+	// percentile fields become estimates — exact up to 1024 jobs, P²
+	// beyond — everything else is exact).
 	in, err := os.Open(tracePath)
 	if err != nil {
 		log.Fatal(err)
@@ -85,7 +86,7 @@ func main() {
 	fmt.Printf("replayed %d jobs (%d rejected) in %d DES events\n",
 		r.Jobs(), r.Rejected, res.Events)
 	fmt.Printf("makespan          %.1f h\n", float64(r.MakespanSec)/3600)
-	fmt.Printf("mean wait         %.0f s (p95 ≈ %.0f s, P² estimate)\n", r.Wait.Mean(), r.P95Wait)
+	fmt.Printf("mean wait         %.0f s (p95 ≈ %.0f s, streaming estimate)\n", r.Wait.Mean(), r.P95Wait)
 	fmt.Printf("node utilization  %.1f%%\n", 100*r.NodeUtil)
 	fmt.Printf("pool-using jobs   %.1f%% (mean dilation %.2f)\n",
 		100*r.RemoteJobFraction, r.DilationRemote.Mean())

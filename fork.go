@@ -1,0 +1,155 @@
+package dismem
+
+import (
+	"fmt"
+
+	"dismem/internal/sim"
+)
+
+// Checkpoint is a frozen deep copy of a live Simulation at one event
+// boundary: machine, queue, running jobs, metrics, source cursor,
+// failure RNG and the pending event queue (captured as serializable
+// records, not closures). A checkpoint is immutable and reusable —
+// Fork from it any number of times, each future fully independent —
+// and taking it does not disturb the parent, which can keep running.
+//
+// Determinism contract (DESIGN.md §8): a fork taken with zero
+// ForkOptions replays exactly the future the parent would have run —
+// bit-identical events, report and records to a from-scratch run of
+// the same configuration. Overridden forks (new scenario tail, policy,
+// failure seed) are each deterministic per override.
+//
+// What cannot be checkpointed: a streaming SWF source (an io.Reader's
+// position cannot be duplicated — materialise the trace first),
+// Observers and RecordSinks (live callbacks and writers; forks attach
+// their own via ForkOptions).
+type Checkpoint struct {
+	cp   *sim.Checkpoint
+	opts Options
+}
+
+// At returns the virtual time the checkpoint was taken at.
+func (c *Checkpoint) At() int64 { return c.cp.Now() }
+
+// Checkpoint captures the simulation's complete state at the current
+// event boundary. The simulation must still be live: not stopped and
+// not finished. Advance to the capture instant first, e.g.
+//
+//	s, _ := dismem.New(opts)
+//	s.RunUntil(21600)          // replay the morning
+//	cp, err := s.Checkpoint()  // freeze 06:00
+//
+// and fork divergent futures with Fork.
+func (s *Simulation) Checkpoint() (*Checkpoint, error) {
+	cp, err := s.eng.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	return &Checkpoint{cp: cp, opts: s.opts}, nil
+}
+
+// ForkOptions adjusts a forked future relative to the checkpointed
+// run. The zero value resumes the identical future.
+type ForkOptions struct {
+	// Policy replaces the scheduling policy for the future (name or
+	// spec string, as Options.Policy). Empty keeps the checkpointed
+	// policy; SchedulerImpl overrides both. The replacement scheduler
+	// starts fresh — schedulers are stateless between passes, so this
+	// only matters for custom stateful implementations.
+	Policy string
+	// SchedulerImpl overrides Policy with a concrete scheduler.
+	SchedulerImpl Scheduler
+	// Scenario replaces the REMAINING intervention timeline: pending
+	// interventions from the original scenario are dropped, and the
+	// replacement's events fire instead (events dated before the
+	// checkpoint are skipped — that part of the timeline already
+	// happened or didn't). Pass an empty Scenario to cancel all
+	// pending interventions; nil keeps the original timeline. The
+	// replacement must not modulate arrivals (surge/diurnal): the
+	// arrival process was warped before the run started.
+	Scenario *Scenario
+	// ReseedFailures redraws the future failure stream from
+	// FailureSeed (the pending next-failure event is discarded;
+	// repairs of already-failed nodes still complete). Requires the
+	// checkpointed run to have failure injection configured.
+	ReseedFailures bool
+	FailureSeed    uint64
+	// Observer receives the fork's lifecycle callbacks; with
+	// SampleEvery > 0 (0 keeps the original period) periodic sampling
+	// restarts at the fork instant. Parent observers are never carried
+	// over.
+	Observer    Observer
+	SampleEvery int64
+	// RecordSink receives the fork's per-job records. When nil and the
+	// original run recorded boundedly, the fork uses DiscardRecords
+	// (prefix records already streamed to the parent's sink and cannot
+	// be re-emitted).
+	RecordSink Sink
+}
+
+// Fork resumes one divergent future from a checkpoint: same prefix,
+// then the future o describes. The canonical what-if shape —
+//
+//	cp, _ := s.Checkpoint()
+//	base, _ := dismem.Fork(cp, dismem.ForkOptions{})
+//	hit, _ := dismem.Fork(cp, dismem.ForkOptions{Scenario: outage})
+//
+// runs the same warmed-up morning into both futures without replaying
+// it. Each fork is an independent Simulation: drive it with
+// Step/RunUntil/Run and collect Result as usual.
+//
+// When neither Policy nor SchedulerImpl is set and the original run
+// selected its scheduler by policy string, the fork gets a fresh
+// scheduler built from that same string, so concurrent forks never
+// share scheduler internals. An original built with
+// Options.SchedulerImpl shares that instance across its forks — drive
+// such forks sequentially or provide per-fork schedulers.
+func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
+	over := sim.Overrides{
+		Scenario:       o.Scenario,
+		ReseedFailures: o.ReseedFailures,
+		FailureSeed:    o.FailureSeed,
+		Observer:       o.Observer,
+		SampleEvery:    o.SampleEvery,
+		RecordSink:     o.RecordSink,
+	}
+	switch {
+	case o.SchedulerImpl != nil:
+		over.Scheduler = o.SchedulerImpl
+	case o.Policy != "":
+		s, err := NewScheduler(o.Policy)
+		if err != nil {
+			return nil, err
+		}
+		over.Scheduler = s
+	case cp.opts.SchedulerImpl == nil:
+		// Rebuild from the original policy string so every fork owns
+		// its scheduler (instances carry internal caches).
+		s, err := NewScheduler(cp.opts.Policy)
+		if err != nil {
+			return nil, err
+		}
+		over.Scheduler = s
+	}
+	eng, err := sim.Resume(cp.cp, over)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	// The fork's recorded options track its effective configuration, so
+	// checkpointing a fork works like checkpointing an original run.
+	opts := cp.opts
+	if o.SchedulerImpl != nil {
+		opts.SchedulerImpl, opts.Policy = o.SchedulerImpl, ""
+	} else if o.Policy != "" {
+		opts.SchedulerImpl, opts.Policy = nil, o.Policy
+	}
+	if o.Scenario != nil {
+		opts.Scenario = o.Scenario
+	}
+	if o.RecordSink != nil {
+		opts.RecordSink = o.RecordSink
+	}
+	opts.Observer = o.Observer
+	opts.SampleEvery = o.SampleEvery
+	return &Simulation{eng: eng, opts: opts}, nil
+}

@@ -94,6 +94,37 @@ func Simulation(b *testing.B) {
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// CheckpointFork measures the checkpoint+fork overhead in isolation: a
+// mid-trace Simulation (the SimulationJobs workload advanced to its
+// submit-time midpoint) is checkpointed and forked once per iteration,
+// without running the forked future. This is the cost a what-if study
+// pays per variant on top of simulating the divergent suffix; the
+// forks-per-second metric makes the comparison with a full prefix
+// re-simulation direct.
+func CheckpointFork(b *testing.B) {
+	b.ReportAllocs()
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	h, err := dismem.New(dismem.Options{
+		Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mid := wl.Jobs[len(wl.Jobs)/2].Submit
+	h.RunUntil(mid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp, err := h.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dismem.Fork(cp, dismem.ForkOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "forks/s")
+}
+
 // StreamingReplay100k runs the streaming-replay benchmark at 100k jobs;
 // its peak-heap metric is the reference the 1M run is compared against
 // (flat within 2x = memory independent of job count).

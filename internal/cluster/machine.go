@@ -133,6 +133,17 @@ func (a *Allocation) TouchedPools() []PoolID {
 	return a.pools
 }
 
+// Clone returns a deep copy of the allocation: shares, cached sums and
+// the touched-pool list are all independent of the original, so a
+// cloned machine's allocations can be queried and released without
+// coordinating with the source machine.
+func (a *Allocation) Clone() *Allocation {
+	c := *a
+	c.Shares = append([]NodeShare(nil), a.Shares...)
+	c.pools = append([]PoolID(nil), a.pools...)
+	return &c
+}
+
 // RemoteFraction returns RemoteMiB/TotalMiB (0 for an empty alloc).
 func (a *Allocation) RemoteFraction() float64 {
 	t := a.TotalMiB()
@@ -222,6 +233,40 @@ func (m *Machine) setFree(id NodeID) { m.freeBits[id>>6] |= 1 << (uint(id) & 63)
 
 // clearFree marks node id unavailable in the free bitset.
 func (m *Machine) clearFree(id NodeID) { m.freeBits[id>>6] &^= 1 << (uint(id) & 63) }
+
+// Clone returns a deep copy of the machine: nodes, pools, every
+// incremental aggregate, the degraded-pool flags and all committed
+// allocations (each deep-copied via Allocation.Clone, so the clone's
+// allocations can be looked up by job ID and released independently).
+// It is the state-capture half of simulation checkpointing; a clone
+// passes CheckInvariants whenever the original does, and mutating
+// either machine never affects the other.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		cfg:          m.cfg,
+		nodes:        append([]Node(nil), m.nodes...),
+		pools:        append([]Pool(nil), m.pools...),
+		freeNodes:    m.freeNodes,
+		downNodes:    m.downNodes,
+		allocs:       make(map[int]*Allocation, len(m.allocs)),
+		poolDegraded: append([]bool(nil), m.poolDegraded...),
+		busyNodes:    m.busyNodes,
+		usedLocalMiB: m.usedLocalMiB,
+		usedPoolMiB:  m.usedPoolMiB,
+		rackFree:     append([]int(nil), m.rackFree...),
+		freeBits:     append([]uint64(nil), m.freeBits...),
+		remoteShares: append([]int(nil), m.remoteShares...),
+		// check() scratch is per-machine transient state; fresh zeroed
+		// scratch is equivalent to the original's between calls.
+		nodeStamp: make([]int64, len(m.nodes)),
+		poolNeed:  make([]int64, len(m.pools)),
+		poolsHit:  make([]PoolID, 0, len(m.pools)),
+	}
+	for id, a := range m.allocs {
+		c.allocs[id] = a.Clone()
+	}
+	return c
+}
 
 // MustNew is New for known-valid configs; it panics on error.
 func MustNew(cfg Config) *Machine {

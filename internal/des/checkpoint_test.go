@@ -1,0 +1,144 @@
+package des
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRestoreOrder pins the core checkpoint guarantee: a
+// restored queue fires the surviving events in exactly the order the
+// original would have, including band and FIFO tie-breaks at one
+// instant, and events scheduled after the restore still sort behind
+// restored events at the same instant.
+func TestSnapshotRestoreOrder(t *testing.T) {
+	const (
+		kindA Kind = iota + 1
+		kindB
+		kindFront
+	)
+	s := New()
+	var origOrder []string
+	mk := func(name string) Handler {
+		return func(Time) { origOrder = append(origOrder, name) }
+	}
+	s.ScheduleKind(10, kindA, "a1", mk("a1"))
+	s.ScheduleKind(10, kindB, "b1", mk("b1"))
+	s.ScheduleFrontKind(10, kindFront, "f1", mk("f1"))
+	s.ScheduleKind(5, kindA, "a0", mk("a0"))
+	s.ScheduleKind(20, kindB, "b2", mk("b2"))
+
+	recs, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	// Records come out in firing order: time, then band, then seq.
+	want := []string{"a0", "f1", "a1", "b1", "b2"}
+	var got []string
+	for _, r := range recs {
+		got = append(got, r.Data.(string))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("record order %v, want %v", got, want)
+	}
+
+	var restOrder []string
+	s2, evs, err := Restore(3, 7, recs, func(r EventRecord) Handler {
+		name := r.Data.(string)
+		return func(Time) { restOrder = append(restOrder, name) }
+	})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if s2.Now() != 3 || s2.Fired() != 7 {
+		t.Fatalf("restored clock/fired = %d/%d, want 3/7", s2.Now(), s2.Fired())
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d event handles, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e == nil {
+			t.Fatalf("event %d not restored", i)
+		}
+		if e.Kind() != recs[i].Kind || e.Data() != recs[i].Data {
+			t.Fatalf("event %d kind/data not carried over", i)
+		}
+	}
+	// A post-restore event at t=10 must fire after every restored t=10
+	// event (it would have been scheduled later in the original run).
+	s2.ScheduleKind(10, kindA, "late", func(Time) { restOrder = append(restOrder, "late") })
+
+	s.RunAll()
+	s2.RunAll()
+	wantRest := []string{"a0", "f1", "a1", "b1", "late", "b2"}
+	if !reflect.DeepEqual(restOrder, wantRest) {
+		t.Fatalf("restored firing order %v, want %v", restOrder, wantRest)
+	}
+	if !reflect.DeepEqual(origOrder, want) {
+		t.Fatalf("original firing order %v, want %v", origOrder, want)
+	}
+}
+
+// TestSnapshotRejectsOpaque pins that an untagged closure blocks the
+// snapshot instead of being silently dropped.
+func TestSnapshotRejectsOpaque(t *testing.T) {
+	s := New()
+	s.Schedule(10, func(Time) {})
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("Snapshot of an opaque event succeeded, want error")
+	}
+}
+
+// TestRestoreDropsNilHandlers pins the selective-restore contract: a
+// rebuild returning nil discards that record, and the handle slot stays
+// nil.
+func TestRestoreDropsNilHandlers(t *testing.T) {
+	s := New()
+	s.ScheduleKind(10, 1, nil, func(Time) {})
+	s.ScheduleKind(11, 2, nil, func(Time) {})
+	recs, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	s2, evs, err := Restore(0, 0, recs, func(r EventRecord) Handler {
+		if r.Kind == 1 {
+			return nil
+		}
+		return func(Time) { fired++ }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0] != nil || evs[1] == nil {
+		t.Fatalf("handles = [%v %v], want [nil non-nil]", evs[0], evs[1])
+	}
+	s2.RunAll()
+	if fired != 1 || s2.Fired() != 1 {
+		t.Fatalf("fired %d events (counter %d), want 1", fired, s2.Fired())
+	}
+}
+
+// TestRestoreRejectsPastEvents guards against corrupt checkpoints.
+func TestRestoreRejectsPastEvents(t *testing.T) {
+	recs := []EventRecord{{Time: 5, Kind: 1}}
+	if _, _, err := Restore(10, 0, recs, func(EventRecord) Handler { return func(Time) {} }); err == nil {
+		t.Fatal("Restore accepted an event before the clock, want error")
+	}
+}
+
+// TestReschedulePreservesKind pins that Reschedule carries the tag and
+// payload to the new event, keeping rescheduled events checkpointable.
+func TestReschedulePreservesKind(t *testing.T) {
+	s := New()
+	e := s.ScheduleKind(10, 3, "payload", func(Time) {})
+	ne := s.Reschedule(e, 20)
+	if ne.Kind() != 3 || ne.Data() != "payload" {
+		t.Fatalf("rescheduled event kind=%d data=%v, want 3/payload", ne.Kind(), ne.Data())
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after Reschedule: %v", err)
+	}
+}

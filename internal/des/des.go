@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Time is virtual simulation time in seconds since simulation start.
@@ -31,18 +32,37 @@ const Infinity Time = math.MaxInt64
 // for).
 type Handler func(now Time)
 
+// Kind tags an event with a caller-defined type so the queue can be
+// snapshotted as data (Snapshot) and the closures rebuilt on restore
+// (Restore). Kinds are owned by the scheduling layer (internal/sim
+// defines one per event family); the kernel only carries them.
+type Kind int16
+
+// KindOpaque marks events scheduled without a kind. They fire normally
+// but cannot be checkpointed: Snapshot fails on a pending opaque event,
+// because there is no record from which to rebuild its closure.
+const KindOpaque Kind = 0
+
 // Event is a scheduled occurrence. It is owned by the Simulator; callers
 // hold it only to Cancel it or inspect its time.
 type Event struct {
 	time    Time
 	band    int8
+	kind    Kind
 	seq     uint64
 	index   int // heap index; -1 when not queued
 	handler Handler
+	data    any
 }
 
 // Time returns the virtual time the event is (or was) scheduled for.
 func (e *Event) Time() Time { return e.time }
+
+// Kind returns the event's kind tag (KindOpaque for untagged events).
+func (e *Event) Kind() Kind { return e.kind }
+
+// Data returns the serializable payload attached at schedule time.
+func (e *Event) Data() any { return e.data }
 
 // Cancelled reports whether the event has been removed from the queue
 // (either cancelled or already fired).
@@ -127,6 +147,23 @@ func (s *Simulator) ScheduleFront(at Time, handler Handler) *Event {
 	return s.schedule(at, -1, handler)
 }
 
+// ScheduleKind is Schedule with a kind tag and a serializable payload,
+// making the event snapshot-able (see Snapshot/Restore). The payload
+// must be enough, together with the kind, for the scheduling layer to
+// rebuild an equivalent handler on restore.
+func (s *Simulator) ScheduleKind(at Time, kind Kind, data any, handler Handler) *Event {
+	e := s.schedule(at, 0, handler)
+	e.kind, e.data = kind, data
+	return e
+}
+
+// ScheduleFrontKind is ScheduleFront with a kind tag and payload.
+func (s *Simulator) ScheduleFrontKind(at Time, kind Kind, data any, handler Handler) *Event {
+	e := s.schedule(at, -1, handler)
+	e.kind, e.data = kind, data
+	return e
+}
+
 func (s *Simulator) schedule(at Time, band int8, handler Handler) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past: at=%d now=%d", at, s.now))
@@ -161,9 +198,12 @@ func (s *Simulator) Cancel(e *Event) {
 // Reschedule moves a pending event to a new time, preserving FIFO
 // fairness at the new instant (it is assigned a fresh sequence number,
 // in the default band). If the event already fired it is re-created.
+// The kind tag and payload carry over.
 func (s *Simulator) Reschedule(e *Event, at Time) *Event {
 	s.Cancel(e)
-	return s.Schedule(at, e.handler)
+	ne := s.Schedule(at, e.handler)
+	ne.kind, ne.data = e.kind, e.data
+	return ne
 }
 
 // Step fires the single earliest event. It returns false when the queue
@@ -201,3 +241,75 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (s *Simulator) Stopped() bool { return s.stopped }
+
+// EventRecord is the serializable form of one pending event: everything
+// about it except the closure, which the scheduling layer rebuilds from
+// (Kind, Data) on restore. Records produced by Snapshot are ordered by
+// firing order, which Restore preserves.
+type EventRecord struct {
+	Time Time
+	// Front marks events scheduled via a Front variant (the arrival
+	// band); Restore re-schedules them in the same band.
+	Front bool
+	Kind  Kind
+	Data  any
+}
+
+// Snapshot returns the pending events as records in firing order —
+// the checkpoint half of the queue's event-record design. It fails if
+// any pending event is untagged (KindOpaque): such a closure cannot be
+// rebuilt from data, so the queue is not checkpointable.
+func (s *Simulator) Snapshot() ([]EventRecord, error) {
+	evs := append([]*Event(nil), s.queue...)
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.time != b.time {
+			return a.time < b.time
+		}
+		if a.band != b.band {
+			return a.band < b.band
+		}
+		return a.seq < b.seq
+	})
+	recs := make([]EventRecord, 0, len(evs))
+	for _, e := range evs {
+		if e.kind == KindOpaque {
+			return nil, fmt.Errorf("des: pending opaque event at t=%d cannot be snapshotted (schedule it with ScheduleKind)", e.time)
+		}
+		recs = append(recs, EventRecord{Time: e.time, Front: e.band < 0, Kind: e.kind, Data: e.data})
+	}
+	return recs, nil
+}
+
+// Restore builds a simulator positioned at now, with the given fired
+// count, whose queue holds the recorded events — the restore half of
+// the event-record design. recs must be in firing order (as Snapshot
+// produces); each is re-scheduled with a fresh sequence number in that
+// order, so the relative firing order among restored events, and
+// between them and anything scheduled later, matches the original run
+// exactly. rebuild maps one record to its handler; returning nil drops
+// the record (for restores that deliberately discard an event family).
+// The returned slice is aligned with recs — nil where dropped — so
+// callers can rewire the event handles they track.
+func Restore(now Time, fired uint64, recs []EventRecord, rebuild func(EventRecord) Handler) (*Simulator, []*Event, error) {
+	s := &Simulator{now: now, fired: fired}
+	events := make([]*Event, len(recs))
+	for i, r := range recs {
+		if r.Time < now {
+			return nil, nil, fmt.Errorf("des: restore: event at t=%d is before the clock t=%d", r.Time, now)
+		}
+		if r.Kind == KindOpaque {
+			return nil, nil, fmt.Errorf("des: restore: opaque event record at t=%d", r.Time)
+		}
+		h := rebuild(r)
+		if h == nil {
+			continue
+		}
+		if r.Front {
+			events[i] = s.ScheduleFrontKind(r.Time, r.Kind, r.Data, h)
+		} else {
+			events[i] = s.ScheduleKind(r.Time, r.Kind, r.Data, h)
+		}
+	}
+	return s, events, nil
+}

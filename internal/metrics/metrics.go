@@ -73,7 +73,7 @@ func (r *JobRecord) BoundedSlowdown() float64 {
 // Recorder accumulates job records and resource-usage integrals. Create
 // with NewRecorder (retain-all: per-job records are kept for CDFs and
 // custom reductions, O(jobs) memory) or NewBoundedRecorder (streaming:
-// records are reduced online — exact counts/means, P² percentile
+// records are reduced online — exact counts/means, hybrid percentile
 // estimates — and Records returns nil; memory is O(users), independent
 // of job count). Feed Observe before every machine state change; an
 // optional Sink additionally receives every record as it is added.
@@ -88,6 +88,13 @@ type Recorder struct {
 	agg     *Aggregate // bounded-mode online reduction (nil when retaining)
 	sink    Sink       // optional streaming consumer of every record
 	byUser  map[int]*userAcc
+
+	// sinkClosed latches the first CloseSink so every engine exit path
+	// (Finish, Stop+Finish, start and source errors) can close
+	// unconditionally without double-flushing, and later calls report
+	// the same outcome.
+	sinkClosed bool
+	closeErr   error
 
 	lastT     int64
 	haveT     bool
@@ -108,7 +115,8 @@ func NewRecorder() *Recorder {
 // NewBoundedRecorder returns a recorder whose memory is independent of
 // job count: per-job records feed online aggregates (and the sink, when
 // set) instead of being retained. Report is exact except for the four
-// percentile fields, which are P² estimates.
+// percentile fields, which come from hybrid estimators — exact up to
+// stats.ExactQuantileBuffer observations, P² estimates beyond.
 func NewBoundedRecorder() *Recorder {
 	return &Recorder{agg: NewAggregate(), byUser: map[int]*userAcc{}}
 }
@@ -119,14 +127,55 @@ func (rec *Recorder) Bounded() bool { return !rec.retain }
 
 // SetSink streams every subsequent record to s as well. The caller (or
 // the engine, at Finish) is responsible for Close.
-func (rec *Recorder) SetSink(s Sink) { rec.sink = s }
+func (rec *Recorder) SetSink(s Sink) {
+	rec.sink = s
+	rec.sinkClosed = false
+	rec.closeErr = nil
+}
 
-// CloseSink closes the attached sink, if any, and returns its error.
+// CloseSink closes the attached sink, if any, flushing buffered output.
+// It is idempotent: the first call closes, later calls return the same
+// error (or nil) without re-flushing.
 func (rec *Recorder) CloseSink() error {
 	if rec.sink == nil {
 		return nil
 	}
-	return rec.sink.Close()
+	if !rec.sinkClosed {
+		rec.sinkClosed = true
+		rec.closeErr = rec.sink.Close()
+	}
+	return rec.closeErr
+}
+
+// Clone returns an independent deep copy of the recorder's state —
+// retained records, online aggregates, per-user fairness tallies and
+// usage integrals — for simulation checkpointing. The sink is NOT
+// carried over: a sink is a live external writer that cannot be
+// duplicated, so the clone starts sinkless and the forked run attaches
+// its own (or metrics.Discard).
+func (rec *Recorder) Clone() *Recorder {
+	c := &Recorder{
+		retain:      rec.retain,
+		records:     append([]JobRecord(nil), rec.records...),
+		byUser:      make(map[int]*userAcc, len(rec.byUser)),
+		lastT:       rec.lastT,
+		haveT:       rec.haveT,
+		nodeInt:     rec.nodeInt,
+		localInt:    rec.localInt,
+		poolInt:     rec.poolInt,
+		demandInt:   rec.demandInt,
+		firstSubmit: rec.firstSubmit,
+		lastEnd:     rec.lastEnd,
+		haveSubmit:  rec.haveSubmit,
+	}
+	if rec.agg != nil {
+		c.agg = rec.agg.Clone()
+	}
+	for u, a := range rec.byUser {
+		acc := *a
+		c.byUser[u] = &acc
+	}
+	return c
 }
 
 // Observe integrates current usage up to time now. Call it with the

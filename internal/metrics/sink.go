@@ -30,11 +30,16 @@ func (discardSink) Add(JobRecord) {}
 func (discardSink) Close() error  { return nil }
 
 // Aggregate reduces a job-record stream to the Report's per-job
-// quantities in O(1) memory: exact counts, means, min/max and variance
-// via stats.Online — the identical accumulation the retain-all path
-// performs — plus P² estimates for the wait, slowdown and dilation
-// percentiles that the exact path computes from retained arrays. It is
-// both the Recorder's bounded-mode core and a standalone Sink.
+// quantities in bounded memory: exact counts, means, min/max and
+// variance via stats.Online — the identical accumulation the
+// retain-all path performs — plus hybrid percentile estimators for the
+// wait, slowdown and dilation percentiles the exact path computes from
+// retained arrays. The hybrid estimators (stats.Quantile) are exact up
+// to stats.ExactQuantileBuffer observations — so small bounded runs
+// report the same percentiles a retain-all run would — and switch to
+// the O(1)-memory P² approximation beyond, bit-identical there to a
+// pure P² stream. It is both the Recorder's bounded-mode core and a
+// standalone Sink.
 type Aggregate struct {
 	Completed, Killed, Rejected int
 	RemoteJobs                  int
@@ -43,17 +48,28 @@ type Aggregate struct {
 	Wait, Response, BSld        stats.Online
 	DilationAll, DilationRemote stats.Online
 
-	p95Wait, p99Wait, p95BSld, p95DilRemote *stats.P2
+	p95Wait, p99Wait, p95BSld, p95DilRemote *stats.Quantile
 }
 
 // NewAggregate returns an empty aggregate.
 func NewAggregate() *Aggregate {
 	return &Aggregate{
-		p95Wait:      stats.NewP2(0.95),
-		p99Wait:      stats.NewP2(0.99),
-		p95BSld:      stats.NewP2(0.95),
-		p95DilRemote: stats.NewP2(0.95),
+		p95Wait:      stats.NewQuantile(0.95),
+		p99Wait:      stats.NewQuantile(0.99),
+		p95BSld:      stats.NewQuantile(0.95),
+		p95DilRemote: stats.NewQuantile(0.95),
 	}
+}
+
+// Clone returns an independent deep copy, the bounded-mode half of
+// recorder checkpointing.
+func (a *Aggregate) Clone() *Aggregate {
+	c := *a
+	c.p95Wait = a.p95Wait.Clone()
+	c.p99Wait = a.p99Wait.Clone()
+	c.p95BSld = a.p95BSld.Clone()
+	c.p95DilRemote = a.p95DilRemote.Clone()
+	return &c
 }
 
 // Add implements Sink. The accumulation order mirrors Recorder.Report's
@@ -90,17 +106,17 @@ func (a *Aggregate) Add(r JobRecord) {
 func (a *Aggregate) Close() error { return nil }
 
 // P95Wait returns the wait-time 95th-percentile estimate.
-func (a *Aggregate) P95Wait() float64 { return a.p95Wait.Quantile() }
+func (a *Aggregate) P95Wait() float64 { return a.p95Wait.Value() }
 
 // P99Wait returns the wait-time 99th-percentile estimate.
-func (a *Aggregate) P99Wait() float64 { return a.p99Wait.Quantile() }
+func (a *Aggregate) P99Wait() float64 { return a.p99Wait.Value() }
 
 // P95BSld returns the bounded-slowdown 95th-percentile estimate.
-func (a *Aggregate) P95BSld() float64 { return a.p95BSld.Quantile() }
+func (a *Aggregate) P95BSld() float64 { return a.p95BSld.Value() }
 
 // P95DilationRemote returns the remote-job dilation 95th-percentile
 // estimate.
-func (a *Aggregate) P95DilationRemote() float64 { return a.p95DilRemote.Quantile() }
+func (a *Aggregate) P95DilationRemote() float64 { return a.p95DilRemote.Value() }
 
 // fillReport writes the aggregate's share of a Report: everything the
 // exact path derives from retained records.

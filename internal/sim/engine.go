@@ -57,8 +57,9 @@ type Config struct {
 	SampleEvery int64
 	// RecordSink switches metrics to bounded recording: per-job records
 	// stream to the sink (metrics.Discard to drop them) instead of
-	// being retained, and the Report's percentile fields become P²
-	// estimates — everything else stays exact. Nil (the default) keeps
+	// being retained, and the Report's percentile fields become
+	// streaming estimates (exact up to stats.ExactQuantileBuffer
+	// observations, P² beyond) — everything else stays exact. Nil (the default) keeps
 	// the retain-all Recorder. The engine closes the sink at Finish.
 	RecordSink metrics.Sink
 }
@@ -128,6 +129,27 @@ type runningState struct {
 	rate       float64
 	lastUpdate int64
 	endEv      *des.Event
+}
+
+// Event kinds: every event the engine schedules carries one of these
+// tags plus a serializable payload, so the DES queue can be
+// checkpointed as records and the closures rebuilt on restore (see
+// checkpoint.go). An untagged event would make the engine
+// uncheckpointable — des.Simulator.Snapshot rejects it.
+const (
+	evArrival  des.Kind = iota + 1 // payload: *workload.Job
+	evPass                         // payload: nil (coalesced scheduling pass)
+	evEnd                          // payload: endPayload
+	evFailure                      // payload: nil (next random failure)
+	evRepair                       // payload: cluster.NodeID (victim under repair)
+	evSample                       // payload: nil (periodic observer tick)
+	evScenario                     // payload: int (index into cfg.Scenario.Events)
+)
+
+// endPayload identifies a scheduled job termination.
+type endPayload struct {
+	ID     int
+	Killed bool
 }
 
 // Engine runs one simulation. Create with New, then either call Run
@@ -248,6 +270,10 @@ func (e *Engine) Start(w *workload.Workload) error {
 		w = workload.ModulateArrivals(w, e.cfg.Scenario.Rate)
 	}
 	if err := w.Validate(); err != nil {
+		// A failed start is a terminal path for this engine: close the
+		// configured sink now (idempotent) so its buffer is never left
+		// unflushed behind an error return.
+		_ = e.rec.CloseSink()
 		return err
 	}
 	return e.startSource(source.FromWorkload(w))
@@ -263,6 +289,7 @@ func (e *Engine) Start(w *workload.Workload) error {
 // source.Modulate. It may be called once per engine, instead of Start.
 func (e *Engine) StartSource(src source.Source) error {
 	if src == nil {
+		_ = e.rec.CloseSink()
 		return fmt.Errorf("sim: nil source")
 	}
 	if e.cfg.Scenario.Modulates() {
@@ -284,6 +311,9 @@ func (e *Engine) startSource(src source.Source) error {
 	e.scheduleNextArrival()
 	hasWork := !e.srcDone
 	if e.srcErr != nil {
+		// The engine will never reach Finish; close (and flush) the
+		// sink on this terminal path too.
+		_ = e.rec.CloseSink()
 		return e.srcErr
 	}
 	if e.cfg.Failures != nil && hasWork {
@@ -294,13 +324,20 @@ func (e *Engine) startSource(src source.Source) error {
 		e.scheduleNextSample()
 	}
 	if e.cfg.Scenario != nil && hasWork {
-		for _, ev := range e.cfg.Scenario.Events {
-			ev := ev
+		for i := range e.cfg.Scenario.Events {
+			ev := e.cfg.Scenario.Events[i]
 			e.scenEvs = append(e.scenEvs,
-				e.sim.Schedule(des.Time(ev.At), func(now des.Time) { e.onScenario(int64(now), ev) }))
+				e.sim.ScheduleKind(des.Time(ev.At), evScenario, i, e.scenarioHandler(i)))
 		}
 	}
 	return nil
+}
+
+// scenarioHandler builds the firing closure for intervention i of the
+// configured scenario.
+func (e *Engine) scenarioHandler(i int) des.Handler {
+	ev := e.cfg.Scenario.Events[i]
+	return func(now des.Time) { e.onScenario(int64(now), ev) }
 }
 
 // scheduleNextArrival pulls one job from the source and schedules its
@@ -323,11 +360,17 @@ func (e *Engine) scheduleNextArrival() {
 		return
 	}
 	e.lastArrival = job.Submit
-	e.sim.ScheduleFront(des.Time(job.Submit), func(now des.Time) {
+	e.sim.ScheduleFrontKind(des.Time(job.Submit), evArrival, job, e.arrivalHandler(job))
+}
+
+// arrivalHandler builds the firing closure for one pulled job: count it
+// as outstanding, pull the next arrival, then deliver this one.
+func (e *Engine) arrivalHandler(job *workload.Job) des.Handler {
+	return func(now des.Time) {
 		e.jobsLeft++
 		e.scheduleNextArrival()
 		e.onArrival(int64(now), job)
-	})
+	}
 }
 
 // outstanding reports whether any work remains: an arrived job not yet
@@ -356,9 +399,19 @@ func (e *Engine) Stop() { e.sim.Stop() }
 // Now returns the virtual clock in seconds since simulation start.
 func (e *Engine) Now() int64 { return int64(e.sim.Now()) }
 
-// Done reports whether the simulation can make no more progress:
-// everything terminated, or Stop was called.
-func (e *Engine) Done() bool { return e.sim.Stopped() || e.sim.Pending() == 0 }
+// Done reports whether the simulation will make no more progress: Stop
+// was called, or the event queue is drained AND the engine's own
+// outstanding-work accounting agrees — no arrived job unterminated and
+// no arrivals left in the source. The second condition is not
+// redundant: the queue alone is the DES view, while srcDone/jobsLeft
+// are the streaming-source view, and Done must never report true while
+// a source still has arrivals to deliver (an empty queue with
+// outstanding work indicates a wiring bug — for example a restored
+// checkpoint that lost its pending-arrival event — which Finish then
+// reports instead of silently truncating the run).
+func (e *Engine) Done() bool {
+	return e.sim.Stopped() || (e.sim.Pending() == 0 && !e.outstanding())
+}
 
 // QueueDepth returns the number of jobs waiting to be dispatched.
 func (e *Engine) QueueDepth() int { return len(e.queue) }
@@ -402,6 +455,14 @@ func (e *Engine) Finish() (*Result, error) {
 		_ = e.rec.CloseSink()
 		return nil, fmt.Errorf("sim: workload source failed: %w", e.srcErr)
 	}
+	if !e.sim.Stopped() && !e.srcDone {
+		// The event queue drained while the source still had arrivals
+		// to deliver: an engine wiring bug (e.g. a restored checkpoint
+		// that lost its pending-arrival event), never a legal end state
+		// — refuse to report a silently truncated run (see Done).
+		_ = e.rec.CloseSink()
+		return nil, fmt.Errorf("sim: event queue drained at t=%d with undelivered source arrivals (engine wiring bug)", e.Now())
+	}
 	if !e.sim.Stopped() && (len(e.queue) != 0 || len(e.running) != 0) {
 		_ = e.rec.CloseSink()
 		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
@@ -435,7 +496,8 @@ func (e *Engine) lastEventTime() int64 { return int64(e.sim.Now()) }
 // stops with the last outstanding job (jobDone cancels it) so trailing
 // ticks cannot stretch the metrics integration window.
 func (e *Engine) scheduleNextSample() {
-	e.sampleEv = e.sim.ScheduleDelta(des.Time(e.cfg.SampleEvery), func(des.Time) {
+	at := e.sim.Now() + des.Time(e.cfg.SampleEvery)
+	e.sampleEv = e.sim.ScheduleKind(at, evSample, nil, func(des.Time) {
 		e.sampleEv = nil
 		e.obs.OnSample(e.Sample())
 		e.scheduleNextSample()
@@ -468,10 +530,16 @@ func (e *Engine) requestPass() {
 		return
 	}
 	e.passQueue = true
-	e.sim.ScheduleDelta(0, func(now des.Time) {
+	e.sim.ScheduleKind(e.sim.Now(), evPass, nil, e.passHandler())
+}
+
+// passHandler builds the firing closure of the coalesced scheduling
+// pass.
+func (e *Engine) passHandler() des.Handler {
+	return func(now des.Time) {
 		e.passQueue = false
 		e.pass(int64(now))
-	})
+	}
 }
 
 func (e *Engine) pass(now int64) {
@@ -653,7 +721,13 @@ func (e *Engine) scheduleEnd(rs *runningState) {
 		at = now
 	}
 	id := rs.job.ID
-	rs.endEv = e.sim.Schedule(des.Time(at), func(t des.Time) { e.terminate(int64(t), id, killed, false) })
+	rs.endEv = e.sim.ScheduleKind(des.Time(at), evEnd, endPayload{ID: id, Killed: killed}, e.endHandler(id, killed))
+}
+
+// endHandler builds the firing closure for one job's scheduled
+// termination.
+func (e *Engine) endHandler(id int, killed bool) des.Handler {
+	return func(t des.Time) { e.terminate(int64(t), id, killed, false) }
 }
 
 // terminate ends a running job: normal completion, kill at the walltime
@@ -741,7 +815,12 @@ func (e *Engine) jobDone() {
 func (e *Engine) scheduleNextFailure() {
 	mean := float64(e.cfg.Failures.MTBFPerNodeSec) / float64(e.m.Config().TotalNodes())
 	delta := int64(e.failRNG.ExpFloat64()*mean) + 1
-	e.failEv = e.sim.ScheduleDelta(des.Time(delta), func(now des.Time) { e.onFailure(int64(now)) })
+	e.failEv = e.sim.ScheduleKind(e.sim.Now()+des.Time(delta), evFailure, nil, e.failureHandler())
+}
+
+// failureHandler builds the firing closure of the next random failure.
+func (e *Engine) failureHandler() des.Handler {
+	return func(now des.Time) { e.onFailure(int64(now)) }
 }
 
 // onFailure fails one uniformly random up node, killing its occupant,
@@ -771,23 +850,32 @@ func (e *Engine) onFailure(now int64) {
 	if err := e.m.SetDown(victim); err != nil {
 		panic(fmt.Sprintf("sim: failing node %d: %v", victim, err))
 	}
-	e.sim.ScheduleDelta(des.Time(e.cfg.Failures.RepairSec), func(t des.Time) {
-		// A scenario "up" may have repaired the node already; only a
-		// still-down node needs (and tolerates) the SetUp. A node a
-		// scenario outage holds down stays down until its "up" event —
-		// planned outages outrank the failure repair process.
-		if e.m.Nodes()[victim].Down && !e.scenarioDown[victim] {
-			if err := e.m.SetUp(victim); err != nil {
-				panic(fmt.Sprintf("sim: repairing node %d: %v", victim, err))
-			}
-		}
-		e.requestPass()
-	})
+	e.sim.ScheduleKind(e.sim.Now()+des.Time(e.cfg.Failures.RepairSec), evRepair, victim, e.repairHandler(victim))
 	if e.cfg.CheckInvariants {
 		if err := e.m.CheckInvariants(); err != nil {
 			panic(fmt.Sprintf("sim: %v", err))
 		}
 	}
+}
+
+// repairHandler builds the firing closure that returns a
+// failure-downed node to service.
+func (e *Engine) repairHandler(victim cluster.NodeID) des.Handler {
+	return func(des.Time) { e.onRepair(victim) }
+}
+
+// onRepair ends one node's repair window. A scenario "up" may have
+// repaired the node already; only a still-down node needs (and
+// tolerates) the SetUp. A node a scenario outage holds down stays down
+// until its "up" event — planned outages outrank the failure repair
+// process.
+func (e *Engine) onRepair(victim cluster.NodeID) {
+	if e.m.Nodes()[victim].Down && !e.scenarioDown[victim] {
+		if err := e.m.SetUp(victim); err != nil {
+			panic(fmt.Sprintf("sim: repairing node %d: %v", victim, err))
+		}
+	}
+	e.requestPass()
 }
 
 // afterChange re-dilates running jobs under contention-sensitive models

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"dismem/internal/metrics"
+	"dismem/internal/source"
+	"dismem/internal/workload"
+)
+
+// trackingSink counts records and closes, standing in for a buffered
+// file sink whose data is lost unless Close (= flush) runs.
+type trackingSink struct {
+	added  int
+	closes int
+}
+
+func (s *trackingSink) Add(metrics.JobRecord) { s.added++ }
+func (s *trackingSink) Close() error          { s.closes++; return nil }
+
+// TestSinkClosedAfterStopFinish pins the satellite bugfix: a run
+// truncated with Stop must still flush and close its record sink at
+// Finish, exactly once, with every record produced before the stop
+// delivered.
+func TestSinkClosedAfterStopFinish(t *testing.T) {
+	w := testWorkload(60, 2)
+	sink := &trackingSink{}
+	cfg := streamCfg()
+	cfg.RecordSink = sink
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(10000)
+	e.Stop()
+	res, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("result not marked stopped")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+	if got, want := sink.added, res.Report.Jobs()+res.Report.Rejected; got != want {
+		t.Fatalf("sink saw %d records, report accounts for %d", got, want)
+	}
+	// Finish is idempotent; the sink must not be closed again.
+	if _, err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times after repeated Finish, want 1", sink.closes)
+	}
+}
+
+// TestSinkClosedOnStartErrors pins that every failed-start path closes
+// (and therefore flushes) the sink, since Finish will never run.
+func TestSinkClosedOnStartErrors(t *testing.T) {
+	// Invalid workload.
+	sink := &trackingSink{}
+	cfg := streamCfg()
+	cfg.RecordSink = sink
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &workload.Workload{Jobs: []*workload.Job{{ID: -1, Submit: 0, Nodes: 1, Estimate: 1, BaseRuntime: 1}}}
+	if err := e.Start(bad); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times after invalid workload, want 1", sink.closes)
+	}
+
+	// Nil source.
+	sink = &trackingSink{}
+	cfg.RecordSink = sink
+	if e, err = New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartSource(nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times after nil source, want 1", sink.closes)
+	}
+
+	// Source whose first job is invalid.
+	sink = &trackingSink{}
+	cfg.RecordSink = sink
+	if e, err = New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	badSrc := source.FromJobs([]*workload.Job{{ID: 1, Submit: 0, Nodes: 0, Estimate: 1, BaseRuntime: 1}})
+	if err := e.StartSource(badSrc); err == nil {
+		t.Fatal("invalid streamed job accepted")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times after broken source, want 1", sink.closes)
+	}
+}
+
+// TestSinkClosedOnMidStreamSourceError pins the mid-stream failure
+// path: the source breaks after some jobs; Finish reports the source
+// error and the sink is still closed exactly once with the drained
+// prefix delivered.
+func TestSinkClosedOnMidStreamSourceError(t *testing.T) {
+	jobs := testWorkload(30, 4).Jobs
+	// Corrupt a later job so the stream breaks mid-flight.
+	bad := *jobs[20]
+	bad.Nodes = 0
+	jobs[20] = &bad
+	sink := &trackingSink{}
+	cfg := streamCfg()
+	cfg.RecordSink = sink
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartSource(source.FromJobs(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if _, err := e.Finish(); err == nil {
+		t.Fatal("Finish swallowed the source error")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+	if sink.added == 0 {
+		t.Fatal("no drained records reached the sink")
+	}
+	// Finish keeps reporting the error without re-closing.
+	if _, err := e.Finish(); err == nil {
+		t.Fatal("repeated Finish swallowed the source error")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times after repeated Finish, want 1", sink.closes)
+	}
+}

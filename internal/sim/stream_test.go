@@ -33,15 +33,20 @@ func streamCfg() Config {
 	}
 }
 
-// testWorkload generates a trace sized for tinyMachine: 1-2 node jobs
-// whose footprints mix local fits and pool spills.
-func testWorkload(n int, seed uint64) *workload.Workload {
+// testGenConfig calibrates the generator for tinyMachine: 1-2 node
+// jobs whose footprints mix local fits and pool spills.
+func testGenConfig(n int, seed uint64) workload.GenConfig {
 	cfg := workload.DefaultGenConfig(n, seed, 2)
 	cfg.MeanInterarrival = 400
 	cfg.MemSmall = stats.Truncated{Inner: stats.LogNormal{Mu: 6, Sigma: 0.8}, Lo: 100, Hi: 900}
 	cfg.MemLarge = stats.Truncated{Inner: stats.LogNormal{Mu: 7.5, Sigma: 0.5}, Lo: 1000, Hi: 2400}
 	cfg.MaxMemPerNode = 2400
-	return workload.MustGenerate(cfg)
+	return cfg
+}
+
+// testWorkload materialises testGenConfig.
+func testWorkload(n int, seed uint64) *workload.Workload {
+	return workload.MustGenerate(testGenConfig(n, seed))
 }
 
 func runSlice(t *testing.T, cfg Config, w *workload.Workload) *Result {

@@ -1,0 +1,106 @@
+package source
+
+import (
+	"testing"
+
+	"dismem/internal/workload"
+)
+
+// sameJobs compares two job sequences field by field.
+func sameJobSeq(t *testing.T, a, b []*workload.Job) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("length %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d: %+v != %+v", i, *a[i], *b[i])
+		}
+	}
+}
+
+// forkAfter pulls k jobs from src, forks, and verifies the fork and the
+// original produce identical remainders.
+func forkAfter(t *testing.T, src Source, k int) {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("source exhausted at %d < %d", i, k)
+		}
+	}
+	f, ok := src.(Forkable)
+	if !ok {
+		t.Fatalf("%T is not Forkable", src)
+	}
+	fork := f.Fork()
+	if fork == nil {
+		t.Fatalf("%T.Fork returned nil", src)
+	}
+	if got, want := fork.PeekSubmit(), src.PeekSubmit(); got != want {
+		t.Fatalf("fork peeks %d, original %d", got, want)
+	}
+	sameJobSeq(t, drain(t, src), drain(t, fork))
+}
+
+func TestSliceSourceFork(t *testing.T) {
+	wl := workload.MustGenerate(workload.DefaultGenConfig(50, 1, 256))
+	forkAfter(t, FromWorkload(wl), 20)
+}
+
+func TestGenSourceFork(t *testing.T) {
+	cfg := workload.DefaultGenConfig(0, 7, 256)
+	st, err := workload.NewGenStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkAfter(t, Gen(st, 60, 0), 25)
+}
+
+func TestLublinSourceFork(t *testing.T) {
+	cfg := workload.DefaultLublinConfig(0, 3, 256)
+	st, err := workload.NewLublinStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkAfter(t, Gen(st, 40, 0), 10)
+}
+
+func TestModulatedFork(t *testing.T) {
+	wl := workload.MustGenerate(workload.DefaultGenConfig(50, 2, 256))
+	rate := func(ts float64) float64 {
+		if ts < 10000 {
+			return 2
+		}
+		return 0.5
+	}
+	forkAfter(t, Modulate(FromWorkload(wl), rate), 15)
+}
+
+// brokenStream is a non-cloneable generator stream.
+type brokenStream struct{}
+
+func (brokenStream) Next() (*workload.Job, bool) { return nil, false }
+
+// TestGenSourceForkUncloneable pins the nil-return contract for
+// streams that cannot be cloned.
+func TestGenSourceForkUncloneable(t *testing.T) {
+	if f := Gen(brokenStream{}, 10, 0).Fork(); f != nil {
+		t.Fatalf("Fork of uncloneable stream = %T, want nil", f)
+	}
+}
+
+// TestForkIndependence pins that draining a fork does not advance the
+// original cursor.
+func TestForkIndependence(t *testing.T) {
+	wl := workload.MustGenerate(workload.DefaultGenConfig(30, 5, 256))
+	src := FromWorkload(wl)
+	for i := 0; i < 10; i++ {
+		src.Next()
+	}
+	fork := src.Fork()
+	forked := drain(t, fork)
+	if got := src.PeekSubmit(); got != forked[0].Submit {
+		t.Fatalf("original cursor moved: peek %d, want %d", got, forked[0].Submit)
+	}
+	sameJobSeq(t, drain(t, src), forked)
+}

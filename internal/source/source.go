@@ -41,6 +41,25 @@ type Source interface {
 	Err() error
 }
 
+// Forkable is implemented by sources whose cursor can be duplicated:
+// Fork returns an independent source that produces exactly the jobs the
+// original has yet to produce, leaving the original undisturbed. It is
+// the source half of simulation checkpointing — a checkpoint freezes a
+// fork of the live source, and each resumed future forks it again. A
+// Fork may return nil when the source turns out not to be duplicable
+// after all (e.g. a GenSource over a custom, non-cloneable stream);
+// callers must treat nil as "not forkable".
+//
+// SliceSource, GenSource (over the cloneable generator streams) and
+// Modulate-wrapped forkable sources implement it. SWFSource does not:
+// an io.Reader's position cannot be duplicated, so checkpoint/fork of a
+// streamed SWF replay requires materialising the trace first
+// (workload.ReadSWF).
+type Forkable interface {
+	Source
+	Fork() Source
+}
+
 // SliceSource streams an in-memory job slice: the adapter that lets the
 // classic Workload path run through the streaming engine unchanged.
 type SliceSource struct {
@@ -79,6 +98,13 @@ func (s *SliceSource) PeekSubmit() int64 {
 
 // Err implements Source.
 func (s *SliceSource) Err() error { return nil }
+
+// Fork implements Forkable: the jobs slice is shared (jobs are
+// immutable), only the cursor is copied.
+func (s *SliceSource) Fork() Source {
+	c := *s
+	return &c
+}
 
 // JobStream is the minimal lazy producer the generators implement
 // (workload.GenStream, workload.LublinStream).
@@ -130,6 +156,28 @@ func (g *GenSource) Next() (*workload.Job, bool) {
 	j := g.next
 	g.fill()
 	return j, true
+}
+
+// Fork implements Forkable for sources over cloneable generator
+// streams (both workload generator streams are; custom streams may opt
+// in by implementing CloneJobStream). It returns nil when the
+// underlying stream cannot be cloned, which callers must treat as "not
+// forkable after all".
+func (g *GenSource) Fork() Source {
+	var st JobStream
+	switch s := g.stream.(type) {
+	case *workload.GenStream:
+		st = s.Clone()
+	case *workload.LublinStream:
+		st = s.Clone()
+	case interface{ CloneJobStream() JobStream }:
+		st = s.CloneJobStream()
+	default:
+		return nil
+	}
+	c := *g
+	c.stream = st
+	return &c
 }
 
 // PeekSubmit implements Source.
@@ -206,6 +254,24 @@ func (m *modulated) PeekSubmit() int64 {
 
 // Err implements Source.
 func (m *modulated) Err() error { return m.inner.Err() }
+
+// Fork implements Forkable when the inner source does: the warp state
+// (transformed clock, previous submit, buffered job) is copied and the
+// inner cursor forked, so both sides produce the identical remaining
+// warped sequence. Returns nil when the inner source cannot fork.
+func (m *modulated) Fork() Source {
+	f, ok := m.inner.(Forkable)
+	if !ok {
+		return nil
+	}
+	inner := f.Fork()
+	if inner == nil {
+		return nil
+	}
+	c := *m
+	c.inner = inner
+	return &c
+}
 
 // Validate checks one streamed job the way Workload.Validate checks a
 // batch, minus the whole-trace properties a stream cannot afford

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// ExactQuantileBuffer is the observation count up to which Quantile
+// answers exactly. 1024 float64s is 8 KiB per estimator — trivial next
+// to any simulation's live state — while covering the short correlated
+// streams (small runs, per-cell sweeps at reduced scale) where the P²
+// approximation is known to degrade.
+const ExactQuantileBuffer = 1024
+
+// Quantile estimates a single quantile of a stream with a hybrid
+// strategy: up to ExactQuantileBuffer observations it retains them all
+// and answers exactly (closest-rank linear interpolation, identical to
+// Percentile); beyond that it switches to the O(1)-memory P² estimator,
+// replaying the buffered prefix in arrival order first, so a stream of
+// N > ExactQuantileBuffer observations yields bit-for-bit the estimate
+// a pure P² estimator fed the same stream would. The estimator is
+// deterministic in both regimes. Construct with NewQuantile; the zero
+// value is not usable.
+type Quantile struct {
+	p   float64
+	buf []float64 // arrival order; nil once spilled into p2
+	p2  *P2
+}
+
+// NewQuantile returns a hybrid estimator for quantile p in (0, 1).
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside (0,1)", p))
+	}
+	return &Quantile{p: p}
+}
+
+// Add incorporates one observation.
+func (q *Quantile) Add(x float64) {
+	if q.p2 != nil {
+		q.p2.Add(x)
+		return
+	}
+	if len(q.buf) < ExactQuantileBuffer {
+		q.buf = append(q.buf, x)
+		return
+	}
+	// Threshold crossed: hand the whole history to P² in arrival order,
+	// so the estimate equals a from-the-start P² run on this stream.
+	q.p2 = NewP2(q.p)
+	for _, v := range q.buf {
+		q.p2.Add(v)
+	}
+	q.p2.Add(x)
+	q.buf = nil
+}
+
+// N returns the number of observations.
+func (q *Quantile) N() int64 {
+	if q.p2 != nil {
+		return q.p2.N()
+	}
+	return int64(len(q.buf))
+}
+
+// Exact reports whether the estimator is still in the exact regime.
+func (q *Quantile) Exact() bool { return q.p2 == nil }
+
+// Value returns the current estimate: exact while at most
+// ExactQuantileBuffer observations have arrived, the P² estimate
+// beyond. It returns 0 when empty.
+func (q *Quantile) Value() float64 {
+	if q.p2 != nil {
+		return q.p2.Quantile()
+	}
+	return Percentile(q.buf, q.p*100)
+}
+
+// Clone returns an independent copy with identical state, so a
+// checkpointed stream and its fork produce identical estimates for
+// identical suffixes.
+func (q *Quantile) Clone() *Quantile {
+	c := &Quantile{p: q.p, buf: append([]float64(nil), q.buf...)}
+	if q.p2 != nil {
+		p2 := *q.p2
+		c.p2 = &p2
+	}
+	return c
+}

@@ -1,0 +1,88 @@
+package stats
+
+import "testing"
+
+// TestQuantileExactBelowThreshold pins the satellite bugfix: up to
+// ExactQuantileBuffer observations the hybrid estimator must agree
+// bit-for-bit with the exact Percentile reduction, including on the
+// short correlated streams where P² degrades.
+func TestQuantileExactBelowThreshold(t *testing.T) {
+	rng := NewRNG(3)
+	for _, n := range []int{0, 1, 2, 4, 5, 17, 100, 1000, ExactQuantileBuffer} {
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			q := NewQuantile(p)
+			var xs []float64
+			base := 0.0
+			for i := 0; i < n; i++ {
+				// Correlated stream: a random walk, the adversarial
+				// case for P² markers.
+				base += rng.NormFloat64()
+				q.Add(base)
+				xs = append(xs, base)
+			}
+			if !q.Exact() {
+				t.Fatalf("n=%d: estimator left exact regime early", n)
+			}
+			want := Percentile(xs, p*100)
+			if got := q.Value(); got != want {
+				t.Fatalf("n=%d p=%g: hybrid %v != exact %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileMatchesP2BeyondThreshold pins that past the buffer the
+// hybrid estimator is bit-identical to a pure P² estimator fed the
+// same stream from the start — so large-run reports are unchanged by
+// the hybrid switch.
+func TestQuantileMatchesP2BeyondThreshold(t *testing.T) {
+	rng := NewRNG(9)
+	q := NewQuantile(0.95)
+	p2 := NewP2(0.95)
+	for i := 0; i < 3*ExactQuantileBuffer; i++ {
+		x := rng.ExpFloat64() * 100
+		q.Add(x)
+		p2.Add(x)
+		// Inside the buffer the hybrid answers exactly (deliberately
+		// better than P²); from the first spilled observation on it
+		// must equal the pure P² stream bit-for-bit.
+		if i+1 > ExactQuantileBuffer {
+			if got, want := q.Value(), p2.Quantile(); got != want {
+				t.Fatalf("obs %d: hybrid %v != p2 %v", i+1, got, want)
+			}
+		}
+	}
+	if q.Exact() {
+		t.Fatal("estimator still exact past the buffer")
+	}
+	if q.N() != p2.N() {
+		t.Fatalf("N %d != %d", q.N(), p2.N())
+	}
+}
+
+// TestQuantileClone verifies clone independence in both regimes.
+func TestQuantileClone(t *testing.T) {
+	for _, n := range []int{100, 2 * ExactQuantileBuffer} {
+		rng := NewRNG(11)
+		q := NewQuantile(0.95)
+		for i := 0; i < n; i++ {
+			q.Add(rng.Float64())
+		}
+		c := q.Clone()
+		if got, want := c.Value(), q.Value(); got != want {
+			t.Fatalf("n=%d: clone value %v != original %v", n, got, want)
+		}
+		// Identical suffixes must keep identical estimates; then a
+		// divergent suffix must not leak back.
+		q.Add(0.5)
+		c.Add(0.5)
+		if c.Value() != q.Value() {
+			t.Fatalf("n=%d: clone diverged on identical suffix", n)
+		}
+		before := q.Value()
+		c.Add(1e9)
+		if q.Value() != before {
+			t.Fatalf("n=%d: clone mutation leaked into original", n)
+		}
+	}
+}

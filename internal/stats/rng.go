@@ -69,6 +69,14 @@ func (r *RNG) Uint64() uint64 {
 // for giving each simulation component its own stream.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 
+// Clone returns an independent RNG with identical state: both produce
+// the same subsequent stream. It backs simulation checkpointing, where
+// a forked run must draw the identical random suffix.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

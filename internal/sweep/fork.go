@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dismem"
+)
+
+// ForkPoint holds per-seed checkpoints of one cell's shared prefix:
+// the state of every seed's simulation frozen at a common virtual
+// time. Build one with Cell.CheckpointAt and run divergent futures
+// from it with Cell.ForkFrom — the standard shared-prefix methodology
+// for what-if sweeps ("replay the morning once, then try every outage
+// tail"), which avoids re-simulating the prefix per variant cell.
+type ForkPoint struct {
+	cps []*dismem.Checkpoint
+	at  int64
+	// scheduler is the base cell's factory, retained so variant forks
+	// that keep the base policy each get a FRESH scheduler instance:
+	// reusing the instance captured in the checkpoints would share one
+	// mutable scheduler across concurrently driven forks.
+	scheduler func() dismem.Scheduler
+}
+
+// At returns the virtual time the prefix was frozen at.
+func (fp *ForkPoint) At() int64 { return fp.at }
+
+// Seeds returns how many per-seed checkpoints the fork point holds.
+func (fp *ForkPoint) Seeds() int { return len(fp.cps) }
+
+// CheckpointAt simulates the cell's prefix to virtual time t for every
+// seed (in parallel) and freezes each seed's state. The cell's
+// StopWhen predicate is not applied during the prefix — the prefix is
+// a fixed horizon by construction.
+func (c Cell) CheckpointAt(o Options, t int64) (*ForkPoint, error) {
+	o = o.withDefaults()
+	mc := c.Machine
+	if mc.IsZero() {
+		mc = dismem.DefaultMachine()
+	}
+	base := c
+	base.StopWhen = nil
+
+	cps := make([]*dismem.Checkpoint, o.Seeds)
+	errs := make([]error, o.Seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for s := 0; s < o.Seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opts, _, err := base.seedOptions(o, mc, s)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			h, err := dismem.New(opts)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			h.RunUntil(t)
+			cps[s], errs[s] = h.Checkpoint()
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: checkpoint seed %d: %w", s+1, err)
+		}
+	}
+	return &ForkPoint{cps: cps, at: t, scheduler: c.Scheduler}, nil
+}
+
+// ForkFrom resumes this cell's future from a shared fork point, one
+// fork per seed (in parallel), and aggregates like Run. The receiver
+// describes the FUTURE only:
+//
+//   - Scenario, when set, replaces the remaining intervention timeline
+//     (see dismem.ForkOptions.Scenario); nil keeps the base cell's.
+//   - Policy / Scheduler, when set, replace the scheduling policy from
+//     the fork instant on.
+//   - Failures, when set, reseeds the future failure stream per seed
+//     (the base cell must have configured failure injection).
+//   - StopWhen / SampleEvery apply to the future as in Run.
+//
+// Machine, Model, Gen, StrictKill and Bounded are fixed by the base
+// cell at checkpoint time and ignored here. One fork point serves any
+// number of variant cells; each ForkFrom forks fresh state.
+func (c Cell) ForkFrom(fp *ForkPoint) (Agg, error) {
+	outs := make([]seedOut, len(fp.cps))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for s := range fp.cps {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fo := dismem.ForkOptions{Scenario: c.Scenario, Policy: c.Policy}
+			switch {
+			case c.Scheduler != nil:
+				fo.SchedulerImpl = c.Scheduler()
+			case c.Policy == "" && fp.scheduler != nil:
+				// Variant keeps the base cell's factory-built policy:
+				// build a fresh instance rather than sharing the one
+				// frozen in the checkpoint.
+				fo.SchedulerImpl = fp.scheduler()
+			}
+			if c.Failures != nil {
+				fo.ReseedFailures = true
+				fo.FailureSeed = c.Failures.Seed + uint64(s)
+			}
+			var abort *abortObserver
+			if c.StopWhen != nil {
+				abort = &abortObserver{stop: c.StopWhen}
+				fo.Observer = abort
+				fo.SampleEvery = c.SampleEvery
+				if fo.SampleEvery <= 0 {
+					fo.SampleEvery = 3600
+				}
+			}
+			h, err := dismem.Fork(fp.cps[s], fo)
+			if err != nil {
+				outs[s] = seedOut{err: err}
+				return
+			}
+			if abort != nil {
+				abort.h = h
+			}
+			res, err := h.Run()
+			outs[s] = seedOut{res: res, err: err}
+		}(s)
+	}
+	wg.Wait()
+	return aggregate(outs)
+}

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"testing"
+
+	"dismem"
+)
+
+// TestForkFromSharedPrefix pins the shared-prefix sweep contract: a
+// variant cell forked from a common checkpoint with no future
+// overrides reproduces the plain run exactly, and an outage-tail
+// variant diverges from it deterministically.
+func TestForkFromSharedPrefix(t *testing.T) {
+	base := Cell{Policy: "memaware", Model: "bandwidth:1,1"}
+	o := Options{Jobs: 400, Seeds: 2}
+
+	plain, err := base.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp, err := base.CheckpointAt(o, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.At() != 20000 || fp.Seeds() != 2 {
+		t.Fatalf("fork point at=%d seeds=%d, want 20000/2", fp.At(), fp.Seeds())
+	}
+
+	same, err := base.ForkFrom(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Reports) != len(plain.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(same.Reports), len(plain.Reports))
+	}
+	for s := range plain.Reports {
+		if *same.Reports[s] != *plain.Reports[s] {
+			t.Fatalf("seed %d: forked report differs from plain run:\n%+v\n%+v",
+				s+1, same.Reports[s], plain.Reports[s])
+		}
+	}
+
+	outage, err := dismem.ParseScenario("at=30000 down rack=3; at=60000 up rack=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant := base
+	variant.Scenario = outage
+	hitA, err := variant.ForkFrom(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitB, err := variant.ForkFrom(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range hitA.Reports {
+		if *hitA.Reports[s] != *hitB.Reports[s] {
+			t.Fatalf("seed %d: outage variant not deterministic", s+1)
+		}
+	}
+	if hitA.MeanWait == plain.MeanWait {
+		t.Fatal("outage tail left mean wait unchanged; variant fork had no effect")
+	}
+
+	// Policy variant from the same (still reusable) fork point.
+	sjf := base
+	sjf.Policy = "order=sjf placer=memaware"
+	polA, err := sjf.ForkFrom(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polB, err := sjf.ForkFrom(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range polA.Reports {
+		if *polA.Reports[s] != *polB.Reports[s] {
+			t.Fatalf("seed %d: policy variant not deterministic", s+1)
+		}
+	}
+}
+
+// TestForkFromFactorySchedulerIndependence forks a factory-scheduler
+// base cell from one fork point on concurrent goroutines: each fork
+// must get a fresh scheduler instance (the race detector in CI catches
+// sharing), and both variants must reproduce the plain run.
+func TestForkFromFactorySchedulerIndependence(t *testing.T) {
+	base := Cell{Scheduler: func() dismem.Scheduler {
+		s, err := dismem.ParsePolicy("placer=memaware")
+		if err != nil {
+			panic(err) // factory runs on fork goroutines; cannot t.Fatal
+		}
+		return s
+	}, Model: "bandwidth:1,1"}
+	o := Options{Jobs: 300, Seeds: 1}
+
+	plain, err := base.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := base.CheckpointAt(o, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type out struct {
+		agg Agg
+		err error
+	}
+	outs := make([]out, 2)
+	done := make(chan struct{})
+	for i := range outs {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			agg, err := base.ForkFrom(fp)
+			outs[i] = out{agg, err}
+		}(i)
+	}
+	<-done
+	<-done
+	for i, ot := range outs {
+		if ot.err != nil {
+			t.Fatalf("concurrent fork %d: %v", i, ot.err)
+		}
+		if *ot.agg.Reports[0] != *plain.Reports[0] {
+			t.Fatalf("concurrent fork %d diverged from plain run", i)
+		}
+	}
+	close(done)
+}

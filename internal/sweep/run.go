@@ -60,7 +60,8 @@ type Cell struct {
 	// Bounded runs every seed with bounded metrics recording
 	// (dismem.DiscardRecords): memory stays independent of Jobs, the
 	// aggregate columns are unchanged except the percentile ones, which
-	// become P² estimates, and Agg.Records stays nil (CDF reductions
+	// become streaming estimates (exact up to 1024 jobs, P² beyond),
+	// and Agg.Records stays nil (CDF reductions
 	// need retain mode). Use it for cells far above the default scale.
 	Bounded bool
 	// StopWhen, when set, aborts each seed's simulation early: it is
@@ -119,6 +120,12 @@ type Agg struct {
 	Records []metrics.JobRecord
 }
 
+// seedOut is one seed's outcome, collected for aggregation.
+type seedOut struct {
+	res *dismem.Result
+	err error
+}
+
 // Run simulates the cell for every seed (in parallel) and averages.
 func (c Cell) Run(o Options) (Agg, error) {
 	o = o.withDefaults()
@@ -127,11 +134,7 @@ func (c Cell) Run(o Options) (Agg, error) {
 		mc = dismem.DefaultMachine()
 	}
 
-	type out struct {
-		res *dismem.Result
-		err error
-	}
-	outs := make([]out, o.Seeds)
+	outs := make([]seedOut, o.Seeds)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for s := 0; s < o.Seeds; s++ {
@@ -140,61 +143,78 @@ func (c Cell) Run(o Options) (Agg, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			gen := dismem.GenConfig{}
-			if c.Gen != nil {
-				gen = *c.Gen
-			} else {
-				gen = defaultGen(o.Jobs, uint64(s+1), mc)
-			}
-			gen.Jobs = o.Jobs
-			gen.Seed = uint64(s + 1)
-			wl, err := dismem.GenerateWorkload(gen)
+			opts, abort, err := c.seedOptions(o, mc, s)
 			if err != nil {
-				outs[s] = out{err: err}
+				outs[s] = seedOut{err: err}
 				return
-			}
-			opts := dismem.Options{
-				Machine:    mc,
-				Policy:     c.Policy,
-				Model:      c.Model,
-				Workload:   wl,
-				StrictKill: c.StrictKill,
-				Scenario:   c.Scenario,
-			}
-			if c.Bounded {
-				opts.RecordSink = dismem.DiscardRecords
-			}
-			if c.Failures != nil {
-				fc := *c.Failures
-				fc.Seed += uint64(s) // independent stream per seed
-				opts.Failures = &fc
-			}
-			if c.Scheduler != nil {
-				opts.SchedulerImpl = c.Scheduler()
-			}
-			var abort *abortObserver
-			if c.StopWhen != nil {
-				abort = &abortObserver{stop: c.StopWhen}
-				opts.Observer = abort
-				opts.SampleEvery = c.SampleEvery
-				if opts.SampleEvery <= 0 {
-					opts.SampleEvery = 3600
-				}
 			}
 			h, err := dismem.New(opts)
 			if err != nil {
-				outs[s] = out{err: err}
+				outs[s] = seedOut{err: err}
 				return
 			}
 			if abort != nil {
 				abort.h = h
 			}
 			res, err := h.Run()
-			outs[s] = out{res: res, err: err}
+			outs[s] = seedOut{res: res, err: err}
 		}(s)
 	}
 	wg.Wait()
+	return aggregate(outs)
+}
 
+// seedOptions assembles one seed's simulation options: the cell's
+// configuration plus the harness-owned workload generation and
+// per-seed failure stream. The returned abortObserver (non-nil only
+// with StopWhen) still needs its handle wired after dismem.New.
+func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Options, *abortObserver, error) {
+	gen := dismem.GenConfig{}
+	if c.Gen != nil {
+		gen = *c.Gen
+	} else {
+		gen = defaultGen(o.Jobs, uint64(s+1), mc)
+	}
+	gen.Jobs = o.Jobs
+	gen.Seed = uint64(s + 1)
+	wl, err := dismem.GenerateWorkload(gen)
+	if err != nil {
+		return dismem.Options{}, nil, err
+	}
+	opts := dismem.Options{
+		Machine:    mc,
+		Policy:     c.Policy,
+		Model:      c.Model,
+		Workload:   wl,
+		StrictKill: c.StrictKill,
+		Scenario:   c.Scenario,
+	}
+	if c.Bounded {
+		opts.RecordSink = dismem.DiscardRecords
+	}
+	if c.Failures != nil {
+		fc := *c.Failures
+		fc.Seed += uint64(s) // independent stream per seed
+		opts.Failures = &fc
+	}
+	if c.Scheduler != nil {
+		opts.SchedulerImpl = c.Scheduler()
+	}
+	var abort *abortObserver
+	if c.StopWhen != nil {
+		abort = &abortObserver{stop: c.StopWhen}
+		opts.Observer = abort
+		opts.SampleEvery = c.SampleEvery
+		if opts.SampleEvery <= 0 {
+			opts.SampleEvery = 3600
+		}
+	}
+	return opts, abort, nil
+}
+
+// aggregate reduces per-seed outcomes to the seed-mean Agg (the first
+// seed additionally contributes records and fairness).
+func aggregate(outs []seedOut) (Agg, error) {
 	var agg Agg
 	for s, ot := range outs {
 		if ot.err != nil {
@@ -230,7 +250,7 @@ func (c Cell) Run(o Options) (Agg, error) {
 			agg.JainWait = ot.res.Recorder.Fairness().JainWait
 		}
 	}
-	n := float64(o.Seeds)
+	n := float64(len(outs))
 	agg.MeanWait /= n
 	agg.P95Wait /= n
 	agg.MeanBSld /= n

@@ -69,6 +69,21 @@ func NewGenStream(cfg GenConfig) (*GenStream, error) {
 	return s, nil
 }
 
+// Clone returns an independent copy of the stream at its current
+// cursor: both produce the identical remaining job sequence. The RNG
+// states are deep-copied; the Zipf table is immutable and shared. It
+// backs source-level forking for simulation checkpoints.
+func (s *GenStream) Clone() *GenStream {
+	c := *s
+	c.arrivalRNG = s.arrivalRNG.Clone()
+	c.sizeRNG = s.sizeRNG.Clone()
+	c.runtimeRNG = s.runtimeRNG.Clone()
+	c.memRNG = s.memRNG.Clone()
+	c.estRNG = s.estRNG.Clone()
+	c.userRNG = s.userRNG.Clone()
+	return &c
+}
+
 // Next produces the next job, or (nil, false) once cfg.Jobs jobs have
 // been produced (never for an unbounded stream).
 func (s *GenStream) Next() (*Job, bool) {
@@ -153,6 +168,19 @@ func NewLublinStream(cfg LublinConfig) (*LublinStream, error) {
 		LargeMemFraction: cfg.LargeMemFraction, MaxMemPerNode: cfg.MaxMemPerNode,
 	}
 	return s, nil
+}
+
+// Clone returns an independent copy of the stream at its current
+// cursor, like GenStream.Clone.
+func (s *LublinStream) Clone() *LublinStream {
+	c := *s
+	c.arrivalRNG = s.arrivalRNG.Clone()
+	c.sizeRNG = s.sizeRNG.Clone()
+	c.runtimeRNG = s.runtimeRNG.Clone()
+	c.memRNG = s.memRNG.Clone()
+	c.estRNG = s.estRNG.Clone()
+	c.userRNG = s.userRNG.Clone()
+	return &c
 }
 
 // Next produces the next job, or (nil, false) once cfg.Jobs jobs have

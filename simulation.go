@@ -15,6 +15,10 @@ import (
 // one goroutine only.
 type Simulation struct {
 	eng *sim.Engine
+	// opts is retained so Checkpoint can record how the run was built
+	// (Fork rebuilds a fresh scheduler from the policy spec when the
+	// fork does not override it).
+	opts Options
 }
 
 // New validates o, builds the engine and primes the event queue without
@@ -78,7 +82,7 @@ func New(o Options) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{eng: eng}, nil
+	return &Simulation{eng: eng, opts: o}, nil
 }
 
 // Step fires the single earliest event. It returns false once the
@@ -126,11 +130,11 @@ func (s *Simulation) Events() uint64 { return s.eng.Events() }
 func (s *Simulation) Sample() Sample { return s.eng.Sample() }
 
 // Result closes the metrics window and returns the outcome. It errors
-// while events are still pending (advance with Run, or truncate with
-// Stop, first); afterwards it is idempotent.
+// while events or arrivals are still pending (advance with Run, or
+// truncate with Stop, first); afterwards it is idempotent.
 func (s *Simulation) Result() (*Result, error) {
 	if !s.eng.Done() {
-		return nil, fmt.Errorf("dismem: simulation has pending events at t=%d; call Run to finish or Stop to truncate", s.eng.Now())
+		return nil, fmt.Errorf("dismem: simulation has pending work at t=%d; call Run to finish or Stop to truncate", s.eng.Now())
 	}
 	return s.eng.Finish()
 }
