@@ -144,3 +144,11 @@ func BenchmarkFig11OutageSeverity(b *testing.B) { benchExperiment(b, "fig11") }
 // per-variant overhead of shared-prefix what-if studies. `go run
 // ./cmd/dmbench -fork` records it as BENCH_<date>_fork.json.
 func BenchmarkCheckpointFork(b *testing.B) { benchkit.CheckpointFork(b) }
+
+// BenchmarkCheckpointEncode / BenchmarkCheckpointDecode measure the
+// durable checkpoint envelope (SaveCheckpoint/LoadCheckpoint): encode
+// and verified decode throughput in MB/s plus the fixture's envelope
+// size in bytes/ckpt. `go run ./cmd/dmbench -ckptio` records both as
+// BENCH_<date>_ckptio.json.
+func BenchmarkCheckpointEncode(b *testing.B) { benchkit.CheckpointEncode(b) }
+func BenchmarkCheckpointDecode(b *testing.B) { benchkit.CheckpointDecode(b) }

@@ -1,0 +1,411 @@
+package dismem
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"dismem/internal/memmodel"
+	"dismem/internal/sim"
+	"dismem/internal/source"
+)
+
+// This file makes checkpoints durable: SaveCheckpoint serializes a
+// Checkpoint (fork.go) into a self-validating envelope and
+// LoadCheckpoint rebuilds one in another process. The envelope is
+//
+//	magic "DMCKPT1\n"                          8 bytes
+//	format version                             4 bytes, big endian
+//	schema fingerprint                        32 bytes
+//	payload length                             8 bytes, big endian
+//	payload                                   JSON, length bytes
+//	payload SHA-256 digest                    32 bytes
+//
+// and every way a file can lie is a distinct pointed error, never a
+// silently wrong simulation: wrong magic, unknown version, a schema
+// fingerprint from an incompatible build, a truncated payload, a
+// digest mismatch from any bit flip, and structurally invalid state
+// behind a valid digest. The digest is verified before the payload is
+// decoded.
+//
+// What cannot be saved mirrors what cannot be forked, plus code:
+// schedulers, memory models and scenarios persist as their spec
+// strings (Options.Policy / Options.Model / Scenario.String), so runs
+// built from Options.SchedulerImpl or Options.ModelImpl have no
+// serialized form, and sources must be durable (source.Durable) — a
+// materialised workload, the built-in generators, or a file-backed SWF
+// trace (SWFFileSource), but not a bare io.Reader stream.
+//
+// A checkpoint restored by LoadCheckpoint feeds Fork exactly like one
+// taken in-process, and the resumed future is bit-identical to the
+// uninterrupted run (DESIGN.md §9).
+
+// ckptMagic identifies a dismem checkpoint stream.
+const ckptMagic = "DMCKPT1\n"
+
+// CheckpointFormatVersion is the envelope format this build writes and
+// the only one it reads. It bumps when the envelope layout or payload
+// semantics change incompatibly.
+const CheckpointFormatVersion = 1
+
+// maxCheckpointPayload bounds how much a reader will buffer for one
+// checkpoint, so a corrupted length field cannot trigger a multi-GiB
+// allocation before the digest check gets a chance to reject it.
+const maxCheckpointPayload = 1 << 31
+
+// ckptPayload is the JSON payload of a checkpoint envelope: the
+// serialized run configuration (specs, not code) plus the flattened
+// engine state.
+type ckptPayload struct {
+	Machine         MachineConfig        `json:"machine"`
+	Policy          string               `json:"policy,omitempty"`
+	Model           string               `json:"model"`
+	StrictKill      bool                 `json:"strictKill,omitempty"`
+	CheckInvariants bool                 `json:"checkInvariants,omitempty"`
+	Failures        *FailureConfig       `json:"failures,omitempty"`
+	Scenario        string               `json:"scenario,omitempty"`
+	SampleEvery     int64                `json:"sampleEvery,omitempty"`
+	State           *sim.CheckpointState `json:"state"`
+}
+
+// ckptSchemaFingerprint digests the reflected shape of the payload —
+// every field name, JSON tag and type, recursively — so a checkpoint
+// written by a build whose state structs drifted (a renamed field, a
+// changed type) is rejected up front instead of half-decoding.
+var ckptSchemaFingerprint = func() [sha256.Size]byte {
+	var b strings.Builder
+	describeType(&b, reflect.TypeOf(ckptPayload{}), map[reflect.Type]bool{})
+	return sha256.Sum256([]byte(b.String()))
+}()
+
+var jsonMarshalerType = reflect.TypeOf((*json.Marshaler)(nil)).Elem()
+
+// describeType appends a canonical structural description of t.
+// Recursive types (CursorState, DistState) are expanded once and
+// referenced by name afterwards. Types with custom JSON marshaling are
+// tagged as such: their wire form is their method's business, and the
+// tag still changes the fingerprint if such a type replaces a plain
+// one.
+func describeType(b *strings.Builder, t reflect.Type, visited map[reflect.Type]bool) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		b.WriteByte('*')
+		describeType(b, t.Elem(), visited)
+	case reflect.Slice:
+		b.WriteString("[]")
+		describeType(b, t.Elem(), visited)
+	case reflect.Array:
+		fmt.Fprintf(b, "[%d]", t.Len())
+		describeType(b, t.Elem(), visited)
+	case reflect.Map:
+		b.WriteString("map[")
+		describeType(b, t.Key(), visited)
+		b.WriteByte(']')
+		describeType(b, t.Elem(), visited)
+	case reflect.Struct:
+		name := t.String()
+		if visited[t] {
+			b.WriteString(name)
+			return
+		}
+		visited[t] = true
+		if t.Implements(jsonMarshalerType) || reflect.PointerTo(t).Implements(jsonMarshalerType) {
+			b.WriteString(name)
+			b.WriteString("(custom-json)")
+			return
+		}
+		b.WriteString(name)
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				continue // unexported: not on the wire
+			}
+			fmt.Fprintf(b, "%s`%s`:", f.Name, f.Tag.Get("json"))
+			describeType(b, f.Type, visited)
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+	default:
+		b.WriteString(t.String())
+	}
+}
+
+// SaveCheckpoint serializes cp to w in the versioned, digest-protected
+// envelope format. It fails, without writing anything, for checkpoints
+// of runs that embed live code: Options.SchedulerImpl or
+// Options.ModelImpl (persist the spec strings instead), or a workload
+// source with no durable cursor. For crash-safe on-disk checkpoints
+// use WriteCheckpointFile, which wraps this in an atomic
+// write-fsync-rename.
+func SaveCheckpoint(w io.Writer, cp *Checkpoint) error {
+	payload, err := encodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	return writeEnvelope(w, payload)
+}
+
+// encodeCheckpoint flattens cp to the JSON payload bytes.
+func encodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("dismem: nil checkpoint")
+	}
+	o := cp.opts
+	if o.SchedulerImpl != nil {
+		return nil, fmt.Errorf("dismem: checkpoint of a run built with Options.SchedulerImpl has no serialized form (select the scheduler with Options.Policy so it can be rebuilt on load)")
+	}
+	if o.ModelImpl != nil {
+		return nil, fmt.Errorf("dismem: checkpoint of a run built with Options.ModelImpl has no serialized form (select the model with Options.Model so it can be rebuilt on load)")
+	}
+	st, err := cp.cp.State()
+	if err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	mc := o.Machine
+	if mc.IsZero() {
+		mc = DefaultMachine()
+	}
+	model := o.Model
+	if model == "" {
+		model = "linear:0.5"
+	}
+	scen := ""
+	if o.Scenario != nil {
+		scen = o.Scenario.String()
+	}
+	p := ckptPayload{
+		Machine:         mc,
+		Policy:          o.Policy,
+		Model:           model,
+		StrictKill:      o.StrictKill,
+		CheckInvariants: o.CheckInvariants,
+		Failures:        o.Failures,
+		Scenario:        scen,
+		SampleEvery:     o.SampleEvery,
+		State:           st,
+	}
+	buf, err := json.Marshal(&p)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: encoding checkpoint: %w", err)
+	}
+	return buf, nil
+}
+
+// LoadCheckpoint reads one envelope from r and rebuilds the
+// checkpoint. Every defect is an error: wrong magic, a format version
+// this build does not read, a schema fingerprint from an incompatible
+// build, truncation anywhere, any payload corruption (SHA-256
+// verified before decoding), and state that decodes but fails
+// structural validation. The rebuilt checkpoint feeds Fork like one
+// taken in-process.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var magic [len(ckptMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("dismem: reading checkpoint magic: %w", err)
+	}
+	if string(magic[:]) != ckptMagic {
+		return nil, fmt.Errorf("dismem: not a dismem checkpoint (magic %q)", magic[:])
+	}
+	var v [4]byte
+	if _, err := io.ReadFull(r, v[:]); err != nil {
+		return nil, fmt.Errorf("dismem: reading checkpoint version: %w", err)
+	}
+	if ver := binary.BigEndian.Uint32(v[:]); ver != CheckpointFormatVersion {
+		return nil, fmt.Errorf("dismem: checkpoint format version %d; this build reads version %d", ver, CheckpointFormatVersion)
+	}
+	var fp [sha256.Size]byte
+	if _, err := io.ReadFull(r, fp[:]); err != nil {
+		return nil, fmt.Errorf("dismem: reading checkpoint schema fingerprint: %w", err)
+	}
+	if fp != ckptSchemaFingerprint {
+		return nil, fmt.Errorf("dismem: checkpoint schema fingerprint %x does not match this build's %x (written by an incompatible dismem version)",
+			fp[:8], ckptSchemaFingerprint[:8])
+	}
+	var n [8]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("dismem: reading checkpoint payload length: %w", err)
+	}
+	length := binary.BigEndian.Uint64(n[:])
+	if length > maxCheckpointPayload {
+		return nil, fmt.Errorf("dismem: checkpoint payload length %d exceeds the %d-byte bound (corrupted length field?)", length, maxCheckpointPayload)
+	}
+	var payload bytes.Buffer
+	payload.Grow(int(length))
+	if _, err := io.CopyN(&payload, r, int64(length)); err != nil {
+		return nil, fmt.Errorf("dismem: checkpoint payload truncated at %d of %d bytes: %w", payload.Len(), length, err)
+	}
+	var digest [sha256.Size]byte
+	if _, err := io.ReadFull(r, digest[:]); err != nil {
+		return nil, fmt.Errorf("dismem: reading checkpoint digest: %w", err)
+	}
+	if sum := sha256.Sum256(payload.Bytes()); sum != digest {
+		return nil, fmt.Errorf("dismem: checkpoint payload digest mismatch (file corrupted)")
+	}
+	dec := json.NewDecoder(&payload)
+	dec.DisallowUnknownFields()
+	var p ckptPayload
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("dismem: decoding checkpoint payload: %w", err)
+	}
+	return rebuildCheckpoint(&p)
+}
+
+// rebuildCheckpoint reconstructs the run configuration from its specs
+// and revalidates the flattened state.
+func rebuildCheckpoint(p *ckptPayload) (*Checkpoint, error) {
+	if p.State == nil {
+		return nil, fmt.Errorf("dismem: checkpoint payload has no engine state")
+	}
+	if err := p.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("dismem: checkpoint machine config: %w", err)
+	}
+	model, err := memmodel.Parse(p.Model)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: checkpoint memory model: %w", err)
+	}
+	sch, err := NewScheduler(p.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: checkpoint policy: %w", err)
+	}
+	var scen *Scenario
+	if p.Scenario != "" {
+		scen, err = ParseScenario(p.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("dismem: checkpoint scenario: %w", err)
+		}
+	}
+	if p.Failures != nil {
+		if err := p.Failures.Validate(); err != nil {
+			return nil, fmt.Errorf("dismem: checkpoint failure config: %w", err)
+		}
+	}
+	cfg := sim.Config{
+		Machine:         p.Machine,
+		Model:           model,
+		Scheduler:       sch,
+		ExtendLimit:     !p.StrictKill,
+		CheckInvariants: p.CheckInvariants,
+		Failures:        p.Failures,
+		Scenario:        scen,
+		SampleEvery:     p.SampleEvery,
+	}
+	cp, err := sim.CheckpointFromState(cfg, p.State)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: %w", err)
+	}
+	opts := Options{
+		Machine:         p.Machine,
+		Policy:          p.Policy,
+		Model:           p.Model,
+		StrictKill:      p.StrictKill,
+		CheckInvariants: p.CheckInvariants,
+		Failures:        p.Failures,
+		Scenario:        scen,
+		SampleEvery:     p.SampleEvery,
+	}
+	return &Checkpoint{cp: cp, opts: opts}, nil
+}
+
+// WriteCheckpointFile saves cp to path atomically: the envelope is
+// written to a temporary file in the same directory, fsynced, and
+// renamed over path, so a crash at any instant leaves either the old
+// file or the new one — never a torn checkpoint. The directory entry
+// is fsynced after the rename where the platform supports it.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	payload, err := encodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dismem: writing checkpoint: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	// Re-wrap the already-encoded payload so a payload encoding error
+	// cannot leave a temp file behind.
+	if err := writeEnvelope(tmp, payload); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("dismem: syncing checkpoint %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dismem: closing checkpoint %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("dismem: publishing checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Persist the rename itself; ignore failures — some filesystems
+		// reject directory fsync, and the data file is already durable.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// writeEnvelope frames pre-encoded payload bytes (see SaveCheckpoint
+// for the layout).
+func writeEnvelope(w io.Writer, payload []byte) error {
+	var hdr bytes.Buffer
+	hdr.WriteString(ckptMagic)
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], CheckpointFormatVersion)
+	hdr.Write(v[:])
+	hdr.Write(ckptSchemaFingerprint[:])
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(payload)))
+	hdr.Write(n[:])
+	digest := sha256.Sum256(payload)
+	for _, b := range [][]byte{hdr.Bytes(), payload, digest[:]} {
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("dismem: writing checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile
+// (or any SaveCheckpoint stream stored at path).
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dismem: reading checkpoint: %w", err)
+	}
+	defer f.Close()
+	cp, err := LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return cp, nil
+}
+
+// SWFFileSource streams jobs lazily from an SWF trace file by path,
+// with the same O(1)-memory decoding as SWFSource. Because the source
+// owns the path rather than a caller's reader, its position is a
+// (path, byte offset) cursor: the source is forkable (checkpoints of
+// file-backed replays work) and durable (those checkpoints can be
+// saved with SaveCheckpoint and resumed in another process). The file
+// is opened lazily on first pull and closed at end of trace; the
+// returned source implements io.Closer for callers that abandon a
+// replay mid-trace.
+func SWFFileSource(path string, opt SWFReadOptions) Source {
+	return source.SWFFile(path, opt)
+}

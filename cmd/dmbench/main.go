@@ -53,6 +53,7 @@ func main() {
 		benchtime = flag.Duration("benchtime", time.Second, "target run time per benchmark")
 		stream    = flag.Bool("stream", false, "run the streaming-replay benchmarks (100k + 1M jobs; minutes of runtime) instead of the headline set, writing BENCH_<date>_stream.json")
 		fork      = flag.Bool("fork", false, "run the checkpoint+fork overhead benchmark instead of the headline set, writing BENCH_<date>_fork.json")
+		ckptio    = flag.Bool("ckptio", false, "run the durable checkpoint encode/decode benchmarks instead of the headline set, writing BENCH_<date>_ckptio.json")
 	)
 	flag.Parse()
 
@@ -66,11 +67,28 @@ func main() {
 		{"Simulation", benchkit.Simulation},
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
+	exclusive := 0
+	for _, f := range []bool{*stream, *fork, *ckptio} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork and -ckptio")
+		os.Exit(1)
+	}
 	suffix := ""
 	switch {
-	case *stream && *fork:
-		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream and -fork")
-		os.Exit(1)
+	case *ckptio:
+		suffix = "_ckptio"
+		benches = []bench{
+			{"CheckpointEncode", benchkit.CheckpointEncode},
+			{"CheckpointDecode", benchkit.CheckpointDecode},
+			// CheckpointFork rides along as the in-memory reference: the
+			// durable envelope's cost is meaningful relative to the pure
+			// in-process snapshot.
+			{"CheckpointFork", benchkit.CheckpointFork},
+		}
 	case *stream:
 		suffix = "_stream"
 		benches = []bench{

@@ -32,19 +32,36 @@
 // or under a different intervention tail with -fork-scenario:
 //
 //	dmsched -checkpoint-at 43200 -fork-scenario "at=50000 down rack=2; at=64800 up rack=2"
+//
+// Long runs are interruptible: with -ckpt-save, SIGINT/SIGTERM freezes
+// the run, writes a durable versioned checkpoint file (atomic
+// temp+rename), prints the partial report, and exits with status 3.
+// -ckpt-load resumes such a file and completes the run — bit-identical
+// to the uninterrupted run:
+//
+//	dmsched -jobs 50000 -ckpt-save run.dmckpt     # ^C to interrupt
+//	dmsched -ckpt-load run.dmckpt                 # finish the run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"dismem"
 	"dismem/internal/config"
 	"dismem/internal/workload"
 )
+
+// exitInterrupted is the distinct status for a resumable interruption
+// (signal mid-run), as opposed to 1 (failure) and 2 (bad usage).
+const exitInterrupted = 3
 
 func main() {
 	var (
@@ -69,6 +86,8 @@ func main() {
 		forkScen  = flag.String("fork-scenario", "", `scenario timeline for the forked future (requires -checkpoint-at): replaces the interventions remaining after the checkpoint, e.g. "at=50000 down rack=2; at=60000 up rack=2"`)
 		swfCores  = flag.Int("node-cores", 0, "SWF import: processors per node (0 = processors are nodes)")
 		strict    = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
+		ckptSave  = flag.String("ckpt-save", "", "on SIGINT/SIGTERM, freeze the run, write a durable checkpoint to this file, and exit with status 3 (resume with -ckpt-load)")
+		ckptLoad  = flag.String("ckpt-load", "", "resume a run from a checkpoint file written by -ckpt-save; workload, machine and policy flags are ignored (the checkpoint carries them)")
 		verbose   = flag.Bool("v", false, "also print workload summary")
 		cfgPath   = flag.String("config", "", "JSON experiment config (overrides the flags above)")
 		writeCfg  = flag.Bool("write-config", false, "print a starter config JSON and exit")
@@ -84,6 +103,27 @@ func main() {
 	}
 	if *forkScen != "" && *cpAt <= 0 {
 		fatalf("-fork-scenario requires -checkpoint-at")
+	}
+	if *ckptSave != "" {
+		if *swfStream {
+			fatalf("-ckpt-save cannot be combined with -swf-stream (a streamed trace source cannot checkpoint)")
+		}
+		if *specFlag != "" {
+			fatalf("-ckpt-save cannot be combined with -spec (a live scheduler instance cannot be serialized; use -policy)")
+		}
+		if *recordOut != "" {
+			fatalf("-ckpt-save cannot be combined with -records-out (a streamed record sink cannot be carried across a checkpoint)")
+		}
+		if *cfgPath != "" || *cpAt > 0 {
+			fatalf("-ckpt-save cannot be combined with -config or -checkpoint-at")
+		}
+	}
+	if *ckptLoad != "" {
+		if *swf != "" || *specFlag != "" || *scenFlag != "" || *cfgPath != "" || *cpAt > 0 || *swfStream || *recordOut != "" {
+			fatalf("-ckpt-load resumes a self-contained run; it only combines with -progress, -v and -ckpt-save")
+		}
+		runFromCheckpoint(*ckptLoad, *ckptSave, *progress)
+		return
 	}
 	if *cpAt > 0 && *swfStream {
 		// Fail in milliseconds, not after simulating the whole prefix:
@@ -230,11 +270,82 @@ func main() {
 		runCheckpointed(label, opts, *progress, *cpAt, forkSc, *recordOut)
 		return
 	}
-	res, err := runSim(opts, *progress)
+	h, err := dismem.New(withProgress(opts, *progress))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	driveAndReport(h, label, *ckptSave)
+}
+
+// driveAndReport advances the simulation to completion from the main
+// goroutine, handling SIGINT/SIGTERM gracefully: the run is truncated
+// at a clean event boundary, optionally frozen to a durable checkpoint
+// file, reported as a prefix, and the process exits with status 3.
+func driveAndReport(h *dismem.Simulation, label, ckptSave string) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	interrupted := drive(ctx, h, ckptSave)
+	res, err := h.Result()
 	if err != nil {
 		fatalf("%v", err)
 	}
 	printReport(label, res)
+	if interrupted {
+		os.Exit(exitInterrupted)
+	}
+}
+
+// drive runs the simulation in bounded chunks of virtual time, checking
+// for cancellation between chunks so an interrupt is acted on at an
+// event boundary on the main goroutine (never a cross-goroutine Stop
+// racing the event loop). On interruption it writes the requested
+// checkpoint before truncating, so the saved state is exactly the
+// reported prefix.
+func drive(ctx context.Context, h *dismem.Simulation, ckptSave string) bool {
+	const chunk = 3600 // virtual seconds between interrupt checks
+	for !h.Done() {
+		if ctx.Err() != nil {
+			if ckptSave != "" {
+				cp, err := h.Checkpoint()
+				if err != nil {
+					fatalf("checkpoint at t=%d: %v", h.Now(), err)
+				}
+				if err := dismem.WriteCheckpointFile(ckptSave, cp); err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Fprintf(os.Stderr, "dmsched: interrupted at t=%d s; resume with -ckpt-load %s\n", h.Now(), ckptSave)
+			} else {
+				fmt.Fprintf(os.Stderr, "dmsched: interrupted at t=%d s (no -ckpt-save; reporting the partial run)\n", h.Now())
+			}
+			h.Stop()
+			return true
+		}
+		h.RunUntil(h.Now() + chunk)
+	}
+	return false
+}
+
+// runFromCheckpoint resumes a durable checkpoint file and completes the
+// run — or freezes it again on a further interrupt when ckptSave is
+// set (checkpoints chain across any number of interruptions).
+func runFromCheckpoint(path, ckptSave string, progressEvery time.Duration) {
+	cp, err := dismem.ReadCheckpointFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fo := dismem.ForkOptions{}
+	if progressEvery > 0 {
+		fo.Observer = progressPrinter{}
+		fo.SampleEvery = int64(progressEvery / time.Second)
+		if fo.SampleEvery < 1 {
+			fo.SampleEvery = 1
+		}
+	}
+	h, err := dismem.Fork(cp, fo)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	driveAndReport(h, "resumed:"+filepath.Base(path), ckptSave)
 }
 
 // runCheckpointed freezes the run at virtual time at, completes the
@@ -310,16 +421,6 @@ func withProgress(opts dismem.Options, progressEvery time.Duration) dismem.Optio
 	return opts
 }
 
-// runSim drives the simulation through the steppable handle, streaming
-// live progress to stderr when requested.
-func runSim(opts dismem.Options, progressEvery time.Duration) (*dismem.Result, error) {
-	h, err := dismem.New(withProgress(opts, progressEvery))
-	if err != nil {
-		return nil, err
-	}
-	return h.Run()
-}
-
 // progressPrinter streams one status line per sample tick.
 type progressPrinter struct{ dismem.NopObserver }
 
@@ -372,18 +473,18 @@ func runFromConfig(path string, verbose bool, progress time.Duration) {
 		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
 		fmt.Println()
 	}
-	res, err := runSim(dismem.Options{
+	h, err := dismem.New(withProgress(dismem.Options{
 		Machine:    mc,
 		Policy:     exp.Policy,
 		Model:      exp.Model,
 		Workload:   wl,
 		StrictKill: exp.StrictKill,
 		Failures:   exp.FailureConfig(),
-	}, progress)
+	}, progress))
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printReport(exp.Policy, res)
+	driveAndReport(h, exp.Policy, "")
 }
 
 func printReport(policy string, res *dismem.Result) {

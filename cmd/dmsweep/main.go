@@ -3,43 +3,90 @@
 // DESIGN.md §4 for the experiment inventory and EXPERIMENTS.md for the
 // recorded results.
 //
+// Sweeps are crash-safe: with -manifest, every completed (cell, seed)
+// unit is journaled as it finishes, SIGINT/SIGTERM interrupt the sweep
+// cleanly (exit status 3), and re-running with -resume skips the
+// journaled units and produces output identical to an uninterrupted
+// run.
+//
 // Usage:
 //
 //	dmsweep -exp fig3                 # one experiment
 //	dmsweep -exp all -jobs 8000       # the full evaluation
 //	dmsweep -exp table2 -csv          # machine-readable output
+//	dmsweep -exp all -manifest s.jsonl          # journal progress
+//	dmsweep -exp all -manifest s.jsonl -resume  # continue after a crash
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dismem/internal/sweep"
 )
 
+// exitInterrupted is the distinct status for a resumable interruption
+// (signal mid-sweep), as opposed to 1 (failure) and 2 (bad usage).
+const exitInterrupted = 3
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(sweep.IDs(), ", "))
-		jobs  = flag.Int("jobs", 0, "jobs per simulation (0 = experiment default)")
-		seeds = flag.Int("seeds", 0, "seeds per cell (0 = experiment default)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot  = flag.Bool("plot", false, "also render figure sweeps as ASCII charts")
+		exp      = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(sweep.IDs(), ", "))
+		jobs     = flag.Int("jobs", 0, "jobs per simulation (0 = experiment default)")
+		seeds    = flag.Int("seeds", 0, "seeds per cell (0 = experiment default)")
+		workers  = flag.Int("workers", 0, "concurrent simulation units (0 = GOMAXPROCS)")
+		manifest = flag.String("manifest", "", "journal completed units to this JSONL file")
+		resume   = flag.Bool("resume", false, "resume from the -manifest journal, skipping completed units")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot     = flag.Bool("plot", false, "also render figure sweeps as ASCII charts")
 	)
 	flag.Parse()
 
-	o := sweep.Options{Jobs: *jobs, Seeds: *seeds}
-	var tables []*sweep.Table
-	if *exp == "all" {
-		tables = sweep.RunAll(o)
-	} else {
-		var err error
-		tables, err = sweep.Run(*exp, o)
+	if *resume && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "dmsweep: -resume requires -manifest")
+		os.Exit(2)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	o := sweep.Options{Jobs: *jobs, Seeds: *seeds, Workers: *workers, Ctx: ctx}
+	if *manifest != "" {
+		m, err := sweep.OpenManifest(*manifest, o, *resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "dmsweep:", err)
 			os.Exit(2)
 		}
+		defer m.Close()
+		if *resume && m.Units() > 0 {
+			fmt.Fprintf(os.Stderr, "dmsweep: resuming; %d completed units journaled in %s\n", m.Units(), *manifest)
+		}
+		o.Manifest = m
+	}
+
+	var tables []*sweep.Table
+	var err error
+	if *exp == "all" {
+		tables, err = sweep.RunAll(o)
+	} else {
+		tables, err = sweep.Run(*exp, o)
+	}
+	if err != nil {
+		if errors.Is(err, sweep.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "dmsweep:", err)
+			if *manifest != "" {
+				fmt.Fprintf(os.Stderr, "dmsweep: progress journaled; rerun with -manifest %s -resume to continue\n", *manifest)
+			}
+			os.Exit(exitInterrupted)
+		}
+		fmt.Fprintln(os.Stderr, "dmsweep:", err)
+		os.Exit(2)
 	}
 	for i, t := range tables {
 		if i > 0 {

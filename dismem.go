@@ -54,6 +54,14 @@
 // (DESIGN.md §8); overrides swap the scenario tail, policy, or
 // failure seed from the fork instant on.
 //
+// Checkpoints are also durable: SaveCheckpoint/LoadCheckpoint (and the
+// atomic WriteCheckpointFile/ReadCheckpointFile) serialize a frozen
+// run as a versioned, digest-protected envelope, so it survives the
+// process and resumes bit-identically in another one — corrupted,
+// truncated or version-skewed files are always rejected, never
+// silently misread (DESIGN.md §9). dmsched -ckpt-save/-ckpt-load and
+// the crash-safe dmsweep -manifest/-resume build on this.
+//
 // Runs can be perturbed by a deterministic scenario timeline — outages
 // and recoveries, pool degradation, fabric brownouts, arrival surges
 // and diurnal cycles, staged growth — compiled from the same key=value

@@ -1,0 +1,74 @@
+package dismem_test
+
+import (
+	"testing"
+
+	"dismem"
+)
+
+// Regression tests for terminal-state idempotency: once a simulation
+// has produced its result, further Result and Stop calls return the
+// cached outcome and mutate nothing. (A late Stop used to be able to
+// relabel a completed run as stopped.)
+
+func TestResultIdempotent(t *testing.T) {
+	s := mustNew(t, dismem.Options{Policy: "memaware", Workload: dismem.SyntheticWorkload(200, 1)})
+	first, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("second Result returned a different result value")
+	}
+	if first.Stopped {
+		t.Fatal("completed run reported Stopped")
+	}
+}
+
+func TestStopAfterFinishIsNoOp(t *testing.T) {
+	s := mustNew(t, dismem.Options{Policy: "memaware", Workload: dismem.SyntheticWorkload(200, 2)})
+	first, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop() // must not relabel the completed run
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != first {
+		t.Fatal("Result after late Stop returned a different result value")
+	}
+	if res.Stopped {
+		t.Fatal("late Stop relabeled a completed run as stopped")
+	}
+	if !s.Done() {
+		t.Fatal("finished simulation no longer Done after late Stop")
+	}
+}
+
+func TestStopThenResultIdempotent(t *testing.T) {
+	s := mustNew(t, dismem.Options{Policy: "memaware", Workload: dismem.SyntheticWorkload(300, 3)})
+	s.RunUntil(10000)
+	s.Stop()
+	s.Step() // lets the stop take effect at the next event boundary
+	first, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Stopped {
+		t.Fatal("stopped run not marked Stopped")
+	}
+	s.Stop() // stop of an already-stopped, finished run
+	again, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("Result after redundant Stop returned a different result value")
+	}
+}

@@ -6,6 +6,7 @@
 package benchkit
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -123,6 +124,72 @@ func CheckpointFork(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "forks/s")
+}
+
+// midTraceCheckpoint freezes the standard benchmark simulation at its
+// submit-time midpoint — the shared fixture for the checkpoint I/O
+// benchmarks.
+func midTraceCheckpoint(b *testing.B) *dismem.Checkpoint {
+	b.Helper()
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	h, err := dismem.New(dismem.Options{
+		Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.RunUntil(wl.Jobs[len(wl.Jobs)/2].Submit)
+	cp, err := h.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cp
+}
+
+// CheckpointEncode measures SaveCheckpoint throughput: a mid-trace
+// checkpoint is serialized to its durable envelope (magic, version,
+// schema fingerprint, JSON payload, SHA-256 digest) per iteration.
+// Reported metrics: MB/s of envelope produced and bytes/ckpt, the
+// envelope size for the standard fixture — the number to watch for
+// accidental state-blowup across PRs.
+func CheckpointEncode(b *testing.B) {
+	b.ReportAllocs()
+	cp := midTraceCheckpoint(b)
+	var buf bytes.Buffer
+	if err := dismem.SaveCheckpoint(&buf, cp); err != nil {
+		b.Fatal(err)
+	}
+	size := buf.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := dismem.SaveCheckpoint(&buf, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size)*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+	b.ReportMetric(float64(size), "bytes/ckpt")
+}
+
+// CheckpointDecode measures LoadCheckpoint throughput on the same
+// fixture: digest verification, strict JSON decode, and full engine
+// state validation per iteration.
+func CheckpointDecode(b *testing.B) {
+	b.ReportAllocs()
+	cp := midTraceCheckpoint(b)
+	var buf bytes.Buffer
+	if err := dismem.SaveCheckpoint(&buf, cp); err != nil {
+		b.Fatal(err)
+	}
+	env := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dismem.LoadCheckpoint(bytes.NewReader(env)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(env))*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+	b.ReportMetric(float64(len(env)), "bytes/ckpt")
 }
 
 // StreamingReplay100k runs the streaming-replay benchmark at 100k jobs;

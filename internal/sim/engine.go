@@ -393,8 +393,15 @@ func (e *Engine) RunAll() { e.sim.RunAll() }
 
 // Stop halts the event loop after the current event: a deliberate early
 // exit, not an error. Finish then reports the simulated prefix with
-// Result.Stopped set. Safe to call from Observer callbacks.
-func (e *Engine) Stop() { e.sim.Stop() }
+// Result.Stopped set. Safe to call from Observer callbacks. After
+// Finish, Stop is a no-op: the result is already built, and a late stop
+// must not relabel a completed run as a stopped one.
+func (e *Engine) Stop() {
+	if e.finished {
+		return
+	}
+	e.sim.Stop()
+}
 
 // Now returns the virtual clock in seconds since simulation start.
 func (e *Engine) Now() int64 { return int64(e.sim.Now()) }

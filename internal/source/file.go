@@ -1,0 +1,178 @@
+package source
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dismem/internal/workload"
+)
+
+// SWFFileSource streams jobs from an SWF trace file by path. It decodes
+// like SWFSource — one job buffered ahead, O(1) memory, submit-sorted
+// trace required — but because it owns the path it can duplicate its
+// cursor: Fork captures the decoder's byte offset and re-opens the file
+// on first use, so file-backed streamed replays checkpoint/fork like
+// every other source (reader-backed SWFSource still cannot; an
+// io.Reader's position is not duplicable).
+//
+// Fork itself does no I/O and never fails: the file is opened lazily at
+// the captured offset on the fork's first pull. Sources close their
+// file at end of trace or on error; call Close to release the handle
+// when abandoning a source mid-trace.
+type SWFFileSource struct {
+	path string
+
+	f   *os.File
+	dec *workload.SWFDecoder
+
+	// cursor holds the decoder position to resume from; it is the
+	// construction state of an unopened source (offset 0 for a fresh
+	// one) and is refreshed on Fork from the live decoder.
+	cursor workload.SWFDecoderState
+	opened bool
+
+	next *workload.Job
+	last int64
+	err  error
+}
+
+// SWFFile returns a source decoding lazily from the trace file at path.
+// The file is opened on first pull; an unreadable path surfaces as a
+// production error (Err), like any mid-stream failure.
+func SWFFile(path string, opt workload.SWFReadOptions) *SWFFileSource {
+	return &SWFFileSource{path: path, cursor: workload.SWFDecoderState{Opt: opt}}
+}
+
+// open opens the file at the cursor and primes the one-job lookahead
+// when this source was not forked mid-stream (a fork inherits its
+// parent's buffered job; opening must not consume another).
+func (s *SWFFileSource) open() {
+	if s.opened {
+		return
+	}
+	s.opened = true
+	if s.err != nil || s.cursor.Done {
+		return
+	}
+	f, err := os.Open(s.path)
+	if err != nil {
+		s.err = fmt.Errorf("source: swf file: %w", err)
+		return
+	}
+	if _, err := f.Seek(s.cursor.Offset, io.SeekStart); err != nil {
+		f.Close()
+		s.err = fmt.Errorf("source: swf file %s: seeking to cursor %d: %w", s.path, s.cursor.Offset, err)
+		return
+	}
+	s.f = f
+	s.dec = workload.NewSWFDecoderAt(f, s.cursor)
+	if s.next == nil {
+		s.fill()
+	}
+}
+
+func (s *SWFFileSource) fill() {
+	s.next = nil
+	if s.err != nil || s.dec == nil {
+		return
+	}
+	j, ok := s.dec.Next()
+	if !ok {
+		s.err = s.dec.Err()
+		s.closeFile()
+		return
+	}
+	if j.Submit < s.last {
+		s.err = fmt.Errorf("source: swf job %d arrives at %d before previous arrival %d (streaming needs a submit-sorted trace; use ReadSWF)",
+			j.ID, j.Submit, s.last)
+		s.closeFile()
+		return
+	}
+	s.last = j.Submit
+	s.next = j
+}
+
+// closeFile releases the handle, keeping the first error seen.
+func (s *SWFFileSource) closeFile() {
+	if s.f == nil {
+		return
+	}
+	err := s.f.Close()
+	s.f, s.dec = nil, nil
+	if err != nil && s.err == nil {
+		s.err = fmt.Errorf("source: swf file %s: %w", s.path, err)
+	}
+}
+
+// Close releases the file handle early (end of trace and errors close
+// it automatically). The source reports exhaustion afterwards.
+func (s *SWFFileSource) Close() error {
+	s.opened = true
+	s.next = nil
+	s.cursor.Done = true
+	s.closeFile()
+	return s.err
+}
+
+// Next implements Source.
+func (s *SWFFileSource) Next() (*workload.Job, bool) {
+	s.open()
+	if s.next == nil {
+		return nil, false
+	}
+	j := s.next
+	s.fill()
+	return j, true
+}
+
+// PeekSubmit implements Source.
+func (s *SWFFileSource) PeekSubmit() int64 {
+	s.open()
+	if s.next == nil {
+		return -1
+	}
+	return s.next.Submit
+}
+
+// Err implements Source.
+func (s *SWFFileSource) Err() error { return s.err }
+
+// Skipped returns how many unusable records the decoder dropped so far
+// (0 before the first pull and on a forked, not-yet-opened source whose
+// cursor already accounts for them).
+func (s *SWFFileSource) Skipped() int {
+	if s.dec != nil {
+		return s.dec.Skipped()
+	}
+	return s.cursor.Skipped
+}
+
+// state returns the decoder cursor describing this source's position:
+// the live decoder's when open, the pending resume cursor otherwise.
+func (s *SWFFileSource) state() (workload.SWFDecoderState, error) {
+	if s.dec != nil {
+		return s.dec.State()
+	}
+	return s.cursor, nil
+}
+
+// Fork implements Forkable: the fork shares the buffered lookahead job
+// (jobs are immutable) and re-opens the file at the captured byte
+// offset on its first pull. A source whose stream already failed forks
+// into a source carrying the same error.
+func (s *SWFFileSource) Fork() Source {
+	c := &SWFFileSource{path: s.path, next: s.next, last: s.last, err: s.err}
+	st, err := s.state()
+	if err != nil {
+		// The decoder failed; the fork reports the same broken stream.
+		c.cursor = workload.SWFDecoderState{Opt: s.cursor.Opt, Done: true}
+		return c
+	}
+	c.cursor = st
+	if s.opened && s.dec == nil {
+		// Parent hit end of trace (or was closed): nothing left to read.
+		c.cursor.Done = true
+	}
+	return c
+}

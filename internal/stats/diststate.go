@@ -1,0 +1,136 @@
+package stats
+
+import "fmt"
+
+// DistState is the portable serialized form of a Dist: a small tagged
+// union over the package's concrete distributions, so generator
+// configurations embedding Dist values can travel inside durable
+// checkpoints. Truncated and Mixture nest recursively. A custom Dist
+// implementation outside this set has no serialized form; DistToState
+// returns a pointed error for it.
+type DistState struct {
+	Kind       string      `json:"kind"`
+	Params     []float64   `json:"params,omitempty"`
+	Inner      *DistState  `json:"inner,omitempty"`
+	Weights    []float64   `json:"weights,omitempty"`
+	Components []DistState `json:"components,omitempty"`
+}
+
+// DistToState captures d, or nil for a nil Dist.
+func DistToState(d Dist) (*DistState, error) {
+	if d == nil {
+		return nil, nil
+	}
+	switch v := d.(type) {
+	case Constant:
+		return &DistState{Kind: "constant", Params: []float64{v.Value}}, nil
+	case Uniform:
+		return &DistState{Kind: "uniform", Params: []float64{v.Lo, v.Hi}}, nil
+	case Exponential:
+		return &DistState{Kind: "exponential", Params: []float64{v.Rate}}, nil
+	case Normal:
+		return &DistState{Kind: "normal", Params: []float64{v.Mu, v.Sigma}}, nil
+	case LogNormal:
+		return &DistState{Kind: "lognormal", Params: []float64{v.Mu, v.Sigma}}, nil
+	case Weibull:
+		return &DistState{Kind: "weibull", Params: []float64{v.K, v.Lambda}}, nil
+	case Pareto:
+		return &DistState{Kind: "pareto", Params: []float64{v.Xm, v.Alpha}}, nil
+	case Truncated:
+		inner, err := DistToState(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &DistState{Kind: "truncated", Params: []float64{v.Lo, v.Hi}, Inner: inner}, nil
+	case Mixture:
+		st := &DistState{Kind: "mixture", Weights: append([]float64(nil), v.Weights...)}
+		for _, c := range v.Components {
+			cs, err := DistToState(c)
+			if err != nil {
+				return nil, err
+			}
+			st.Components = append(st.Components, *cs)
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("stats: distribution %T has no serialized form (use the stats package distributions for durable checkpoints)", d)
+	}
+}
+
+// DistFromState rebuilds a Dist, or nil from a nil state.
+func DistFromState(st *DistState) (Dist, error) {
+	if st == nil {
+		return nil, nil
+	}
+	need := func(n int) error {
+		if len(st.Params) != n {
+			return fmt.Errorf("stats: %s distribution state has %d params, want %d", st.Kind, len(st.Params), n)
+		}
+		return nil
+	}
+	switch st.Kind {
+	case "constant":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Constant{Value: st.Params[0]}, nil
+	case "uniform":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Uniform{Lo: st.Params[0], Hi: st.Params[1]}, nil
+	case "exponential":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Exponential{Rate: st.Params[0]}, nil
+	case "normal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Normal{Mu: st.Params[0], Sigma: st.Params[1]}, nil
+	case "lognormal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return LogNormal{Mu: st.Params[0], Sigma: st.Params[1]}, nil
+	case "weibull":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Weibull{K: st.Params[0], Lambda: st.Params[1]}, nil
+	case "pareto":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Pareto{Xm: st.Params[0], Alpha: st.Params[1]}, nil
+	case "truncated":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		inner, err := DistFromState(st.Inner)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			return nil, fmt.Errorf("stats: truncated distribution state has no inner distribution")
+		}
+		return Truncated{Inner: inner, Lo: st.Params[0], Hi: st.Params[1]}, nil
+	case "mixture":
+		if len(st.Weights) != len(st.Components) || len(st.Components) == 0 {
+			return nil, fmt.Errorf("stats: mixture distribution state has %d weights for %d components",
+				len(st.Weights), len(st.Components))
+		}
+		m := Mixture{Weights: append([]float64(nil), st.Weights...)}
+		for i := range st.Components {
+			c, err := DistFromState(&st.Components[i])
+			if err != nil {
+				return nil, err
+			}
+			m.Components = append(m.Components, c)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("stats: unknown distribution kind %q", st.Kind)
+	}
+}

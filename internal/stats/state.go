@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the durable-checkpoint face of the package: portable,
+// JSON-friendly state structs for every stateful estimator plus the
+// validated constructors that rebuild a live value from one. Floats are
+// carried verbatim (encoding/json emits the shortest round-tripping
+// form), so a restored estimator continues bit-for-bit.
+
+// RNGState is the portable serialized form of an RNG.
+type RNGState struct {
+	S        [4]uint64 `json:"s"`
+	HasGauss bool      `json:"hasGauss,omitempty"`
+	Gauss    float64   `json:"gauss,omitempty"`
+}
+
+// State captures the generator so RNGFromState reproduces the exact
+// remaining stream.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, HasGauss: r.hasGauss, Gauss: r.gauss}
+}
+
+// RNGFromState rebuilds a generator from a captured state. An all-zero
+// xoshiro state is unreachable from any seed and is rejected.
+func RNGFromState(st RNGState) (*RNG, error) {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return nil, fmt.Errorf("stats: RNG state is all zero")
+	}
+	return &RNG{s: st.S, hasGauss: st.HasGauss, gauss: st.Gauss}, nil
+}
+
+// onlineState mirrors Online's unexported fields for JSON round-trips.
+type onlineState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator. The value receiver matters:
+// Online is embedded by value in report structs, and a pointer receiver
+// would silently fall back to the empty `{}` encoding there.
+func (o Online) MarshalJSON() ([]byte, error) {
+	return json.Marshal(onlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON.
+func (o *Online) UnmarshalJSON(b []byte) error {
+	var st onlineState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	if st.N < 0 {
+		return fmt.Errorf("stats: Online state has negative count %d", st.N)
+	}
+	o.n, o.mean, o.m2, o.min, o.max = st.N, st.Mean, st.M2, st.Min, st.Max
+	return nil
+}
+
+// P2State is the portable serialized form of a P² estimator.
+type P2State struct {
+	P     float64    `json:"p"`
+	Q     [5]float64 `json:"q"`
+	N     [5]float64 `json:"n"`
+	NP    [5]float64 `json:"np"`
+	DN    [5]float64 `json:"dn"`
+	Count int64      `json:"count"`
+}
+
+// State captures the estimator's marker set.
+func (e *P2) State() P2State {
+	return P2State{P: e.p, Q: e.q, N: e.n, NP: e.np, DN: e.dn, Count: e.count}
+}
+
+// P2FromState rebuilds an estimator from a captured state.
+func P2FromState(st P2State) (*P2, error) {
+	if st.P <= 0 || st.P >= 1 {
+		return nil, fmt.Errorf("stats: P2 state quantile %g outside (0,1)", st.P)
+	}
+	if st.Count < 0 {
+		return nil, fmt.Errorf("stats: P2 state has negative count %d", st.Count)
+	}
+	return &P2{p: st.P, q: st.Q, n: st.N, np: st.NP, dn: st.DN, count: st.Count}, nil
+}
+
+// QuantileState is the portable serialized form of a hybrid estimator:
+// either the exact-regime buffer or the spilled P² markers is present.
+type QuantileState struct {
+	P   float64   `json:"p"`
+	Buf []float64 `json:"buf,omitempty"`
+	P2  *P2State  `json:"p2,omitempty"`
+}
+
+// State captures the estimator in whichever regime it is in.
+func (q *Quantile) State() QuantileState {
+	st := QuantileState{P: q.p, Buf: append([]float64(nil), q.buf...)}
+	if q.p2 != nil {
+		p2 := q.p2.State()
+		st.P2 = &p2
+	}
+	return st
+}
+
+// QuantileFromState rebuilds a hybrid estimator from a captured state.
+func QuantileFromState(st QuantileState) (*Quantile, error) {
+	if st.P <= 0 || st.P >= 1 {
+		return nil, fmt.Errorf("stats: quantile state %g outside (0,1)", st.P)
+	}
+	if st.P2 != nil && len(st.Buf) > 0 {
+		return nil, fmt.Errorf("stats: quantile state holds both an exact buffer and P2 markers")
+	}
+	q := &Quantile{p: st.P, buf: append([]float64(nil), st.Buf...)}
+	if st.P2 != nil {
+		p2, err := P2FromState(*st.P2)
+		if err != nil {
+			return nil, err
+		}
+		if p2.p != st.P {
+			return nil, fmt.Errorf("stats: quantile state p=%g disagrees with its P2 markers (p=%g)", st.P, p2.p)
+		}
+		q.p2 = p2
+	}
+	return q, nil
+}

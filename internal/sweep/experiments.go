@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -39,22 +40,49 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID. A sweep cancelled through
+// Options.Ctx returns ErrInterrupted (unwrappable with errors.Is)
+// instead of panicking out of the experiment's MustRun calls.
 func Run(id string, o Options) ([]*Table, error) {
 	f, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("sweep: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return f(o), nil
+	return runFunc(f, o)
 }
 
-// RunAll executes every experiment in ID order.
-func RunAll(o Options) []*Table {
+// RunAll executes every experiment in ID order. On interruption it
+// returns the tables completed so far alongside the error, so callers
+// can still render partial progress.
+func RunAll(o Options) ([]*Table, error) {
 	var out []*Table
 	for _, id := range IDs() {
-		out = append(out, registry[id](o)...)
+		tables, err := runFunc(registry[id], o)
+		out = append(out, tables...)
+		if err != nil {
+			return out, fmt.Errorf("sweep: experiment %s: %w", id, err)
+		}
 	}
-	return out
+	return out, nil
+}
+
+// runFunc invokes one experiment, converting MustRun's panic back to
+// the error it wraps. Interruption is an input condition (a signal),
+// not a programming bug, so it must not crash the process; other
+// errors from deterministic experiments keep panicking.
+func runFunc(f Func, o Options) (tables []*Table, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e, ok := r.(error); ok && errors.Is(e, ErrInterrupted) {
+			tables, err = nil, e
+			return
+		}
+		panic(r)
+	}()
+	return f(o), nil
 }
 
 // --- machine shorthands -------------------------------------------------

@@ -133,7 +133,15 @@ func (c Cell) ForkFrom(fp *ForkPoint) (Agg, error) {
 				abort.h = h
 			}
 			res, err := h.Run()
-			outs[s] = seedOut{res: res, err: err}
+			if err != nil {
+				outs[s] = seedOut{err: err}
+				return
+			}
+			outs[s] = seedOut{rep: res.Report, stopped: res.Stopped}
+			if s == 0 {
+				outs[s].records = res.Recorder.Records()
+				outs[s].jain = res.Recorder.Fairness().JainWait
+			}
 		}(s)
 	}
 	wg.Wait()

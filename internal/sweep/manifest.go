@@ -1,0 +1,396 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+
+	"dismem"
+	"dismem/internal/metrics"
+	"dismem/internal/sim"
+	"dismem/internal/workload"
+)
+
+// manifestFormat names the journal layout. Bump it on any incompatible
+// change to the header or line shapes.
+const manifestFormat = "dmsweep-manifest/1"
+
+// errNotCacheable marks a unit whose cell cannot be described by data
+// alone (custom Scheduler factory or StopWhen predicate); such units
+// always run live and are never journaled.
+var errNotCacheable = errors.New("sweep: cell holds live code; unit not cacheable")
+
+// UnitResult is the durable outcome of one (cell, seed) unit: exactly
+// the per-seed quantities aggregate() consumes, so a journaled unit and
+// a live run feed the reduction identically. Records and JainWait are
+// populated only for seed 0 of retain-mode cells (the only seed whose
+// records the tables use).
+type UnitResult struct {
+	Report   *metrics.Report     `json:"report"`
+	Stopped  bool                `json:"stopped,omitempty"`
+	Records  []metrics.JobRecord `json:"records,omitempty"`
+	JainWait float64             `json:"jainWait,omitempty"`
+}
+
+// manifestHeader is the journal's first line. Scale and schema are
+// pinned so a resume against different options (or a rebuilt binary
+// with a drifted result schema) fails loudly instead of silently
+// merging incompatible units.
+type manifestHeader struct {
+	Format string `json:"format"`
+	Schema string `json:"schema"`
+	Jobs   int    `json:"jobs"`
+	Seeds  int    `json:"seeds"`
+}
+
+// manifestLine is one completed unit.
+type manifestLine struct {
+	Key    string      `json:"key"`
+	Cell   string      `json:"cell"` // informational label, not part of identity
+	Seed   int         `json:"seed"`
+	Result *UnitResult `json:"result"`
+}
+
+// Manifest is an append-only JSONL journal of completed sweep units.
+// One header line pins the format, result schema, and sweep scale;
+// every further line is a finished (cell, seed) unit keyed by a hash
+// of its full configuration. Writers append one fsynced line per unit,
+// so a crash or signal loses at most the torn trailing line — which
+// Open tolerates and drops. Safe for concurrent use by the worker
+// pool.
+type Manifest struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]*UnitResult
+}
+
+// OpenManifest opens (resume=true) or creates (resume=false) the unit
+// journal at path for a sweep at scale o. Creating fails if a non-empty
+// journal already exists — pass resume to continue it, or remove the
+// file to start over. Resuming validates the header against the current
+// binary and options and loads every intact unit line; only a torn
+// final line (a write cut by a crash) is tolerated and dropped.
+func OpenManifest(path string, o Options, resume bool) (*Manifest, error) {
+	o = o.withDefaults()
+	hdr := manifestHeader{
+		Format: manifestFormat,
+		Schema: manifestSchema(),
+		Jobs:   o.Jobs,
+		Seeds:  o.Seeds,
+	}
+	m := &Manifest{done: make(map[string]*UnitResult)}
+	if resume {
+		if err := m.load(path, hdr); err != nil {
+			return nil, err
+		}
+	} else if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return nil, fmt.Errorf("sweep: manifest %s already exists; resume it or remove it first", path)
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if len(m.done) == 0 {
+		// Fresh journal (or a resume that salvaged nothing, e.g. a write
+		// torn mid-header): start over with a clean header.
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open manifest: %w", err)
+	}
+	m.f = f
+	if flags&os.O_TRUNC != 0 {
+		if err := m.appendJSON(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// load reads an existing journal and validates it against want.
+func (m *Manifest) load(path string, want manifestHeader) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // nothing done yet; resume degenerates to a fresh sweep
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: open manifest: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("sweep: read manifest: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	torn := len(data) > 0 && data[len(data)-1] != '\n'
+	lines := bytes.Split(data, []byte("\n"))
+	// A trailing newline yields one empty final element; drop it.
+	if !torn && len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	for i, line := range lines {
+		last := i == len(lines)-1
+		if i == 0 {
+			var hdr manifestHeader
+			if err := decodeStrict(line, &hdr); err != nil {
+				if torn && last {
+					return nil // journal died mid-header; nothing usable
+				}
+				return fmt.Errorf("sweep: manifest %s: bad header: %w", path, err)
+			}
+			if hdr.Format != want.Format {
+				return fmt.Errorf("sweep: manifest %s: format %q, want %q", path, hdr.Format, want.Format)
+			}
+			if hdr.Schema != want.Schema {
+				return fmt.Errorf("sweep: manifest %s: result schema mismatch (journal written by a different build)", path)
+			}
+			if hdr.Jobs != want.Jobs || hdr.Seeds != want.Seeds {
+				return fmt.Errorf("sweep: manifest %s: recorded at jobs=%d seeds=%d, current sweep wants jobs=%d seeds=%d",
+					path, hdr.Jobs, hdr.Seeds, want.Jobs, want.Seeds)
+			}
+			continue
+		}
+		var ml manifestLine
+		if err := decodeStrict(line, &ml); err != nil {
+			if torn && last {
+				continue // torn trailing line: the unit will simply re-run
+			}
+			return fmt.Errorf("sweep: manifest %s: corrupt unit line %d: %w", path, i+1, err)
+		}
+		if ml.Key == "" || ml.Result == nil || ml.Result.Report == nil {
+			if torn && last {
+				continue
+			}
+			return fmt.Errorf("sweep: manifest %s: incomplete unit line %d", path, i+1)
+		}
+		m.done[ml.Key] = ml.Result
+	}
+	return nil
+}
+
+// decodeStrict unmarshals one JSONL line, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// Units reports how many completed units the journal holds.
+func (m *Manifest) Units() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.done)
+}
+
+// lookup returns the journaled result for key, if any.
+func (m *Manifest) lookup(key string) (*UnitResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.done[key]
+	return r, ok
+}
+
+// record journals one completed unit: a single appended line followed
+// by fsync, so the entry is durable before the worker moves on.
+// Already-recorded keys (the same cell spec appearing in two tables)
+// are kept once.
+func (m *Manifest) record(key, cell string, seed int, res *UnitResult) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.done[key]; ok {
+		return nil
+	}
+	if err := m.appendJSONLocked(manifestLine{Key: key, Cell: cell, Seed: seed, Result: res}); err != nil {
+		return err
+	}
+	m.done[key] = res
+	return nil
+}
+
+func (m *Manifest) appendJSON(v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.appendJSONLocked(v)
+}
+
+func (m *Manifest) appendJSONLocked(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: encode manifest line: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := m.f.Write(b); err != nil {
+		return fmt.Errorf("sweep: append manifest: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync manifest: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file. The journal itself stays on disk:
+// it is the resume state.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}
+
+// --- unit identity ------------------------------------------------------
+
+// unitSpec is the canonical, data-only description of one (cell, seed)
+// unit. Its JSON encoding (struct order, sorted map keys) is the hash
+// preimage for the unit key, so two cells with identical effective
+// configuration share journal entries.
+type unitSpec struct {
+	Format     string                  `json:"format"`
+	Machine    dismem.MachineConfig    `json:"machine"`
+	Policy     string                  `json:"policy"`
+	Model      string                  `json:"model"`
+	Gen        workload.GenConfigState `json:"gen"`
+	StrictKill bool                    `json:"strictKill,omitempty"`
+	Failures   *sim.FailureConfig      `json:"failures,omitempty"`
+	Scenario   string                  `json:"scenario,omitempty"`
+	Bounded    bool                    `json:"bounded,omitempty"`
+	Jobs       int                     `json:"jobs"`
+	Seed       int                     `json:"seed"`
+}
+
+// unitKey derives the journal key for seed s of the cell, or
+// errNotCacheable when the cell holds live code (Scheduler factory,
+// StopWhen predicate) or a workload distribution with no serializable
+// state.
+func (c Cell) unitKey(o Options, mc dismem.MachineConfig, s int) (string, error) {
+	if c.Scheduler != nil || c.StopWhen != nil {
+		return "", errNotCacheable
+	}
+	gen := dismem.GenConfig{}
+	if c.Gen != nil {
+		gen = *c.Gen
+	} else {
+		gen = defaultGen(o.Jobs, uint64(s+1), mc)
+	}
+	gen.Jobs = o.Jobs
+	gen.Seed = uint64(s + 1)
+	gs, err := workload.GenConfigToState(gen)
+	if err != nil {
+		return "", fmt.Errorf("%w (%v)", errNotCacheable, err)
+	}
+	spec := unitSpec{
+		Format:     manifestFormat,
+		Machine:    mc,
+		Policy:     c.Policy,
+		Model:      c.Model,
+		Gen:        gs,
+		StrictKill: c.StrictKill,
+		Bounded:    c.Bounded,
+		Jobs:       o.Jobs,
+		Seed:       s,
+	}
+	if c.Failures != nil {
+		fc := *c.Failures
+		fc.Seed += uint64(s)
+		spec.Failures = &fc
+	}
+	if c.Scenario != nil {
+		spec.Scenario = c.Scenario.String()
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("%w (%v)", errNotCacheable, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// cellLabel is the human-readable journal annotation for a cell.
+func (c Cell) cellLabel(mc dismem.MachineConfig) string {
+	model := c.Model
+	if model == "" {
+		model = "linear:0.5"
+	}
+	return fmt.Sprintf("%s/%s r%dx%d", c.Policy, model, mc.Racks, mc.NodesPerRack)
+}
+
+// --- schema fingerprint -------------------------------------------------
+
+// manifestSchema fingerprints the manifestLine type (and transitively
+// UnitResult, metrics.Report, …) so a journal written by a build with a
+// different result layout is rejected instead of mis-decoded.
+func manifestSchema() string {
+	var buf bytes.Buffer
+	describeManifestType(&buf, reflect.TypeOf(manifestLine{}), map[reflect.Type]bool{})
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:8])
+}
+
+// describeManifestType appends a canonical structural description of t.
+// Types with custom JSON marshalling are opaque to reflection and
+// recorded by name only.
+func describeManifestType(w *bytes.Buffer, t reflect.Type, visited map[reflect.Type]bool) {
+	if t.Implements(reflect.TypeOf((*json.Marshaler)(nil)).Elem()) ||
+		reflect.PointerTo(t).Implements(reflect.TypeOf((*json.Marshaler)(nil)).Elem()) {
+		fmt.Fprintf(w, "%s(custom-json)", t.String())
+		return
+	}
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "%s{", t.Kind())
+		describeManifestType(w, t.Elem(), visited)
+		w.WriteString("}")
+	case reflect.Map:
+		w.WriteString("map[")
+		describeManifestType(w, t.Key(), visited)
+		w.WriteString("]{")
+		describeManifestType(w, t.Elem(), visited)
+		w.WriteString("}")
+	case reflect.Struct:
+		if visited[t] {
+			fmt.Fprintf(w, "cycle(%s)", t.String())
+			return
+		}
+		visited[t] = true
+		fmt.Fprintf(w, "struct %s{", t.String())
+		fields := make([]string, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			var fb bytes.Buffer
+			describeManifestType(&fb, f.Type, visited)
+			fields = append(fields, fmt.Sprintf("%s %s %q", f.Name, fb.String(), f.Tag.Get("json")))
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			w.WriteString(f)
+			w.WriteString(";")
+		}
+		w.WriteString("}")
+		delete(visited, t)
+	default:
+		w.WriteString(t.Kind().String())
+	}
+}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +12,12 @@ import (
 	"dismem/internal/sim"
 )
 
+// ErrInterrupted reports a sweep cancelled through Options.Ctx (for
+// example by SIGINT/SIGTERM in dmsweep). Completed units were already
+// journaled to the manifest, if one is attached, so the same sweep can
+// be resumed without redoing them.
+var ErrInterrupted = errors.New("sweep: interrupted")
+
 // Options scales an experiment. Zero values select the full evaluation
 // scale; benches pass reduced numbers.
 type Options struct {
@@ -17,6 +25,21 @@ type Options struct {
 	Jobs int
 	// Seeds per cell; reported numbers are seed means (default 5).
 	Seeds int
+	// Workers caps how many (cell, seed) simulation units run
+	// concurrently (default GOMAXPROCS).
+	Workers int
+	// Retries is the per-unit retry budget after a panic inside a unit
+	// (default 1, i.e. up to two attempts). A unit that keeps panicking
+	// fails the sweep with the recovered value.
+	Retries int
+	// Ctx, when non-nil, cancels the sweep cooperatively: in-flight
+	// simulations stop at their next sample tick, pending units are
+	// skipped, and the sweep returns ErrInterrupted.
+	Ctx context.Context
+	// Manifest, when non-nil, journals every completed unit and serves
+	// already-journaled units from the journal instead of re-running
+	// them — the crash-safe resume mechanism behind dmsweep -resume.
+	Manifest *Manifest
 }
 
 func (o Options) withDefaults() Options {
@@ -26,6 +49,12 @@ func (o Options) withDefaults() Options {
 	if o.Seeds <= 0 {
 		o.Seeds = 5
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Retries <= 0 {
+		o.Retries = 1
+	}
 	return o
 }
 
@@ -33,12 +62,19 @@ func (o Options) note() string {
 	return fmt.Sprintf("%d jobs/run, mean of %d seeds", o.Jobs, o.Seeds)
 }
 
+// interrupted reports whether the sweep's context has been cancelled.
+func (o Options) interrupted() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
+}
+
 // Cell describes one simulation configuration to run across seeds.
 type Cell struct {
 	Machine dismem.MachineConfig
 	// Policy is a registered name; Scheduler (factory) overrides it.
 	Policy string
-	// Scheduler builds a fresh scheduler per seed when set.
+	// Scheduler builds a fresh scheduler per seed when set. Cells with
+	// a Scheduler factory hold live code and are never served from or
+	// journaled to a Manifest.
 	Scheduler func() dismem.Scheduler
 	// Model is a memory-model spec (default linear:0.5).
 	Model string
@@ -71,6 +107,7 @@ type Cell struct {
 	// cut off diverged or saturated cells in large scenario fan-outs.
 	// Seeds run on parallel goroutines and share this predicate, so it
 	// must be safe for concurrent use (stateless, or synchronised).
+	// Like Scheduler, StopWhen makes the cell's units uncacheable.
 	StopWhen func(dismem.Sample) bool
 	// SampleEvery is the sampling period for StopWhen in simulated
 	// seconds (default 3600).
@@ -78,16 +115,23 @@ type Cell struct {
 }
 
 // abortObserver stops its simulation at the first sample matching the
-// cell's StopWhen predicate.
+// cell's StopWhen predicate, or as soon as the sweep's context is
+// cancelled (so interrupted sweeps drain in bounded time instead of
+// finishing multi-hour simulated runs).
 type abortObserver struct {
 	dismem.NopObserver
 	h    *dismem.Simulation
 	stop func(dismem.Sample) bool
+	ctx  context.Context
 }
 
 // OnSample implements dismem.Observer.
 func (a *abortObserver) OnSample(s dismem.Sample) {
-	if a.stop(s) {
+	if a.ctx != nil && a.ctx.Err() != nil {
+		a.h.Stop()
+		return
+	}
+	if a.stop != nil && a.stop(s) {
 		a.h.Stop()
 	}
 }
@@ -120,13 +164,23 @@ type Agg struct {
 	Records []metrics.JobRecord
 }
 
-// seedOut is one seed's outcome, collected for aggregation.
+// seedOut is one seed's outcome, collected for aggregation. It carries
+// plain data (not live simulation handles) so journaled units and live
+// runs are indistinguishable to aggregate().
 type seedOut struct {
-	res *dismem.Result
-	err error
+	rep     *metrics.Report
+	stopped bool
+	records []metrics.JobRecord // first seed of retain-mode cells only
+	jain    float64             // first seed only
+	err     error
 }
 
-// Run simulates the cell for every seed (in parallel) and averages.
+// Run simulates the cell for every seed and averages. Seeds run on a
+// worker pool of Options.Workers goroutines; results merge in seed
+// order, not completion order, so the aggregate is identical to a
+// serial run. With a Manifest attached, journaled units are served
+// from the journal and fresh completions are journaled before the
+// worker moves on; with a cancelled Ctx, Run returns ErrInterrupted.
 func (c Cell) Run(o Options) (Agg, error) {
 	o = o.withDefaults()
 	mc := c.Machine
@@ -136,38 +190,125 @@ func (c Cell) Run(o Options) (Agg, error) {
 
 	outs := make([]seedOut, o.Seeds)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, o.Workers)
 	for s := 0; s < o.Seeds; s++ {
+		key := ""
+		if o.Manifest != nil {
+			if k, err := c.unitKey(o, mc, s); err == nil {
+				key = k
+				if res, ok := o.Manifest.lookup(k); ok {
+					outs[s] = seedOutFromUnit(res, s)
+					continue
+				}
+			}
+		}
 		wg.Add(1)
-		go func(s int) {
+		go func(s int, key string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			opts, abort, err := c.seedOptions(o, mc, s)
-			if err != nil {
-				outs[s] = seedOut{err: err}
-				return
+			outs[s] = c.runUnit(o, mc, s)
+			if key != "" && outs[s].err == nil {
+				if err := o.Manifest.record(key, c.cellLabel(mc), s, unitFromSeedOut(outs[s])); err != nil {
+					outs[s].err = err
+				}
 			}
-			h, err := dismem.New(opts)
-			if err != nil {
-				outs[s] = seedOut{err: err}
-				return
-			}
-			if abort != nil {
-				abort.h = h
-			}
-			res, err := h.Run()
-			outs[s] = seedOut{res: res, err: err}
-		}(s)
+		}(s, key)
 	}
 	wg.Wait()
 	return aggregate(outs)
 }
 
+// runUnit runs one (cell, seed) simulation with the per-unit panic
+// retry budget, honouring cancellation before, during (via the sample
+// observer), and after the run.
+func (c Cell) runUnit(o Options, mc dismem.MachineConfig, s int) seedOut {
+	var out seedOut
+	for attempt := 0; ; attempt++ {
+		if o.interrupted() {
+			return seedOut{err: ErrInterrupted}
+		}
+		out = c.runUnitOnce(o, mc, s)
+		var pe *unitPanicError
+		if out.err == nil || !errors.As(out.err, &pe) || attempt >= o.Retries {
+			break
+		}
+	}
+	if o.interrupted() {
+		// A run stopped mid-way by the cancel observer yields a
+		// truncated report; never let it masquerade as the unit's
+		// result.
+		return seedOut{err: ErrInterrupted}
+	}
+	return out
+}
+
+// unitPanicError wraps a panic recovered inside one unit so the retry
+// loop can distinguish it from ordinary configuration errors (which
+// retrying cannot fix).
+type unitPanicError struct{ val any }
+
+func (e *unitPanicError) Error() string {
+	return fmt.Sprintf("sweep: panic in simulation unit: %v", e.val)
+}
+
+// runUnitOnce performs a single attempt, converting a panic anywhere in
+// workload generation or simulation into a unitPanicError instead of
+// tearing down the whole sweep's worker pool.
+func (c Cell) runUnitOnce(o Options, mc dismem.MachineConfig, s int) (out seedOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = seedOut{err: &unitPanicError{val: r}}
+		}
+	}()
+	opts, abort, err := c.seedOptions(o, mc, s)
+	if err != nil {
+		return seedOut{err: err}
+	}
+	h, err := dismem.New(opts)
+	if err != nil {
+		return seedOut{err: err}
+	}
+	if abort != nil {
+		abort.h = h
+	}
+	res, err := h.Run()
+	if err != nil {
+		return seedOut{err: err}
+	}
+	out = seedOut{rep: res.Report, stopped: res.Stopped}
+	if s == 0 {
+		out.records = res.Recorder.Records()
+		out.jain = res.Recorder.Fairness().JainWait
+	}
+	return out
+}
+
+// seedOutFromUnit rehydrates a journaled unit result.
+func seedOutFromUnit(u *UnitResult, s int) seedOut {
+	out := seedOut{rep: u.Report, stopped: u.Stopped}
+	if s == 0 {
+		out.records = u.Records
+		out.jain = u.JainWait
+	}
+	return out
+}
+
+// unitFromSeedOut converts a live outcome to its journal form.
+func unitFromSeedOut(out seedOut) *UnitResult {
+	return &UnitResult{
+		Report:   out.rep,
+		Stopped:  out.stopped,
+		Records:  out.records,
+		JainWait: out.jain,
+	}
+}
+
 // seedOptions assembles one seed's simulation options: the cell's
 // configuration plus the harness-owned workload generation and
 // per-seed failure stream. The returned abortObserver (non-nil only
-// with StopWhen) still needs its handle wired after dismem.New.
+// with StopWhen or a cancellable sweep context) still needs its handle
+// wired after dismem.New.
 func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Options, *abortObserver, error) {
 	gen := dismem.GenConfig{}
 	if c.Gen != nil {
@@ -201,8 +342,8 @@ func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Opt
 		opts.SchedulerImpl = c.Scheduler()
 	}
 	var abort *abortObserver
-	if c.StopWhen != nil {
-		abort = &abortObserver{stop: c.StopWhen}
+	if c.StopWhen != nil || o.Ctx != nil {
+		abort = &abortObserver{stop: c.StopWhen, ctx: o.Ctx}
 		opts.Observer = abort
 		opts.SampleEvery = c.SampleEvery
 		if opts.SampleEvery <= 0 {
@@ -213,14 +354,16 @@ func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Opt
 }
 
 // aggregate reduces per-seed outcomes to the seed-mean Agg (the first
-// seed additionally contributes records and fairness).
+// seed additionally contributes records and fairness). Outcomes merge
+// in seed order regardless of which worker finished first, keeping the
+// reduction bit-identical across worker counts.
 func aggregate(outs []seedOut) (Agg, error) {
 	var agg Agg
 	for s, ot := range outs {
 		if ot.err != nil {
 			return Agg{}, fmt.Errorf("sweep: seed %d: %w", s+1, ot.err)
 		}
-		r := ot.res.Report
+		r := ot.rep
 		agg.MeanWait += r.Wait.Mean()
 		agg.P95Wait += r.P95Wait
 		agg.MeanBSld += r.BSld.Mean()
@@ -241,13 +384,13 @@ func aggregate(outs []seedOut) (Agg, error) {
 		agg.Jobs += float64(r.Jobs())
 		agg.NodeFailures += float64(r.NodeFailures)
 		agg.FailureKills += float64(r.FailureKills)
-		if ot.res.Stopped {
+		if ot.stopped {
 			agg.StoppedRuns++
 		}
 		agg.Reports = append(agg.Reports, r)
 		if s == 0 {
-			agg.Records = ot.res.Recorder.Records()
-			agg.JainWait = ot.res.Recorder.Fairness().JainWait
+			agg.Records = ot.records
+			agg.JainWait = ot.jain
 		}
 	}
 	n := float64(len(outs))
@@ -272,7 +415,9 @@ func aggregate(outs []seedOut) (Agg, error) {
 }
 
 // MustRun is Run, panicking on error (experiments are deterministic; an
-// error here is a programming bug, not an input condition).
+// error here is a programming bug, not an input condition). The panic
+// value is the error itself, so the registry's Run/RunAll can recover
+// an ErrInterrupted sweep and surface it as a plain error.
 func (c Cell) MustRun(o Options) Agg {
 	agg, err := c.Run(o)
 	if err != nil {

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"fmt"
+
+	"dismem/internal/stats"
+)
+
+// This file is the durable-checkpoint face of the generator streams:
+// portable, JSON-friendly state for GenStream and LublinStream plus
+// validated constructors. The configs travel through GenConfigState /
+// LublinConfigState because GenConfig embeds stats.Dist interface
+// values, which JSON cannot round-trip directly; everything derived
+// (Zipf table, distribution objects, cycle normalisation) is rebuilt
+// by the ordinary constructors on restore, and only the six RNG states
+// plus the cursor (now, i) are overwritten, so a restored stream
+// produces bit-for-bit the job sequence the captured one would have.
+
+// GenConfigState mirrors GenConfig with serializable distributions.
+type GenConfigState struct {
+	Jobs              int              `json:"jobs"`
+	Seed              uint64           `json:"seed"`
+	MeanInterarrival  float64          `json:"meanInterarrival"`
+	ArrivalBurstiness float64          `json:"arrivalBurstiness"`
+	DiurnalAmplitude  float64          `json:"diurnalAmplitude,omitempty"`
+	MaxNodes          int              `json:"maxNodes"`
+	SizeZipfExponent  float64          `json:"sizeZipfExponent,omitempty"`
+	SerialFraction    float64          `json:"serialFraction,omitempty"`
+	RuntimeLogMean    float64          `json:"runtimeLogMean"`
+	RuntimeLogSigma   float64          `json:"runtimeLogSigma"`
+	MaxRuntime        int64            `json:"maxRuntime"`
+	MemSmall          *stats.DistState `json:"memSmall,omitempty"`
+	MemLarge          *stats.DistState `json:"memLarge,omitempty"`
+	LargeMemFraction  float64          `json:"largeMemFraction,omitempty"`
+	MaxMemPerNode     int64            `json:"maxMemPerNode"`
+	EstimateAccuracy  float64          `json:"estimateAccuracy"`
+	EstimateQuantum   int64            `json:"estimateQuantum,omitempty"`
+	Users             int              `json:"users"`
+}
+
+// GenConfigToState captures cfg.
+func GenConfigToState(cfg GenConfig) (GenConfigState, error) {
+	small, err := stats.DistToState(cfg.MemSmall)
+	if err != nil {
+		return GenConfigState{}, fmt.Errorf("workload: gen config MemSmall: %w", err)
+	}
+	large, err := stats.DistToState(cfg.MemLarge)
+	if err != nil {
+		return GenConfigState{}, fmt.Errorf("workload: gen config MemLarge: %w", err)
+	}
+	return GenConfigState{
+		Jobs: cfg.Jobs, Seed: cfg.Seed,
+		MeanInterarrival: cfg.MeanInterarrival, ArrivalBurstiness: cfg.ArrivalBurstiness,
+		DiurnalAmplitude: cfg.DiurnalAmplitude, MaxNodes: cfg.MaxNodes,
+		SizeZipfExponent: cfg.SizeZipfExponent, SerialFraction: cfg.SerialFraction,
+		RuntimeLogMean: cfg.RuntimeLogMean, RuntimeLogSigma: cfg.RuntimeLogSigma,
+		MaxRuntime: cfg.MaxRuntime, MemSmall: small, MemLarge: large,
+		LargeMemFraction: cfg.LargeMemFraction, MaxMemPerNode: cfg.MaxMemPerNode,
+		EstimateAccuracy: cfg.EstimateAccuracy, EstimateQuantum: cfg.EstimateQuantum,
+		Users: cfg.Users,
+	}, nil
+}
+
+// GenConfigFromState rebuilds a GenConfig.
+func GenConfigFromState(st GenConfigState) (GenConfig, error) {
+	small, err := stats.DistFromState(st.MemSmall)
+	if err != nil {
+		return GenConfig{}, fmt.Errorf("workload: gen config state MemSmall: %w", err)
+	}
+	large, err := stats.DistFromState(st.MemLarge)
+	if err != nil {
+		return GenConfig{}, fmt.Errorf("workload: gen config state MemLarge: %w", err)
+	}
+	return GenConfig{
+		Jobs: st.Jobs, Seed: st.Seed,
+		MeanInterarrival: st.MeanInterarrival, ArrivalBurstiness: st.ArrivalBurstiness,
+		DiurnalAmplitude: st.DiurnalAmplitude, MaxNodes: st.MaxNodes,
+		SizeZipfExponent: st.SizeZipfExponent, SerialFraction: st.SerialFraction,
+		RuntimeLogMean: st.RuntimeLogMean, RuntimeLogSigma: st.RuntimeLogSigma,
+		MaxRuntime: st.MaxRuntime, MemSmall: small, MemLarge: large,
+		LargeMemFraction: st.LargeMemFraction, MaxMemPerNode: st.MaxMemPerNode,
+		EstimateAccuracy: st.EstimateAccuracy, EstimateQuantum: st.EstimateQuantum,
+		Users: st.Users,
+	}, nil
+}
+
+// LublinConfigState mirrors LublinConfig with serializable
+// distributions.
+type LublinConfigState struct {
+	Jobs             int              `json:"jobs"`
+	Seed             uint64           `json:"seed"`
+	MaxNodes         int              `json:"maxNodes"`
+	ULow             float64          `json:"uLow"`
+	UMed             float64          `json:"uMed"`
+	UHi              float64          `json:"uHi"`
+	UProb            float64          `json:"uProb"`
+	Pow2Prob         float64          `json:"pow2Prob"`
+	A1               float64          `json:"a1"`
+	B1               float64          `json:"b1"`
+	A2               float64          `json:"a2"`
+	B2               float64          `json:"b2"`
+	PA               float64          `json:"pa"`
+	PB               float64          `json:"pb"`
+	MaxRuntime       int64            `json:"maxRuntime"`
+	MeanInterarrival float64          `json:"meanInterarrival"`
+	MemSmall         *stats.DistState `json:"memSmall,omitempty"`
+	MemLarge         *stats.DistState `json:"memLarge,omitempty"`
+	LargeMemFraction float64          `json:"largeMemFraction,omitempty"`
+	MaxMemPerNode    int64            `json:"maxMemPerNode"`
+	EstimateAccuracy float64          `json:"estimateAccuracy"`
+	EstimateQuantum  int64            `json:"estimateQuantum,omitempty"`
+	Users            int              `json:"users"`
+}
+
+// LublinConfigToState captures cfg.
+func LublinConfigToState(cfg LublinConfig) (LublinConfigState, error) {
+	small, err := stats.DistToState(cfg.MemSmall)
+	if err != nil {
+		return LublinConfigState{}, fmt.Errorf("workload: lublin config MemSmall: %w", err)
+	}
+	large, err := stats.DistToState(cfg.MemLarge)
+	if err != nil {
+		return LublinConfigState{}, fmt.Errorf("workload: lublin config MemLarge: %w", err)
+	}
+	return LublinConfigState{
+		Jobs: cfg.Jobs, Seed: cfg.Seed, MaxNodes: cfg.MaxNodes,
+		ULow: cfg.ULow, UMed: cfg.UMed, UHi: cfg.UHi,
+		UProb: cfg.UProb, Pow2Prob: cfg.Pow2Prob,
+		A1: cfg.A1, B1: cfg.B1, A2: cfg.A2, B2: cfg.B2,
+		PA: cfg.PA, PB: cfg.PB,
+		MaxRuntime: cfg.MaxRuntime, MeanInterarrival: cfg.MeanInterarrival,
+		MemSmall: small, MemLarge: large,
+		LargeMemFraction: cfg.LargeMemFraction, MaxMemPerNode: cfg.MaxMemPerNode,
+		EstimateAccuracy: cfg.EstimateAccuracy, EstimateQuantum: cfg.EstimateQuantum,
+		Users: cfg.Users,
+	}, nil
+}
+
+// LublinConfigFromState rebuilds a LublinConfig.
+func LublinConfigFromState(st LublinConfigState) (LublinConfig, error) {
+	small, err := stats.DistFromState(st.MemSmall)
+	if err != nil {
+		return LublinConfig{}, fmt.Errorf("workload: lublin config state MemSmall: %w", err)
+	}
+	large, err := stats.DistFromState(st.MemLarge)
+	if err != nil {
+		return LublinConfig{}, fmt.Errorf("workload: lublin config state MemLarge: %w", err)
+	}
+	return LublinConfig{
+		Jobs: st.Jobs, Seed: st.Seed, MaxNodes: st.MaxNodes,
+		ULow: st.ULow, UMed: st.UMed, UHi: st.UHi,
+		UProb: st.UProb, Pow2Prob: st.Pow2Prob,
+		A1: st.A1, B1: st.B1, A2: st.A2, B2: st.B2,
+		PA: st.PA, PB: st.PB,
+		MaxRuntime: st.MaxRuntime, MeanInterarrival: st.MeanInterarrival,
+		MemSmall: small, MemLarge: large,
+		LargeMemFraction: st.LargeMemFraction, MaxMemPerNode: st.MaxMemPerNode,
+		EstimateAccuracy: st.EstimateAccuracy, EstimateQuantum: st.EstimateQuantum,
+		Users: st.Users,
+	}, nil
+}
+
+// GenStreamState is the portable serialized form of a GenStream.
+type GenStreamState struct {
+	Cfg        GenConfigState `json:"cfg"`
+	ArrivalRNG stats.RNGState `json:"arrivalRng"`
+	SizeRNG    stats.RNGState `json:"sizeRng"`
+	RuntimeRNG stats.RNGState `json:"runtimeRng"`
+	MemRNG     stats.RNGState `json:"memRng"`
+	EstRNG     stats.RNGState `json:"estRng"`
+	UserRNG    stats.RNGState `json:"userRng"`
+	Now        float64        `json:"now"`
+	I          int            `json:"i"`
+}
+
+// State captures the stream at its current cursor.
+func (s *GenStream) State() (*GenStreamState, error) {
+	cfg, err := GenConfigToState(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &GenStreamState{
+		Cfg:        cfg,
+		ArrivalRNG: s.arrivalRNG.State(), SizeRNG: s.sizeRNG.State(),
+		RuntimeRNG: s.runtimeRNG.State(), MemRNG: s.memRNG.State(),
+		EstRNG: s.estRNG.State(), UserRNG: s.userRNG.State(),
+		Now: s.now, I: s.i,
+	}, nil
+}
+
+// GenStreamFromState rebuilds a stream at the captured cursor.
+func GenStreamFromState(st *GenStreamState) (*GenStream, error) {
+	cfg, err := GenConfigFromState(st.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewGenStream(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: gen stream state: %w", err)
+	}
+	if st.I < 0 {
+		return nil, fmt.Errorf("workload: gen stream state cursor i=%d < 0", st.I)
+	}
+	if s.arrivalRNG, err = stats.RNGFromState(st.ArrivalRNG); err != nil {
+		return nil, err
+	}
+	if s.sizeRNG, err = stats.RNGFromState(st.SizeRNG); err != nil {
+		return nil, err
+	}
+	if s.runtimeRNG, err = stats.RNGFromState(st.RuntimeRNG); err != nil {
+		return nil, err
+	}
+	if s.memRNG, err = stats.RNGFromState(st.MemRNG); err != nil {
+		return nil, err
+	}
+	if s.estRNG, err = stats.RNGFromState(st.EstRNG); err != nil {
+		return nil, err
+	}
+	if s.userRNG, err = stats.RNGFromState(st.UserRNG); err != nil {
+		return nil, err
+	}
+	s.now, s.i = st.Now, st.I
+	return s, nil
+}
+
+// LublinStreamState is the portable serialized form of a LublinStream.
+type LublinStreamState struct {
+	Cfg        LublinConfigState `json:"cfg"`
+	ArrivalRNG stats.RNGState    `json:"arrivalRng"`
+	SizeRNG    stats.RNGState    `json:"sizeRng"`
+	RuntimeRNG stats.RNGState    `json:"runtimeRng"`
+	MemRNG     stats.RNGState    `json:"memRng"`
+	EstRNG     stats.RNGState    `json:"estRng"`
+	UserRNG    stats.RNGState    `json:"userRng"`
+	Now        float64           `json:"now"`
+	I          int               `json:"i"`
+}
+
+// State captures the stream at its current cursor.
+func (s *LublinStream) State() (*LublinStreamState, error) {
+	cfg, err := LublinConfigToState(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LublinStreamState{
+		Cfg:        cfg,
+		ArrivalRNG: s.arrivalRNG.State(), SizeRNG: s.sizeRNG.State(),
+		RuntimeRNG: s.runtimeRNG.State(), MemRNG: s.memRNG.State(),
+		EstRNG: s.estRNG.State(), UserRNG: s.userRNG.State(),
+		Now: s.now, I: s.i,
+	}, nil
+}
+
+// LublinStreamFromState rebuilds a stream at the captured cursor.
+func LublinStreamFromState(st *LublinStreamState) (*LublinStream, error) {
+	cfg, err := LublinConfigFromState(st.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewLublinStream(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: lublin stream state: %w", err)
+	}
+	if st.I < 0 {
+		return nil, fmt.Errorf("workload: lublin stream state cursor i=%d < 0", st.I)
+	}
+	if s.arrivalRNG, err = stats.RNGFromState(st.ArrivalRNG); err != nil {
+		return nil, err
+	}
+	if s.sizeRNG, err = stats.RNGFromState(st.SizeRNG); err != nil {
+		return nil, err
+	}
+	if s.runtimeRNG, err = stats.RNGFromState(st.RuntimeRNG); err != nil {
+		return nil, err
+	}
+	if s.memRNG, err = stats.RNGFromState(st.MemRNG); err != nil {
+		return nil, err
+	}
+	if s.estRNG, err = stats.RNGFromState(st.EstRNG); err != nil {
+		return nil, err
+	}
+	if s.userRNG, err = stats.RNGFromState(st.UserRNG); err != nil {
+		return nil, err
+	}
+	s.now, s.i = st.Now, st.I
+	return s, nil
+}

@@ -46,6 +46,7 @@ type SWFReadOptions struct {
 type SWFDecoder struct {
 	sc      *bufio.Scanner
 	opt     SWFReadOptions
+	offset  int64 // reader bytes consumed; a record boundary between Next calls
 	lineNo  int
 	skipped int
 	emitted int
@@ -56,9 +57,72 @@ type SWFDecoder struct {
 
 // NewSWFDecoder returns a decoder reading from r.
 func NewSWFDecoder(r io.Reader, opt SWFReadOptions) *SWFDecoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &SWFDecoder{sc: sc, opt: opt}
+	d := &SWFDecoder{opt: opt}
+	d.initScanner(r)
+	return d
+}
+
+// initScanner builds the line scanner with a split function that
+// accounts every consumed byte, so Offset is exact at each record
+// boundary (bufio.ScanLines returns a zero advance while it waits for
+// more data, so each byte is counted exactly once).
+func (d *SWFDecoder) initScanner(r io.Reader) {
+	d.sc = bufio.NewScanner(r)
+	d.sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	d.sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		advance, token, err := bufio.ScanLines(data, atEOF)
+		d.offset += int64(advance)
+		return advance, token, err
+	})
+}
+
+// Offset returns the byte offset of the decoder's position in the
+// underlying reader: the start of the first unconsumed line. Between
+// Next calls it is a record boundary, so a seekable reader repositioned
+// here (with the rest of the decoder state, see State) continues the
+// identical job sequence — the cursor behind file-backed source forking
+// and durable checkpoints.
+func (d *SWFDecoder) Offset() int64 { return d.offset }
+
+// SWFDecoderState is the portable cursor of a decoder between Next
+// calls: reposition a reader over the same bytes to Offset and rebuild
+// with NewSWFDecoderAt to continue the identical job sequence.
+type SWFDecoderState struct {
+	Opt     SWFReadOptions `json:"opt"`
+	Offset  int64          `json:"offset"`
+	LineNo  int            `json:"lineNo"`
+	Skipped int            `json:"skipped,omitempty"`
+	Emitted int            `json:"emitted"`
+	Done    bool           `json:"done,omitempty"`
+}
+
+// State captures the decoder's cursor. A decoder that has failed has no
+// meaningful resume point and returns its error instead.
+func (d *SWFDecoder) State() (SWFDecoderState, error) {
+	if d.err != nil {
+		return SWFDecoderState{}, fmt.Errorf("workload: swf decoder failed, no resumable cursor: %w", d.err)
+	}
+	return SWFDecoderState{
+		Opt: d.opt, Offset: d.offset,
+		LineNo: d.lineNo, Skipped: d.skipped, Emitted: d.emitted,
+		Done: d.done,
+	}, nil
+}
+
+// NewSWFDecoderAt rebuilds a decoder at a captured cursor. The caller
+// must have positioned r at st.Offset of the same byte stream the
+// cursor was captured from (e.g. os.File.Seek on a re-opened trace).
+func NewSWFDecoderAt(r io.Reader, st SWFDecoderState) *SWFDecoder {
+	d := &SWFDecoder{
+		opt:     st.Opt,
+		offset:  st.Offset,
+		lineNo:  st.LineNo,
+		skipped: st.Skipped,
+		emitted: st.Emitted,
+		done:    st.Done,
+	}
+	d.initScanner(r)
+	return d
 }
 
 // Next returns the next usable job, or (nil, false) at end of trace, on
