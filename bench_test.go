@@ -152,3 +152,10 @@ func BenchmarkCheckpointFork(b *testing.B) { benchkit.CheckpointFork(b) }
 // BENCH_<date>_ckptio.json.
 func BenchmarkCheckpointEncode(b *testing.B) { benchkit.CheckpointEncode(b) }
 func BenchmarkCheckpointDecode(b *testing.B) { benchkit.CheckpointDecode(b) }
+
+// BenchmarkServeQueries measures the serving layer end to end:
+// concurrent short-horizon /v1/whatif queries against a completed
+// baseline's checkpoint ring, reporting queries/s and p50/p99
+// fork-to-response latency. `go run ./cmd/dmbench -serve` records it
+// as BENCH_<date>_serve.json.
+func BenchmarkServeQueries(b *testing.B) { benchkit.ServeQueries(b) }

@@ -13,6 +13,8 @@
 //	                            # -> BENCH_<today>_stream.json
 //	dmbench -fork               # checkpoint+fork overhead
 //	                            # -> BENCH_<today>_fork.json
+//	dmbench -serve              # what-if service queries/s + latency
+//	                            # -> BENCH_<today>_serve.json
 package main
 
 import (
@@ -54,6 +56,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "run the streaming-replay benchmarks (100k + 1M jobs; minutes of runtime) instead of the headline set, writing BENCH_<date>_stream.json")
 		fork      = flag.Bool("fork", false, "run the checkpoint+fork overhead benchmark instead of the headline set, writing BENCH_<date>_fork.json")
 		ckptio    = flag.Bool("ckptio", false, "run the durable checkpoint encode/decode benchmarks instead of the headline set, writing BENCH_<date>_ckptio.json")
+		srv       = flag.Bool("serve", false, "run the what-if service benchmark (concurrent /v1/whatif queries against a checkpoint ring) instead of the headline set, writing BENCH_<date>_serve.json")
 	)
 	flag.Parse()
 
@@ -68,17 +71,26 @@ func main() {
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
 	exclusive := 0
-	for _, f := range []bool{*stream, *fork, *ckptio} {
+	for _, f := range []bool{*stream, *fork, *ckptio, *srv} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork and -ckptio")
+		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork, -ckptio and -serve")
 		os.Exit(1)
 	}
 	suffix := ""
 	switch {
+	case *srv:
+		suffix = "_serve"
+		benches = []bench{
+			{"ServeQueries", benchkit.ServeQueries},
+			// CheckpointFork rides along as the lower bound: a query's
+			// floor is one fork plus the divergent-tail replay, and the
+			// gap between the two is the serving layer's own overhead.
+			{"CheckpointFork", benchkit.CheckpointFork},
+		}
 	case *ckptio:
 		suffix = "_ckptio"
 		benches = []bench{

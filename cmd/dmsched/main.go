@@ -56,6 +56,7 @@ import (
 
 	"dismem"
 	"dismem/internal/config"
+	"dismem/internal/report"
 	"dismem/internal/workload"
 )
 
@@ -488,27 +489,7 @@ func runFromConfig(path string, verbose bool, progress time.Duration) {
 }
 
 func printReport(policy string, res *dismem.Result) {
-	r := res.Report
-	fmt.Printf("policy            %s\n", policy)
-	fmt.Printf("jobs              %d completed, %d killed, %d rejected\n", r.Completed, r.Killed, r.Rejected)
-	fmt.Printf("makespan          %.1f h (%d DES events)\n", float64(r.MakespanSec)/3600, res.Events)
-	fmt.Printf("wait              mean %.0f s, p95 %.0f s, p99 %.0f s\n", r.Wait.Mean(), r.P95Wait, r.P99Wait)
-	fmt.Printf("bounded slowdown  mean %.1f, p95 %.1f\n", r.BSld.Mean(), r.P95BSld)
-	fmt.Printf("node utilization  %.1f%%\n", 100*r.NodeUtil)
-	fmt.Printf("local mem util    %.1f%%\n", 100*r.LocalMemUtil)
-	fmt.Printf("pool util         %.1f%% (mean fabric demand %.1f GiB/s)\n", 100*r.PoolUtil, r.MeanFabricDemand)
-	fmt.Printf("throughput        %.1f jobs/h (%.0f node-hours delivered)\n", r.ThroughputPerHour, r.NodeHours)
-	fmt.Printf("pool-using jobs   %.1f%% (mean dilation %.2f, p95 %.2f)\n",
-		100*r.RemoteJobFraction, r.DilationRemote.Mean(), r.P95DilationRemote)
-	if r.NodeFailures > 0 {
-		fmt.Printf("failures          %d node failures, %d jobs killed by them\n",
-			r.NodeFailures, r.FailureKills)
-	}
-	if res.ScenarioEvents > 0 {
-		fmt.Printf("scenario          %d interventions applied\n", res.ScenarioEvents)
-	}
-	fair := res.Recorder.Fairness()
-	fmt.Printf("fairness          Jain(wait) %.3f over %d users\n", fair.JainWait, len(fair.Users))
+	fmt.Print(report.Format(policy, res))
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,212 @@
+// Command dmserve is the long-lived what-if simulation service: it
+// drives one baseline run, maintains a rolling ring of durable
+// checkpoints in -ckpt-dir, and answers HTTP what-if queries by forking
+// the nearest checkpoint at or before the requested instant
+// (internal/serve, DESIGN.md §10).
+//
+//	dmserve -addr :8080 -jobs 20000 -seed 7 -ckpt-dir /var/lib/dmserve \
+//	        -ckpt-every 21600 -ckpt-keep 16
+//
+//	curl localhost:8080/v1/status
+//	curl localhost:8080/v1/checkpoints
+//	curl -d '{"at":43200,"scenario":"at=50000 down rack=2; at=86400 up rack=2"}' \
+//	     localhost:8080/v1/whatif
+//
+// SIGINT/SIGTERM stops the drive loop at a clean event boundary, writes
+// a final ring checkpoint, and exits with status 3 (the resumable-
+// interruption convention shared with dmsched -ckpt-save). Restarting
+// with the same -ckpt-dir resumes the baseline bit-identically from the
+// newest ring checkpoint; workload, machine and policy flags are then
+// ignored (the checkpoint carries them).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dismem"
+	"dismem/internal/serve"
+	"dismem/internal/workload"
+)
+
+// exitInterrupted is the distinct status for a resumable interruption:
+// state persisted, restart with the same -ckpt-dir to continue.
+const exitInterrupted = 3
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		policy    = flag.String("policy", "memaware", "scheduling policy: "+strings.Join(dismem.Policies(), ", "))
+		specFlag  = flag.String("spec", "", `composable policy spec, e.g. "order=sjf backfill=easy placer=memaware" (overrides -policy)`)
+		scenFlag  = flag.String("scenario", "", `baseline scenario timeline, e.g. "at=3600 down rack=2; at=7200 up rack=2"`)
+		model     = flag.String("model", "linear:0.5", "memory model spec (linear:b | step:b0,b | bandwidth:b,g)")
+		topology  = flag.String("topology", "rack", "pool topology: none | rack | global")
+		racks     = flag.Int("racks", 16, "racks")
+		nodes     = flag.Int("nodes", 16, "nodes per rack")
+		cores     = flag.Int("cores", 32, "cores per node")
+		localGiB  = flag.Int64("local", 64, "local DRAM per node (GiB)")
+		poolGiB   = flag.Int64("pool", 4096, "pool capacity (GiB; per rack, or total for -topology global)")
+		fabric    = flag.Float64("fabric", 64, "fabric bandwidth per pool (GiB/s)")
+		jobs      = flag.Int("jobs", 5000, "synthetic workload size")
+		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
+		swf       = flag.String("swf", "", "SWF trace file (overrides synthetic workload; loaded, not streamed — a checkpointable source is required)")
+		swfCores  = flag.Int("node-cores", 0, "SWF import: processors per node (0 = processors are nodes)")
+		strict    = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
+		mtbf      = flag.Int64("mtbf", 0, "failure injection: mean time between failures per node (seconds; 0 = off). Required for reseed_failures what-if queries")
+		repair    = flag.Int64("repair", 7200, "failure injection: node repair time (seconds)")
+		failSeed  = flag.Uint64("failure-seed", 1, "failure injection RNG seed")
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint ring directory (required); restart with the same directory to resume")
+		ckptEvery = flag.Int64("ckpt-every", 21600, "ring checkpoint period in simulated seconds")
+		ckptKeep  = flag.Int("ckpt-keep", 16, "ring retention: delete the oldest checkpoint beyond this many (0 = keep all)")
+		workers   = flag.Int("workers", 0, "max concurrent what-if forks (0 = GOMAXPROCS)")
+		verbose   = flag.Bool("v", false, "also print workload summary")
+	)
+	flag.Parse()
+
+	if *ckptDir == "" {
+		fatalf("-ckpt-dir is required (the ring of durable checkpoints is what the service serves from)")
+	}
+
+	mc := dismem.DefaultMachine()
+	mc.Racks, mc.NodesPerRack, mc.CoresPerNode = *racks, *nodes, *cores
+	mc.LocalMemMiB = *localGiB * 1024
+	mc.PoolMiB = *poolGiB * 1024
+	mc.FabricGiBps = *fabric
+	switch *topology {
+	case "none":
+		mc.Topology = dismem.TopologyNone
+		mc.PoolMiB = 0
+	case "rack":
+		mc.Topology = dismem.TopologyRack
+	case "global":
+		mc.Topology = dismem.TopologyGlobal
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
+
+	var wl *dismem.Workload
+	if *swf != "" {
+		f, err := os.Open(*swf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var skipped int
+		wl, skipped, err = workload.ReadSWF(f, workload.SWFReadOptions{
+			NodeCores:         *swfCores,
+			DefaultMemPerNode: mc.LocalMemMiB / 2,
+		})
+		f.Close()
+		if err != nil {
+			fatalf("reading %s: %v", *swf, err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "note: skipped %d unusable SWF records\n", skipped)
+		}
+	} else {
+		var err error
+		wl, err = dismem.GenerateWorkload(dismem.DefaultGen(*jobs, *seed, mc))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *verbose {
+		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
+		fmt.Println()
+	}
+
+	var sc *dismem.Scenario
+	if *scenFlag != "" {
+		var err error
+		sc, err = dismem.ParseScenario(*scenFlag)
+		if err != nil {
+			fatalf("-scenario: %v", err)
+		}
+	}
+	var failures *dismem.FailureConfig
+	if *mtbf > 0 {
+		failures = &dismem.FailureConfig{MTBFPerNodeSec: *mtbf, RepairSec: *repair, Seed: *failSeed}
+	}
+	// A spec string is a valid Options.Policy, so it stays serializable
+	// into ring checkpoints (unlike a live SchedulerImpl).
+	pol := *policy
+	if *specFlag != "" {
+		pol = *specFlag
+	}
+
+	s, err := serve.New(serve.Config{
+		Options: dismem.Options{
+			Machine:    mc,
+			Policy:     pol,
+			Model:      *model,
+			Workload:   wl,
+			Scenario:   sc,
+			Failures:   failures,
+			StrictKill: *strict,
+		},
+		CkptDir:   *ckptDir,
+		CkptEvery: *ckptEvery,
+		CkptKeep:  *ckptKeep,
+		Workers:   *workers,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if resumed := s.ResumedFrom(); resumed != "" {
+		fmt.Fprintf(os.Stderr, "dmserve: resumed baseline from %s (t=%d)\n", resumed, s.Status().Now)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dmserve: listening on %s (policy %s, checkpoint every %ds keep %d in %s)\n",
+		ln.Addr(), pol, *ckptEvery, *ckptKeep, *ckptDir)
+
+	// The drive loop owns the baseline on the main goroutine; signals
+	// cancel between chunks, at a clean event boundary.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		fatalf("%v", err)
+	}
+	select {
+	case err := <-serveErr:
+		fatalf("http: %v", err)
+	default:
+	}
+
+	// Run only returns cleanly on a signal (after the baseline drains
+	// it keeps serving until one arrives): persist, drain, exit 3.
+	path, err := s.FinalCheckpoint()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dmserve: http shutdown: %v\n", err)
+	}
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "dmserve: interrupted at t=%d; final checkpoint %s (restart with the same -ckpt-dir to resume)\n",
+			s.Status().Now, path)
+	} else {
+		fmt.Fprintf(os.Stderr, "dmserve: interrupted; baseline already complete, ring left in %s\n", *ckptDir)
+	}
+	os.Exit(exitInterrupted)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dmserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,16 @@ import (
 // Fork from it any number of times, each future fully independent —
 // and taking it does not disturb the parent, which can keep running.
 //
+// Concurrency contract: a Checkpoint is never mutated after it is
+// taken, and Fork only reads it (everything handed to a new future is
+// deep-copied first), so any number of goroutines may Fork the same
+// Checkpoint simultaneously with no external locking — the property
+// the serving layer's concurrent what-if queries (internal/serve) and
+// sweep.ForkFrom's parallel fan-out rely on, pinned by a -race test
+// that requires 8 concurrent forks to be bit-identical to a serial
+// one. The single exception is a run built with Options.SchedulerImpl:
+// its forks share that live scheduler instance (see Fork).
+//
 // Determinism contract (DESIGN.md §8): a fork taken with zero
 // ForkOptions replays exactly the future the parent would have run —
 // bit-identical events, report and records to a from-scratch run of
@@ -30,6 +40,15 @@ type Checkpoint struct {
 
 // At returns the virtual time the checkpoint was taken at.
 func (c *Checkpoint) At() int64 { return c.cp.Now() }
+
+// Policy returns the policy name or spec string the checkpointed run
+// was built with ("" for a run built with Options.SchedulerImpl).
+func (c *Checkpoint) Policy() string { return c.opts.Policy }
+
+// Model returns the memory-model spec of the checkpointed run ("" for
+// a run built with Options.ModelImpl; the engine default is
+// "linear:0.5").
+func (c *Checkpoint) Model() string { return c.opts.Model }
 
 // Checkpoint captures the simulation's complete state at the current
 // event boundary. The simulation must still be live: not stopped and
@@ -68,6 +87,21 @@ type ForkOptions struct {
 	// replacement must not modulate arrivals (surge/diurnal): the
 	// arrival process was warped before the run started.
 	Scenario *Scenario
+	// ScenarioSpec is Scenario as a grammar string (ParseScenario
+	// syntax) — the form serving layers pass straight through from
+	// request bodies. It is parsed and validated before any engine
+	// state is touched, so a malformed spec or one that modulates
+	// arrivals is a pointed error from Fork, never a failure deep
+	// inside the replayed future. Setting both ScenarioSpec and
+	// Scenario is an error.
+	ScenarioSpec string
+	// Horizon bounds the forked future: when > 0, Run advances the
+	// fork only to virtual time Horizon and truncates there
+	// (Result.Stopped marks a future cut short; a future that drains
+	// before the horizon completes normally). 0 runs to completion.
+	// A horizon earlier than the checkpoint's frozen clock is an
+	// error — that part of the timeline is already decided.
+	Horizon int64
 	// ReseedFailures redraws the future failure stream from
 	// FailureSeed (the pending next-failure event is discarded;
 	// repairs of already-failed nodes still complete). Requires the
@@ -105,6 +139,29 @@ type ForkOptions struct {
 // Options.SchedulerImpl shares that instance across its forks — drive
 // such forks sequentially or provide per-fork schedulers.
 func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("dismem: fork of a nil checkpoint")
+	}
+	// Validate every override up front, before any engine state is
+	// rebuilt: a bad what-if request must fail here with a pointed
+	// error, not surface as a confusing failure deep inside sim (or
+	// worse, cost a full future replay first).
+	if o.Horizon != 0 && o.Horizon < cp.At() {
+		return nil, fmt.Errorf("dismem: fork horizon t=%d precedes the checkpoint's frozen clock t=%d (that part of the timeline is already decided; fork from an earlier checkpoint)", o.Horizon, cp.At())
+	}
+	if o.ScenarioSpec != "" {
+		if o.Scenario != nil {
+			return nil, fmt.Errorf("dismem: both ScenarioSpec and Scenario set; choose one")
+		}
+		sc, err := ParseScenario(o.ScenarioSpec)
+		if err != nil {
+			return nil, fmt.Errorf("dismem: fork scenario: %w", err)
+		}
+		o.Scenario = sc
+	}
+	if o.Scenario != nil && o.Scenario.Modulates() {
+		return nil, fmt.Errorf("dismem: fork scenario must not modulate arrivals (surge/diurnal warp submit times before a run starts and cannot be re-applied at a fork)")
+	}
 	over := sim.Overrides{
 		Scenario:       o.Scenario,
 		ReseedFailures: o.ReseedFailures,
@@ -119,7 +176,7 @@ func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
 	case o.Policy != "":
 		s, err := NewScheduler(o.Policy)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dismem: fork policy: %w", err)
 		}
 		over.Scheduler = s
 	case cp.opts.SchedulerImpl == nil:
@@ -151,5 +208,5 @@ func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
 	}
 	opts.Observer = o.Observer
 	opts.SampleEvery = o.SampleEvery
-	return &Simulation{eng: eng, opts: opts}, nil
+	return &Simulation{eng: eng, opts: opts, horizon: o.Horizon}, nil
 }

@@ -7,15 +7,23 @@ package benchkit
 
 import (
 	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dismem"
 	"dismem/internal/cluster"
 	"dismem/internal/core"
 	"dismem/internal/memmodel"
+	"dismem/internal/serve"
 	"dismem/internal/source"
 	"dismem/internal/workload"
 )
@@ -326,4 +334,84 @@ func ScenarioSimulation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// ServeQueries measures the serving layer (internal/serve) end to end:
+// one baseline (SimulationJobs jobs) is driven to completion and frozen
+// into a checkpoint ring, then concurrent short-horizon /v1/whatif
+// queries — fork the t=21600 checkpoint, replay a two-hour divergent
+// future — are hammered through the HTTP handler from all procs. It
+// reports queries/s plus p50/p99 fork-to-response latency, the
+// service-level numbers the ring + fork design buys (a query costs a
+// fork and a tail replay, never the prefix).
+func ServeQueries(b *testing.B) {
+	srv, err := serve.New(serve.Config{
+		Options: dismem.Options{
+			Policy:   "memaware",
+			Workload: dismem.SyntheticWorkload(SimulationJobs, 1),
+		},
+		CkptDir:   b.TempDir(),
+		CkptEvery: 7200,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	for !srv.Status().BaselineDone {
+		time.Sleep(time.Millisecond)
+	}
+
+	h := srv.Handler()
+	const body = `{"at": 21600, "scenario": "at=22000 down rack=2; at=22900 up rack=2", "horizon": 23400}`
+	post := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/whatif", strings.NewReader(body)))
+		return rec
+	}
+	// Warm the baseline-delta cache: steady-state latency is the number
+	// that matters for a long-lived service.
+	if rec := post(); rec.Code != http.StatusOK {
+		b.Fatalf("warm-up query: %d: %s", rec.Code, rec.Body)
+	}
+
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 256)
+		for pb.Next() {
+			start := time.Now()
+			rec := post()
+			d := time.Since(start)
+			if rec.Code != http.StatusOK {
+				b.Errorf("what-if query: %d: %s", rec.Code, rec.Body)
+				return
+			}
+			local = append(local, d)
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	cancel()
+	<-done
+
+	if len(latencies) == 0 {
+		b.Fatal("no queries completed")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p int) float64 {
+		i := len(latencies) * p / 100
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return float64(latencies[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(float64(len(latencies))/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(pct(50), "p50-ms")
+	b.ReportMetric(pct(99), "p99-ms")
 }

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dismem"
+)
+
+// ringPrefix and ringSuffix frame a ring file name:
+// ckpt-<simtime, zero-padded>.dmckpt. Zero padding keeps lexical and
+// chronological order identical, so `ls` shows the ring in timeline
+// order and the restart scan needs no extra sort key.
+const (
+	ringPrefix = "ckpt-"
+	ringSuffix = ".dmckpt"
+)
+
+// ringFileName returns the ring file name for a checkpoint at virtual
+// time at.
+func ringFileName(at int64) string {
+	return fmt.Sprintf("%s%012d%s", ringPrefix, at, ringSuffix)
+}
+
+// parseRingFileName extracts the virtual time from a ring file name,
+// reporting whether the name is one the ring wrote. Foreign files in
+// the directory (including in-flight WriteCheckpointFile temp files)
+// are ignored, never deleted.
+func parseRingFileName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, ringPrefix) || !strings.HasSuffix(name, ringSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, ringPrefix), ringSuffix)
+	at, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || at < 0 {
+		return 0, false
+	}
+	return at, true
+}
+
+// ringEntry is one durable checkpoint in the ring. The in-memory
+// handle is populated eagerly when the server itself wrote the file,
+// and lazily (first query, via load) for files found on disk at
+// startup. Once loaded, the handle is immutable and safe for
+// concurrent Fork (the dismem.Checkpoint concurrency contract).
+type ringEntry struct {
+	at   int64
+	path string
+
+	once    sync.Once
+	cp      *dismem.Checkpoint
+	loadErr error
+}
+
+// load returns the entry's in-memory checkpoint, reading the durable
+// file on first use. A corrupted file is a loud, sticky error — the
+// PR 6 envelope rejects it, and every query that picks this entry sees
+// the same failure rather than a silently wrong fork.
+func (e *ringEntry) load() (*dismem.Checkpoint, error) {
+	e.once.Do(func() {
+		if e.cp == nil {
+			e.cp, e.loadErr = dismem.ReadCheckpointFile(e.path)
+		}
+	})
+	return e.cp, e.loadErr
+}
+
+// ring is the rolling set of durable checkpoints the server maintains:
+// at most keep entries, oldest evicted first, newest never evicted.
+// All methods are safe for concurrent use; the drive loop is the only
+// writer (add), query handlers only read.
+type ring struct {
+	dir  string
+	keep int
+
+	mu      sync.Mutex
+	entries []*ringEntry // ascending at
+}
+
+// openRing prepares dir and adopts any ring files already present —
+// the restart path. Foreign files are left alone. keep <= 0 disables
+// eviction (an unbounded ring).
+func openRing(dir string, keep int) (*ring, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	r := &ring{dir: dir, keep: keep}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		at, ok := parseRingFileName(de.Name())
+		if !ok {
+			continue
+		}
+		r.entries = append(r.entries, &ringEntry{at: at, path: filepath.Join(dir, de.Name())})
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].at < r.entries[j].at })
+	return r, nil
+}
+
+// add writes cp durably (atomic temp+fsync+rename, PR 6) and admits it
+// to the ring, evicting the oldest entries beyond keep. The write
+// happens before any eviction, so the newest durable state always
+// exists on disk: a crash between write and GC leaves extra old files
+// (trimmed on the next add), never a missing new one. Re-adding an
+// instant already in the ring (a restart that re-reaches a checkpoint
+// boundary) atomically replaces that file instead of growing the ring.
+func (r *ring) add(cp *dismem.Checkpoint) (path string, evicted []string, err error) {
+	at := cp.At()
+	path = filepath.Join(r.dir, ringFileName(at))
+	if err := dismem.WriteCheckpointFile(path, cp); err != nil {
+		return "", nil, err
+	}
+	e := &ringEntry{at: at, path: path, cp: cp}
+	e.once.Do(func() {}) // handle already in memory; load must not reread
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	replaced := false
+	for i, old := range r.entries {
+		if old.at == at {
+			r.entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		r.entries = append(r.entries, e)
+		sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].at < r.entries[j].at })
+	}
+	if r.keep > 0 {
+		for len(r.entries) > r.keep {
+			victim := r.entries[0]
+			r.entries = r.entries[1:]
+			if rmErr := os.Remove(victim.path); rmErr != nil && !os.IsNotExist(rmErr) {
+				return path, evicted, fmt.Errorf("serve: evicting ring checkpoint: %w", rmErr)
+			}
+			evicted = append(evicted, victim.path)
+		}
+	}
+	return path, evicted, nil
+}
+
+// nearest returns the newest entry at or before t, the serving layer's
+// checkpoint-selection rule.
+func (r *ring) nearest(t int64) (*ringEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].at > t })
+	if i == 0 {
+		return nil, false
+	}
+	return r.entries[i-1], true
+}
+
+// newest returns the most recent entry, the restart resume point.
+func (r *ring) newest() (*ringEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == 0 {
+		return nil, false
+	}
+	return r.entries[len(r.entries)-1], true
+}
+
+// oldest returns the oldest retained entry.
+func (r *ring) oldest() (*ringEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == 0 {
+		return nil, false
+	}
+	return r.entries[0], true
+}
+
+// snapshot returns the current entries, ascending.
+func (r *ring) snapshot() []*ringEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*ringEntry(nil), r.entries...)
+}
+
+// len returns the current ring occupancy.
+func (r *ring) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

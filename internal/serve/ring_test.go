@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"dismem"
+)
+
+func TestRingFileNames(t *testing.T) {
+	name := ringFileName(43200)
+	if name != "ckpt-000000043200.dmckpt" {
+		t.Fatalf("ringFileName(43200) = %q", name)
+	}
+	at, ok := parseRingFileName(name)
+	if !ok || at != 43200 {
+		t.Fatalf("parseRingFileName(%q) = %d, %v", name, at, ok)
+	}
+	for _, foreign := range []string{
+		"ckpt-000000043200.dmckpt.tmp", // in-flight atomic write
+		"ckpt-abc.dmckpt",
+		"ckpt--0000001.dmckpt",
+		"notes.txt",
+		"baseline.dmckpt",
+	} {
+		if _, ok := parseRingFileName(foreign); ok {
+			t.Fatalf("parseRingFileName accepted foreign name %q", foreign)
+		}
+	}
+}
+
+// ringOpts is the small deterministic configuration the ring tests
+// checkpoint from.
+func ringOpts() dismem.Options {
+	return dismem.Options{
+		Policy:   "memaware",
+		Model:    "bandwidth:1,1",
+		Workload: dismem.SyntheticWorkload(400, 4),
+		Failures: &dismem.FailureConfig{MTBFPerNodeSec: 2_000_000, RepairSec: 7200, Seed: 5},
+	}
+}
+
+// checkpointAt advances a fresh run to t and freezes it.
+func checkpointAt(t *testing.T, at int64) *dismem.Checkpoint {
+	t.Helper()
+	s, err := dismem.New(ringOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(at)
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// ringFiles lists the ring file instants present in dir, ascending.
+func ringFiles(t *testing.T, dir string) []int64 {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ats []int64
+	for _, de := range des {
+		if at, ok := parseRingFileName(de.Name()); ok {
+			ats = append(ats, at)
+		}
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	return ats
+}
+
+// TestRingRetention pins the GC policy under rapid rotation: at most
+// keep files survive, eviction is strictly oldest-first, and the newest
+// durable file always exists on disk after every add.
+func TestRingRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, err := openRing(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dismem.New(ringOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instants := []int64{1000, 2000, 3000, 4000, 5000, 6000}
+	for i, at := range instants {
+		s.RunUntil(at)
+		cp, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.add(cp); err != nil {
+			t.Fatal(err)
+		}
+		want := instants[:i+1]
+		if len(want) > 3 {
+			want = want[len(want)-3:]
+		}
+		got := ringFiles(t, dir)
+		if len(got) != len(want) {
+			t.Fatalf("after add(t=%d): %d ring files %v, want %v", at, len(got), got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("after add(t=%d): ring files %v, want %v", at, got, want)
+			}
+		}
+		// The newest durable file must exist and load.
+		newest, ok := r.newest()
+		if !ok || newest.at != at {
+			t.Fatalf("after add(t=%d): newest = %+v, %v", at, newest, ok)
+		}
+		if _, err := os.Stat(newest.path); err != nil {
+			t.Fatalf("newest ring file missing after GC: %v", err)
+		}
+	}
+}
+
+// TestRingKeepOne is the degenerate rotation: keep=1 must always leave
+// exactly the newest checkpoint, never zero.
+func TestRingKeepOne(t *testing.T) {
+	dir := t.TempDir()
+	r, err := openRing(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dismem.New(ringOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int64{500, 1500, 2500} {
+		s.RunUntil(at)
+		cp, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.add(cp); err != nil {
+			t.Fatal(err)
+		}
+		got := ringFiles(t, dir)
+		if len(got) != 1 || got[0] != at {
+			t.Fatalf("keep=1 after add(t=%d): files %v, want exactly [%d]", at, got, at)
+		}
+	}
+}
+
+// TestRingAdoptsExistingFiles pins the restart scan: a reopened ring
+// sees the surviving files, nearest() picks the newest at-or-before
+// entry, and foreign files are ignored without being deleted.
+func TestRingAdoptsExistingFiles(t *testing.T) {
+	dir := t.TempDir()
+	r, err := openRing(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dismem.New(ringOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int64{1000, 3000, 5000} {
+		s.RunUntil(at)
+		cp, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.add(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	foreign := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(foreign, []byte("keep me\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := openRing(dir, 2) // tighter keep than what is on disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.len() != 3 {
+		t.Fatalf("reopened ring adopted %d entries, want 3 (trim happens on the next add, not at open)", r2.len())
+	}
+	e, ok := r2.nearest(4200)
+	if !ok || e.at != 3000 {
+		t.Fatalf("nearest(4200) = %+v, %v, want the t=3000 entry", e, ok)
+	}
+	if _, ok := r2.nearest(999); ok {
+		t.Fatal("nearest(999) found an entry before the oldest checkpoint")
+	}
+	cp, err := e.load()
+	if err != nil {
+		t.Fatalf("loading adopted ring file: %v", err)
+	}
+	if cp.At() != 3000 {
+		t.Fatalf("adopted checkpoint At() = %d, want 3000", cp.At())
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign file disturbed by ring: %v", err)
+	}
+}
+
+// TestRingCorruptFileFailsLoudly pins the durability posture: a
+// truncated ring file is a sticky, descriptive load error, never a
+// silently wrong fork.
+func TestRingCorruptFileFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	r, err := openRing(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := checkpointAt(t, 2000)
+	path, _, err := r.add(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := openRing(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r2.newest()
+	if !ok {
+		t.Fatal("reopened ring is empty")
+	}
+	if _, err := e.load(); err == nil {
+		t.Fatal("load of a truncated ring file succeeded")
+	}
+	// Sticky: the second load reports the same failure, not a retry.
+	_, err1 := e.load()
+	_, err2 := e.load()
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("corrupt-file error not sticky: %v vs %v", err1, err2)
+	}
+}
+
+// TestRingReplaceSameInstant pins restart-overlap behaviour: re-adding
+// an instant already in the ring replaces the file in place instead of
+// growing the ring.
+func TestRingReplaceSameInstant(t *testing.T) {
+	dir := t.TempDir()
+	r, err := openRing(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.add(checkpointAt(t, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.add(checkpointAt(t, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if r.len() != 1 {
+		t.Fatalf("ring grew to %d entries after re-adding t=2000", r.len())
+	}
+	if got := ringFiles(t, dir); len(got) != 1 || got[0] != 2000 {
+		t.Fatalf("ring files after replace: %v", got)
+	}
+}

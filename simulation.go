@@ -19,6 +19,10 @@ type Simulation struct {
 	// (Fork rebuilds a fresh scheduler from the policy spec when the
 	// fork does not override it).
 	opts Options
+	// horizon, when > 0, is where Run truncates this forked future
+	// (ForkOptions.Horizon); Fork has already validated it against the
+	// checkpoint's frozen clock.
+	horizon int64
 }
 
 // New validates o, builds the engine and primes the event queue without
@@ -96,9 +100,18 @@ func (s *Simulation) Step() bool { return s.eng.Step() }
 func (s *Simulation) RunUntil(t int64) { s.eng.RunUntil(t) }
 
 // Run advances the simulation to completion and returns the result:
-// New + Run is equivalent to Simulate.
+// New + Run is equivalent to Simulate. A fork taken with
+// ForkOptions.Horizon > 0 instead advances to that horizon and
+// truncates there (Result.Stopped set), unless it drains first.
 func (s *Simulation) Run() (*Result, error) {
-	s.eng.RunAll()
+	if s.horizon > 0 {
+		s.eng.RunUntil(s.horizon)
+		if !s.eng.Done() {
+			s.eng.Stop()
+		}
+	} else {
+		s.eng.RunAll()
+	}
 	return s.eng.Finish()
 }
 
