@@ -127,6 +127,13 @@ func BenchmarkSimulation(b *testing.B) { benchkit.Simulation(b) }
 // scenario subsystem's end-to-end overhead.
 func BenchmarkScenarioSimulation(b *testing.B) { benchkit.ScenarioSimulation(b) }
 
+// BenchmarkSeriesSampling is BenchmarkSimulation with the sampling tick
+// chain armed (600 s period) and every sample JSON-encoded to a
+// discarded series stream: the full end-to-end price of -series-out.
+// `go run ./cmd/dmbench -series` records it, with Simulation as the
+// sampling-off reference, as BENCH_<date>_series.json.
+func BenchmarkSeriesSampling(b *testing.B) { benchkit.SeriesSampling(b) }
+
 // BenchmarkStreamingReplay measures bounded-memory trace replay: a
 // 100k-job SWF trace streamed through SWFSource with the
 // online-aggregate sink, reporting jobs/s and the live-heap high-water

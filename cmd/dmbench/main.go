@@ -15,6 +15,8 @@
 //	                            # -> BENCH_<today>_fork.json
 //	dmbench -serve              # what-if service queries/s + latency
 //	                            # -> BENCH_<today>_serve.json
+//	dmbench -series             # sampling/series-export overhead
+//	                            # -> BENCH_<today>_series.json
 package main
 
 import (
@@ -57,6 +59,7 @@ func main() {
 		fork      = flag.Bool("fork", false, "run the checkpoint+fork overhead benchmark instead of the headline set, writing BENCH_<date>_fork.json")
 		ckptio    = flag.Bool("ckptio", false, "run the durable checkpoint encode/decode benchmarks instead of the headline set, writing BENCH_<date>_ckptio.json")
 		srv       = flag.Bool("serve", false, "run the what-if service benchmark (concurrent /v1/whatif queries against a checkpoint ring) instead of the headline set, writing BENCH_<date>_serve.json")
+		series    = flag.Bool("series", false, "run the sampling/series-export overhead benchmark instead of the headline set, writing BENCH_<date>_series.json")
 	)
 	flag.Parse()
 
@@ -71,17 +74,26 @@ func main() {
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
 	exclusive := 0
-	for _, f := range []bool{*stream, *fork, *ckptio, *srv} {
+	for _, f := range []bool{*stream, *fork, *ckptio, *srv, *series} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork, -ckptio and -serve")
+		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork, -ckptio, -serve and -series")
 		os.Exit(1)
 	}
 	suffix := ""
 	switch {
+	case *series:
+		suffix = "_series"
+		benches = []bench{
+			{"SeriesSampling", benchkit.SeriesSampling},
+			// Simulation rides along as the sampling-off reference: the
+			// jobs/s gap between the two is the whole observability
+			// price at the benchmark's 600 s sampling period.
+			{"Simulation", benchkit.Simulation},
+		}
 	case *srv:
 		suffix = "_serve"
 		benches = []bench{

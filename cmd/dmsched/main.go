@@ -41,12 +41,24 @@
 //
 //	dmsched -jobs 50000 -ckpt-save run.dmckpt     # ^C to interrupt
 //	dmsched -ckpt-load run.dmckpt                 # finish the run
+//
+// -series-out streams the utilization time series (queue depth,
+// running jobs, memory and pool usage per sampling tick) to a
+// JSONL/CSV file, and -metrics-addr serves the same live state as a
+// Prometheus text-format /metrics endpoint while the run is in
+// flight. The sampling tick chain is part of the checkpointed state,
+// so series files compose across -ckpt-save/-ckpt-load: the resumed
+// run's series is exactly the suffix of an uninterrupted run's.
+//
+//	dmsched -jobs 50000 -series-out util.jsonl -metrics-addr :9090
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -57,6 +69,7 @@ import (
 	"dismem"
 	"dismem/internal/config"
 	"dismem/internal/report"
+	"dismem/internal/telemetry"
 	"dismem/internal/workload"
 )
 
@@ -89,6 +102,9 @@ func main() {
 		strict    = flag.Bool("strict-kill", false, "kill at the raw user estimate (no dilation extension)")
 		ckptSave  = flag.String("ckpt-save", "", "on SIGINT/SIGTERM, freeze the run, write a durable checkpoint to this file, and exit with status 3 (resume with -ckpt-load)")
 		ckptLoad  = flag.String("ckpt-load", "", "resume a run from a checkpoint file written by -ckpt-save; workload, machine and policy flags are ignored (the checkpoint carries them)")
+		seriesOut = flag.String("series-out", "", "stream the utilization series to this file (.csv for CSV, else JSONL), one row per sampling tick; composes with -ckpt-save/-ckpt-load (the resumed series is the clean run's suffix)")
+		seriesEv  = flag.Duration("series-every", 0, "sampling period for -series-out and -metrics-addr in simulated time (default 1h; on -ckpt-load, 0 keeps the checkpointed period and phase)")
+		metrAddr  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) with live run state on this address while the run is in flight")
 		verbose   = flag.Bool("v", false, "also print workload summary")
 		cfgPath   = flag.String("config", "", "JSON experiment config (overrides the flags above)")
 		writeCfg  = flag.Bool("write-config", false, "print a starter config JSON and exit")
@@ -105,6 +121,9 @@ func main() {
 	if *forkScen != "" && *cpAt <= 0 {
 		fatalf("-fork-scenario requires -checkpoint-at")
 	}
+	if *seriesEv > 0 && *seriesOut == "" && *metrAddr == "" {
+		fatalf("-series-every requires -series-out or -metrics-addr")
+	}
 	if *ckptSave != "" {
 		if *swfStream {
 			fatalf("-ckpt-save cannot be combined with -swf-stream (a streamed trace source cannot checkpoint)")
@@ -115,15 +134,19 @@ func main() {
 		if *recordOut != "" {
 			fatalf("-ckpt-save cannot be combined with -records-out (a streamed record sink cannot be carried across a checkpoint)")
 		}
+		// -series-out IS allowed with -ckpt-save: the sampling tick
+		// chain is checkpointed, so an interrupted series file plus the
+		// resumed run's file concatenate to the uninterrupted series.
 		if *cfgPath != "" || *cpAt > 0 {
 			fatalf("-ckpt-save cannot be combined with -config or -checkpoint-at")
 		}
 	}
+	tele := newTelemetry(*progress, *seriesEv, *seriesOut, *metrAddr)
 	if *ckptLoad != "" {
 		if *swf != "" || *specFlag != "" || *scenFlag != "" || *cfgPath != "" || *cpAt > 0 || *swfStream || *recordOut != "" {
-			fatalf("-ckpt-load resumes a self-contained run; it only combines with -progress, -v and -ckpt-save")
+			fatalf("-ckpt-load resumes a self-contained run; it only combines with -progress, -series-out, -series-every, -metrics-addr, -v and -ckpt-save")
 		}
-		runFromCheckpoint(*ckptLoad, *ckptSave, *progress)
+		runFromCheckpoint(*ckptLoad, *ckptSave, tele, *seriesOut)
 		return
 	}
 	if *cpAt > 0 && *swfStream {
@@ -155,7 +178,7 @@ func main() {
 		if *cpAt > 0 {
 			fatalf("-checkpoint-at cannot be combined with -config")
 		}
-		runFromConfig(*cfgPath, *verbose, *progress)
+		runFromConfig(*cfgPath, *verbose, tele)
 		return
 	}
 
@@ -268,10 +291,10 @@ func main() {
 		label = s.Name()
 	}
 	if *cpAt > 0 {
-		runCheckpointed(label, opts, *progress, *cpAt, forkSc, *recordOut)
+		runCheckpointed(label, opts, tele, *cpAt, forkSc, *recordOut, *seriesOut)
 		return
 	}
-	h, err := dismem.New(withProgress(opts, *progress))
+	h, err := dismem.New(tele.apply(opts))
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -328,19 +351,33 @@ func drive(ctx context.Context, h *dismem.Simulation, ckptSave string) bool {
 
 // runFromCheckpoint resumes a durable checkpoint file and completes the
 // run — or freezes it again on a further interrupt when ckptSave is
-// set (checkpoints chain across any number of interruptions).
-func runFromCheckpoint(path, ckptSave string, progressEvery time.Duration) {
+// set (checkpoints chain across any number of interruptions). The
+// sampling tick chain is part of the checkpointed state, so with an
+// equal (or unset) period the resumed run's -series-out file is
+// exactly the suffix the uninterrupted run would have produced after
+// the interrupt instant; a different explicit period restarts the
+// chain fresh at the resume instant.
+func runFromCheckpoint(path, ckptSave string, tele *liveTelemetry, seriesOut string) {
 	cp, err := dismem.ReadCheckpointFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fo := dismem.ForkOptions{}
-	if progressEvery > 0 {
-		fo.Observer = progressPrinter{}
-		fo.SampleEvery = int64(progressEvery / time.Second)
-		if fo.SampleEvery < 1 {
-			fo.SampleEvery = 1
-		}
+	fo := dismem.ForkOptions{
+		Observer: tele.observer,
+		// 0 keeps the checkpointed period and phase (the series
+		// suffix-composition contract); a nonzero equal value is the
+		// same, a different one re-arms the chain at the resume
+		// instant.
+		SampleEvery: tele.sampleEvery,
+	}
+	if fo.SampleEvery == 0 && tele.wantsSampling() && cp.SampleEvery() == 0 {
+		// The checkpointed run never sampled, so there is no phase to
+		// preserve: arm a fresh chain at the default period rather
+		// than silently producing an empty series.
+		fo.SampleEvery = defaultSampleEvery
+	}
+	if seriesOut != "" {
+		fo.SeriesSink = openSeriesSink(seriesOut)
 	}
 	h, err := dismem.Fork(cp, fo)
 	if err != nil {
@@ -353,13 +390,14 @@ func runFromCheckpoint(path, ckptSave string, progressEvery time.Duration) {
 // original, then replays a forked future from the same instant —
 // under forkSc's intervention tail when given, otherwise identical:
 // both printed reports must match, which the CI fork-determinism
-// smoke checks. The one exception is -progress, whose sampling ticks
-// restart phase-shifted at the fork instant, so with it the two
-// reports may differ in the DES event count alone. With -records-out,
-// the forked run's records stream to a sibling <path>.fork file (the
+// smoke checks. The sampling tick chain is checkpointed state, and the
+// fork is re-armed at the same period, so the reports match even with
+// -progress/-series-out active — the fork's samples stay in phase
+// with the original's. With -records-out (-series-out), the forked
+// run's records (series) stream to a sibling <path>.fork file (the
 // original's sink cannot be shared across runs).
-func runCheckpointed(label string, opts dismem.Options, progressEvery time.Duration, at int64, forkSc *dismem.Scenario, recordOut string) {
-	opts = withProgress(opts, progressEvery)
+func runCheckpointed(label string, opts dismem.Options, tele *liveTelemetry, at int64, forkSc *dismem.Scenario, recordOut, seriesOut string) {
+	opts = tele.apply(opts)
 	h, err := dismem.New(opts)
 	if err != nil {
 		fatalf("%v", err)
@@ -375,9 +413,10 @@ func runCheckpointed(label string, opts dismem.Options, progressEvery time.Durat
 	}
 	printReport(label, res)
 
-	// The fork gets the same progress printer (observers are never
-	// carried across a checkpoint; see dismem.ForkOptions) and, with
-	// -records-out, its own record file.
+	// The fork gets the same observer (observers are never carried
+	// across a checkpoint; see dismem.ForkOptions), the same sampling
+	// period (equal period = in-phase continuation of the checkpointed
+	// tick chain), and its own sink files.
 	fo := dismem.ForkOptions{Observer: opts.Observer, SampleEvery: opts.SampleEvery, Scenario: forkSc}
 	if recordOut != "" {
 		forkOut := recordOut + ".fork"
@@ -397,6 +436,11 @@ func runCheckpointed(label string, opts dismem.Options, progressEvery time.Durat
 		}
 		fmt.Fprintf(os.Stderr, "note: forked run records stream to %s\n", forkOut)
 	}
+	if seriesOut != "" {
+		forkOut := seriesOut + ".fork"
+		fo.SeriesSink = openSeriesSink(forkOut)
+		fmt.Fprintf(os.Stderr, "note: forked run series streams to %s\n", forkOut)
+	}
 	fork, err := dismem.Fork(cp, fo)
 	if err != nil {
 		fatalf("fork: %v", err)
@@ -409,17 +453,169 @@ func runCheckpointed(label string, opts dismem.Options, progressEvery time.Durat
 	printReport(label, fres)
 }
 
-// withProgress wires the live progress printer into opts when a
-// period was requested.
-func withProgress(opts dismem.Options, progressEvery time.Duration) dismem.Options {
-	if progressEvery > 0 {
-		opts.Observer = progressPrinter{}
-		opts.SampleEvery = int64(progressEvery / time.Second)
-		if opts.SampleEvery < 1 {
-			opts.SampleEvery = 1 // sub-second flags still mean "show progress"
-		}
+// defaultSampleEvery is the sampling period (simulated seconds) used
+// when -series-out or -metrics-addr need ticks but no explicit period
+// was given via -series-every or -progress.
+const defaultSampleEvery = 3600
+
+// liveTelemetry bundles the three consumers of the engine's single
+// sampling clock — the -progress printer, the -series-out sink and
+// the -metrics-addr gauges — resolved from their flags once and wired
+// identically into every run path.
+type liveTelemetry struct {
+	sampleEvery int64             // explicit period from flags (0 = none given)
+	observer    dismem.Observer   // progress printer and/or gauge mirror (nil = neither)
+	sink        dismem.SeriesSink // -series-out sink (nil = none)
+}
+
+// newTelemetry resolves the observation flags. It is also the flag
+// validator: -progress and -series-every drive the same clock, so
+// disagreeing periods are a fatal usage error, not a silent pick.
+func newTelemetry(progress, seriesEv time.Duration, seriesOut, metrAddr string) *liveTelemetry {
+	prog := periodSeconds(progress)
+	ser := periodSeconds(seriesEv)
+	if prog > 0 && ser > 0 && prog != ser {
+		fatalf("-progress %v and -series-every %v disagree; the run has a single sampling clock, so pass equal periods (or drop one)", progress, seriesEv)
+	}
+	t := &liveTelemetry{sampleEvery: prog}
+	if ser > 0 {
+		t.sampleEvery = ser
+	}
+	var obs []dismem.Observer
+	if prog > 0 {
+		obs = append(obs, progressPrinter{})
+	}
+	if metrAddr != "" {
+		g := telemetry.NewGaugeSet()
+		startMetricsServer(metrAddr, g)
+		obs = append(obs, &gaugeObserver{g: g})
+	}
+	switch len(obs) {
+	case 0:
+	case 1:
+		t.observer = obs[0]
+	default:
+		t.observer = fanObserver{targets: obs}
+	}
+	if seriesOut != "" {
+		t.sink = openSeriesSink(seriesOut)
+	}
+	return t
+}
+
+// periodSeconds converts a duration flag to whole simulated seconds;
+// sub-second values still mean "sample" (clamped up to 1s).
+func periodSeconds(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if s := int64(d / time.Second); s >= 1 {
+		return s
+	}
+	return 1
+}
+
+// wantsSampling reports whether any consumer needs the sampling tick
+// chain armed.
+func (t *liveTelemetry) wantsSampling() bool {
+	return t.observer != nil || t.sink != nil
+}
+
+// apply wires the resolved consumers into a fresh run's options,
+// defaulting the period when a consumer needs ticks and no explicit
+// period was given.
+func (t *liveTelemetry) apply(opts dismem.Options) dismem.Options {
+	opts.Observer = t.observer
+	opts.SeriesSink = t.sink
+	opts.SampleEvery = t.sampleEvery
+	if opts.SampleEvery == 0 && t.wantsSampling() {
+		opts.SampleEvery = defaultSampleEvery
 	}
 	return opts
+}
+
+// fanObserver fans each sample out to several consumers in order.
+type fanObserver struct {
+	dismem.NopObserver
+	targets []dismem.Observer
+}
+
+// OnSample implements dismem.Observer.
+func (f fanObserver) OnSample(s dismem.Sample) {
+	for _, o := range f.targets {
+		o.OnSample(s)
+	}
+}
+
+// gaugeObserver mirrors each sample into the /metrics gauges, with the
+// same metric names dmserve exports for its baseline.
+type gaugeObserver struct {
+	dismem.NopObserver
+	g *telemetry.GaugeSet
+}
+
+// OnSample implements dismem.Observer.
+func (o *gaugeObserver) OnSample(s dismem.Sample) {
+	g := o.g
+	g.Set("dismem_now_seconds", "virtual clock of the run", nil, float64(s.Now))
+	g.Set("dismem_queue_depth", "jobs waiting in the queue", nil, float64(s.QueueDepth))
+	g.Set("dismem_running_jobs", "jobs running on the machine", nil, float64(s.Running))
+	g.Set("dismem_done_jobs", "jobs finished", nil, float64(s.Done))
+	g.Set("dismem_events_total", "DES events fired", nil, float64(s.Events))
+	g.Set("dismem_busy_nodes", "nodes running at least one job", nil, float64(s.Usage.BusyNodes))
+	g.Set("dismem_used_local_mib", "node-local memory in use", nil, float64(s.Usage.UsedLocal))
+	g.Set("dismem_used_pool_mib", "pooled memory in use", nil, float64(s.Usage.UsedPool))
+	g.Set("dismem_max_pool_util", "highest per-pool utilization", nil, s.Usage.MaxPoolUtil)
+	g.Set("dismem_max_congestion", "highest per-pool fabric congestion ratio", nil, s.Usage.MaxCongest)
+}
+
+// startMetricsServer serves GET /metrics on addr for the lifetime of
+// the process, printing the bound address to stderr (so ":0" is
+// usable in scripts and tests).
+func startMetricsServer(addr string, sources ...telemetry.Source) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("-metrics-addr: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dmsched: serving http://%s/metrics\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(sources...))
+	go func() {
+		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "dmsched: metrics server: %v\n", err)
+		}
+	}()
+}
+
+// fileSeriesSink closes the underlying file when the engine closes the
+// sink (the engine closes it on every terminal path, including an
+// interrupted run), so the series is fully on disk when the run
+// reports.
+type fileSeriesSink struct {
+	dismem.SeriesSink
+	f *os.File
+}
+
+// Close implements dismem.SeriesSink.
+func (s *fileSeriesSink) Close() error {
+	err := s.SeriesSink.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openSeriesSink creates the -series-out file and picks the encoding
+// by suffix (.csv = CSV, anything else = JSONL).
+func openSeriesSink(path string) dismem.SeriesSink {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return &fileSeriesSink{SeriesSink: dismem.NewCSVSeriesSink(f), f: f}
+	}
+	return &fileSeriesSink{SeriesSink: dismem.NewJSONLSeriesSink(f), f: f}
 }
 
 // progressPrinter streams one status line per sample tick.
@@ -434,7 +630,7 @@ func (progressPrinter) OnSample(s dismem.Sample) {
 }
 
 // runFromConfig executes a JSON-configured experiment.
-func runFromConfig(path string, verbose bool, progress time.Duration) {
+func runFromConfig(path string, verbose bool, tele *liveTelemetry) {
 	exp, err := config.Load(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -474,14 +670,14 @@ func runFromConfig(path string, verbose bool, progress time.Duration) {
 		fmt.Print(workload.Summarize(wl, mc.LocalMemMiB))
 		fmt.Println()
 	}
-	h, err := dismem.New(withProgress(dismem.Options{
+	h, err := dismem.New(tele.apply(dismem.Options{
 		Machine:    mc,
 		Policy:     exp.Policy,
 		Model:      exp.Model,
 		Workload:   wl,
 		StrictKill: exp.StrictKill,
 		Failures:   exp.FailureConfig(),
-	}, progress))
+	}))
 	if err != nil {
 		fatalf("%v", err)
 	}

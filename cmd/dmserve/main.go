@@ -9,8 +9,14 @@
 //
 //	curl localhost:8080/v1/status
 //	curl localhost:8080/v1/checkpoints
+//	curl localhost:8080/metrics
 //	curl -d '{"at":43200,"scenario":"at=50000 down rack=2; at=86400 up rack=2"}' \
 //	     localhost:8080/v1/whatif
+//
+// GET /metrics serves the live baseline gauges plus the service
+// counters in Prometheus text format; with -store, the drained
+// baseline's final report is archived to a run store (query it with
+// dmstore).
 //
 // SIGINT/SIGTERM stops the drive loop at a clean event boundary, writes
 // a final ring checkpoint, and exits with status 3 (the resumable-
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"dismem"
+	"dismem/internal/runstore"
 	"dismem/internal/serve"
 	"dismem/internal/workload"
 )
@@ -67,6 +74,7 @@ func main() {
 		ckptEvery = flag.Int64("ckpt-every", 21600, "ring checkpoint period in simulated seconds")
 		ckptKeep  = flag.Int("ckpt-keep", 16, "ring retention: delete the oldest checkpoint beyond this many (0 = keep all)")
 		workers   = flag.Int("workers", 0, "max concurrent what-if forks (0 = GOMAXPROCS)")
+		storeDir  = flag.String("store", "", "archive the drained baseline's report to a run store in this directory (query with dmstore)")
 		verbose   = flag.Bool("v", false, "also print workload summary")
 	)
 	flag.Parse()
@@ -141,6 +149,16 @@ func main() {
 		pol = *specFlag
 	}
 
+	var store *runstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = runstore.Open(*storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer store.Close()
+	}
+
 	s, err := serve.New(serve.Config{
 		Options: dismem.Options{
 			Machine:    mc,
@@ -155,6 +173,7 @@ func main() {
 		CkptEvery: *ckptEvery,
 		CkptKeep:  *ckptKeep,
 		Workers:   *workers,
+		Store:     store,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -1,0 +1,201 @@
+// Command dmstore queries the run archive that dmsweep and dmserve
+// write (internal/runstore): list the stored runs, show one in full,
+// or diff two reports field by field. It also hosts the CI's
+// exposition-format linter: `dmstore lint-metrics` validates a
+// /metrics scrape on stdin against the text-format grammar.
+//
+// Usage:
+//
+//	dmstore -dir runs list
+//	dmstore -dir runs show 3f2a9c
+//	dmstore -dir runs diff 3f2a9c 77b01d
+//	curl -s localhost:8080/metrics | dmstore lint-metrics
+//
+// Run ids may be abbreviated to any unambiguous prefix. Records carry
+// no wall-clock state, so `show` output is byte-identical for a run
+// archived by an interrupted-and-resumed sweep and by a clean one —
+// the property the CI run-store smoke diffs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dismem/internal/runstore"
+	"dismem/internal/telemetry"
+)
+
+func main() {
+	var (
+		dir = flag.String("dir", "runs", "run store directory")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dmstore [-dir DIR] list | show ID | diff ID ID | lint-metrics\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if args[0] == "lint-metrics" {
+		n, err := telemetry.Validate(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmstore: lint-metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d samples\n", n)
+		return
+	}
+
+	store, err := runstore.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmstore:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	switch args[0] {
+	case "list":
+		list(store)
+	case "show":
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: dmstore show ID")
+			os.Exit(2)
+		}
+		show(store, args[1])
+	case "diff":
+		if len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: dmstore diff ID ID")
+			os.Exit(2)
+		}
+		diff(store, args[1], args[2])
+	default:
+		fmt.Fprintf(os.Stderr, "dmstore: unknown command %q\n", args[0])
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func list(store *runstore.Store) {
+	runs := store.Runs()
+	if len(runs) == 0 {
+		fmt.Println("store is empty")
+		return
+	}
+	fmt.Printf("%-12s  %-14s  %4s  %-28s  %9s  %12s\n", "ID", "KIND", "SEED", "LABEL", "COMPLETED", "P95WAIT(s)")
+	for _, r := range runs {
+		completed, p95 := "-", "-"
+		if r.Report != nil {
+			completed = fmt.Sprintf("%d", r.Report.Completed)
+			p95 = fmt.Sprintf("%.1f", r.Report.P95Wait)
+		}
+		fmt.Printf("%-12s  %-14s  %4d  %-28s  %9s  %12s\n", r.ID[:12], r.Kind, r.Seed, trim(r.Label, 28), completed, p95)
+	}
+	fmt.Printf("%d runs\n", len(runs))
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func show(store *runstore.Store, id string) {
+	run := mustGet(store, id)
+	b, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmstore:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", b)
+}
+
+func diff(store *runstore.Store, aID, bID string) {
+	a, b := mustGet(store, aID), mustGet(store, bID)
+	if a.Report == nil || b.Report == nil {
+		fmt.Fprintln(os.Stderr, "dmstore: diff needs two runs with reports")
+		os.Exit(1)
+	}
+	fmt.Printf("a: %s (%s seed %d, %s)\n", a.ID, a.Kind, a.Seed, a.Label)
+	fmt.Printf("b: %s (%s seed %d, %s)\n\n", b.ID, b.Kind, b.Seed, b.Label)
+	lines := diffValues("", toTree(a.Report), toTree(b.Report))
+	if len(lines) == 0 {
+		fmt.Println("reports are identical")
+		return
+	}
+	sort.Strings(lines)
+	fmt.Printf("%-32s  %14s  %14s\n", "FIELD", "A", "B")
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func mustGet(store *runstore.Store, id string) runstore.Run {
+	run, err := store.Get(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmstore:", err)
+		os.Exit(1)
+	}
+	return run
+}
+
+// toTree round-trips a report through JSON so the diff walks exactly
+// the durable representation.
+func toTree(v any) any {
+	b, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmstore:", err)
+		os.Exit(1)
+	}
+	var tree any
+	if err := json.Unmarshal(b, &tree); err != nil {
+		fmt.Fprintln(os.Stderr, "dmstore:", err)
+		os.Exit(1)
+	}
+	return tree
+}
+
+// diffValues reports the dotted paths where a and b disagree.
+func diffValues(path string, a, b any) []string {
+	am, aok := a.(map[string]any)
+	bm, bok := b.(map[string]any)
+	if aok && bok {
+		keys := map[string]bool{}
+		for k := range am {
+			keys[k] = true
+		}
+		for k := range bm {
+			keys[k] = true
+		}
+		var out []string
+		for k := range keys {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			out = append(out, diffValues(p, am[k], bm[k])...)
+		}
+		return out
+	}
+	if fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b) {
+		return nil
+	}
+	return []string{fmt.Sprintf("%-32s  %14v  %14v", path, render(a), render(b))}
+}
+
+func render(v any) string {
+	if v == nil {
+		return "-"
+	}
+	if f, ok := v.(float64); ok {
+		return fmt.Sprintf("%.4g", f)
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -16,6 +16,13 @@
 //	dmsweep -exp table2 -csv          # machine-readable output
 //	dmsweep -exp all -manifest s.jsonl          # journal progress
 //	dmsweep -exp all -manifest s.jsonl -resume  # continue after a crash
+//
+// With -store, every completed simulation unit is archived to a
+// queryable run store (inspect with dmstore); with -metrics-addr, the
+// sweep serves its progress as a Prometheus text-format /metrics
+// endpoint while running:
+//
+//	dmsweep -exp all -store runs -metrics-addr :9090
 package main
 
 import (
@@ -23,12 +30,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
+	"dismem/internal/runstore"
 	"dismem/internal/sweep"
+	"dismem/internal/telemetry"
 )
 
 // exitInterrupted is the distinct status for a resumable interruption
@@ -45,6 +57,8 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from the -manifest journal, skipping completed units")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot     = flag.Bool("plot", false, "also render figure sweeps as ASCII charts")
+		storeDir = flag.String("store", "", "archive every completed unit's report to a run store in this directory (query with dmstore)")
+		metrAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) with sweep progress on this address while the sweep runs")
 	)
 	flag.Parse()
 
@@ -57,6 +71,27 @@ func main() {
 	defer cancel()
 
 	o := sweep.Options{Jobs: *jobs, Seeds: *seeds, Workers: *workers, Ctx: ctx}
+	if *storeDir != "" {
+		store, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmsweep:", err)
+			os.Exit(2)
+		}
+		defer store.Close()
+		o.Store = store
+	}
+	var unitsDone atomic.Int64
+	o.UnitDone = func() { unitsDone.Add(1) }
+	if *metrAddr != "" {
+		startMetricsServer(*metrAddr, telemetry.SourceFunc(func() []telemetry.Metric {
+			return []telemetry.Metric{{
+				Name:  "dmsweep_units_done_total",
+				Help:  "simulation units completed (including units served from the resume journal)",
+				Type:  telemetry.Counter,
+				Value: float64(unitsDone.Load()),
+			}}
+		}))
+	}
 	if *manifest != "" {
 		m, err := sweep.OpenManifest(*manifest, o, *resume)
 		if err != nil {
@@ -104,4 +139,23 @@ func main() {
 			}
 		}
 	}
+}
+
+// startMetricsServer serves GET /metrics on addr for the lifetime of
+// the process, printing the bound address to stderr (so ":0" is
+// usable in scripts and tests).
+func startMetricsServer(addr string, sources ...telemetry.Source) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmsweep: -metrics-addr:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "dmsweep: serving http://%s/metrics\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(sources...))
+	go func() {
+		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "dmsweep: metrics server: %v\n", err)
+		}
+	}()
 }

@@ -178,6 +178,14 @@ type (
 	// NewJSONLSink / NewCSVSink (or use DiscardRecords) and attach it
 	// with Options.RecordSink.
 	Sink = metrics.Sink
+	// SeriesSink consumes periodic utilization samples as a run
+	// produces them: the time-series analogue of Sink. Build one with
+	// NewJSONLSeriesSink / NewCSVSeriesSink (or use DiscardSeries) and
+	// attach it with Options.SeriesSink plus a SampleEvery period.
+	SeriesSink = metrics.SeriesSink
+	// SeriesPoint is one row of the utilization time series a
+	// SeriesSink receives (see internal/metrics for the wire schema).
+	SeriesPoint = metrics.SeriesPoint
 	// SWFReadOptions controls SWF trace import (ReadSWF and SWFSource).
 	SWFReadOptions = workload.SWFReadOptions
 )
@@ -187,6 +195,10 @@ type (
 // counts and means plus streaming percentile estimates (exact up to
 // 1024 jobs, P² beyond).
 var DiscardRecords Sink = metrics.Discard
+
+// DiscardSeries is the SeriesSink that drops every sample: sampling
+// runs (observers still fire) but no series is exported.
+var DiscardSeries SeriesSink = metrics.DiscardSeries
 
 // Topology constants for MachineConfig.
 const (
@@ -279,6 +291,15 @@ func NewJSONLSink(w io.Writer) Sink { return metrics.NewJSONLSink(w) }
 // record to w, with the same lifecycle as NewJSONLSink.
 func NewCSVSink(w io.Writer) Sink { return metrics.NewCSVSink(w) }
 
+// NewJSONLSeriesSink returns a SeriesSink writing one JSON object per
+// sample line to w. The sink buffers; the engine flushes and closes it
+// at the end of the run (the caller still closes any underlying file).
+func NewJSONLSeriesSink(w io.Writer) SeriesSink { return metrics.NewJSONLSeriesSink(w) }
+
+// NewCSVSeriesSink returns a SeriesSink writing a header plus one CSV
+// row per sample to w, with the same lifecycle as NewJSONLSeriesSink.
+func NewCSVSeriesSink(w io.Writer) SeriesSink { return metrics.NewCSVSeriesSink(w) }
+
 // Options configures a simulation (see New and Simulate).
 type Options struct {
 	// Machine is the machine configuration (DefaultMachine if zero).
@@ -335,8 +356,15 @@ type Options struct {
 	// read-only w.r.t. engine state; a nil Observer costs nothing.
 	Observer Observer
 	// SampleEvery is the period, in simulated seconds, of periodic
-	// Observer.OnSample ticks (0 = no sampling).
+	// sampling ticks (0 = no sampling). Each tick delivers
+	// Observer.OnSample and streams a SeriesPoint to SeriesSink;
+	// ignored when neither consumer is configured.
 	SampleEvery int64
+	// SeriesSink streams one utilization SeriesPoint per sampling tick:
+	// the time-series analogue of RecordSink. Requires SampleEvery > 0
+	// to produce anything. The engine closes the sink at the end of the
+	// run.
+	SeriesSink SeriesSink
 }
 
 // Simulate runs one simulation to completion: a convenience wrapper

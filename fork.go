@@ -30,9 +30,11 @@ import (
 // failure seed) are each deterministic per override.
 //
 // What cannot be checkpointed: a streaming SWF source (an io.Reader's
-// position cannot be duplicated — materialise the trace first),
-// Observers and RecordSinks (live callbacks and writers; forks attach
-// their own via ForkOptions).
+// position cannot be duplicated — materialise the trace first), and
+// Observers, RecordSinks and SeriesSinks (live callbacks and writers;
+// forks attach their own via ForkOptions — the sampling tick chain
+// itself IS checkpointed, so a fork's samples stay in phase with the
+// parent's).
 type Checkpoint struct {
 	cp   *sim.Checkpoint
 	opts Options
@@ -49,6 +51,13 @@ func (c *Checkpoint) Policy() string { return c.opts.Policy }
 // a run built with Options.ModelImpl; the engine default is
 // "linear:0.5").
 func (c *Checkpoint) Model() string { return c.opts.Model }
+
+// SampleEvery returns the sampling period the checkpointed run was
+// built with (0 = sampling was off). A Fork that passes
+// ForkOptions.SampleEvery equal to this value — or 0 — continues the
+// checkpointed tick chain in phase; any other value re-arms it fresh
+// at the fork instant.
+func (c *Checkpoint) SampleEvery() int64 { return c.opts.SampleEvery }
 
 // Checkpoint captures the simulation's complete state at the current
 // event boundary. The simulation must still be live: not stopped and
@@ -108,17 +117,26 @@ type ForkOptions struct {
 	// checkpointed run to have failure injection configured.
 	ReseedFailures bool
 	FailureSeed    uint64
-	// Observer receives the fork's lifecycle callbacks; with
-	// SampleEvery > 0 (0 keeps the original period) periodic sampling
-	// restarts at the fork instant. Parent observers are never carried
-	// over.
-	Observer    Observer
+	// Observer receives the fork's lifecycle callbacks. When the
+	// checkpointed run was sampling, the fork continues the tick chain
+	// in phase: its sample instants are identical to the uninterrupted
+	// run's. Parent observers are never carried over.
+	Observer Observer
+	// SampleEvery overrides the sampling period (0 keeps the original
+	// period and phase; a different period restarts the chain at the
+	// fork instant).
 	SampleEvery int64
 	// RecordSink receives the fork's per-job records. When nil and the
 	// original run recorded boundedly, the fork uses DiscardRecords
 	// (prefix records already streamed to the parent's sink and cannot
 	// be re-emitted).
 	RecordSink Sink
+	// SeriesSink receives the fork's utilization series (nil = none;
+	// parent sinks are never carried over). For a resumed run this
+	// yields exactly the suffix of the clean run's series:
+	// concatenating the parent's JSONL series with the fork's
+	// reproduces an uninterrupted run's file byte for byte.
+	SeriesSink SeriesSink
 }
 
 // Fork resumes one divergent future from a checkpoint: same prefix,
@@ -169,6 +187,7 @@ func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
 		Observer:       o.Observer,
 		SampleEvery:    o.SampleEvery,
 		RecordSink:     o.RecordSink,
+		SeriesSink:     o.SeriesSink,
 	}
 	switch {
 	case o.SchedulerImpl != nil:
@@ -207,6 +226,13 @@ func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
 		opts.RecordSink = o.RecordSink
 	}
 	opts.Observer = o.Observer
-	opts.SampleEvery = o.SampleEvery
+	opts.SeriesSink = o.SeriesSink
+	// SampleEvery 0 keeps the checkpointed period, so the recorded
+	// options keep it too: a re-checkpointed fork must persist the
+	// period its live tick chain actually runs at, or resuming that
+	// second-generation checkpoint would reject its pending tick.
+	if o.SampleEvery > 0 {
+		opts.SampleEvery = o.SampleEvery
+	}
 	return &Simulation{eng: eng, opts: opts, horizon: o.Horizon}, nil
 }

@@ -103,6 +103,52 @@ func Simulation(b *testing.B) {
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// SeriesSampling measures the price of live observation: the headline
+// Simulation workload with the sampling tick chain armed at a
+// 600-simulated-second period and every sample encoded to a discarded
+// JSONL series stream. The jobs/s gap to Simulation (which never arms
+// the chain) is the full cost of -series-out at this sampling rate —
+// tick events, usage snapshots and JSON encoding included.
+func SeriesSampling(b *testing.B) {
+	b.ReportAllocs()
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	samples := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counter := &countingWriter{}
+		h, err := dismem.New(dismem.Options{
+			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+			SampleEvery: 600,
+			SeriesSink:  dismem.NewJSONLSeriesSink(counter),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Jobs() == 0 {
+			b.Fatal("no jobs ran")
+		}
+		if counter.lines == 0 {
+			b.Fatal("no samples streamed")
+		}
+		samples += counter.lines
+	}
+	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/run")
+}
+
+// countingWriter counts JSONL lines on their way to the void.
+type countingWriter struct{ lines int }
+
+// Write implements io.Writer.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.lines += bytes.Count(p, []byte{'\n'})
+	return len(p), nil
+}
+
 // CheckpointFork measures the checkpoint+fork overhead in isolation: a
 // mid-trace Simulation (the SimulationJobs workload advanced to its
 // submit-time midpoint) is checkpointed and forked once per iteration,

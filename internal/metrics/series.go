@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SeriesPoint is one row of a utilization time series: the engine's
+// periodic sample flattened to plain serializable numbers. It carries
+// the same quantities Observer.OnSample delivers — clock, backlog,
+// occupancy, fired events — plus the per-pool usage breakdown, so a
+// sink never needs to reach back into live machine state.
+type SeriesPoint struct {
+	// Now is the virtual clock in seconds since simulation start.
+	Now int64
+	// QueueDepth is the number of jobs waiting to be dispatched.
+	QueueDepth int
+	// Running is the number of jobs currently holding resources.
+	Running int
+	// Done counts jobs that reached a terminal state so far.
+	Done int
+	// Events is the number of DES events fired so far.
+	Events uint64
+
+	// Machine occupancy at the sample instant.
+	BusyNodes    int
+	UsedCores    int
+	UsedLocalMiB int64
+	UsedPoolMiB  int64
+	// PoolDemandGiBps is the aggregate fabric demand across pools.
+	PoolDemandGiBps float64
+	// MaxPoolUtil is the max over pools of used/capacity.
+	MaxPoolUtil float64
+	// MaxCongest is the max over pools of demand/bandwidth.
+	MaxCongest float64
+
+	// Pools is the per-pool usage breakdown, ascending by pool ID
+	// (empty on pool-less machines).
+	Pools []PoolPoint
+}
+
+// PoolPoint is one pool's share of a SeriesPoint.
+type PoolPoint struct {
+	ID          int     `json:"id"`
+	UsedMiB     int64   `json:"used_mib"`
+	CapacityMiB int64   `json:"cap_mib"`
+	DemandGiBps float64 `json:"demand_gibps"`
+}
+
+// SeriesSink consumes periodic sample rows as the simulation produces
+// them: the time-series analogue of the per-job record Sink. A
+// SeriesSink is driven from the single simulation goroutine; Close
+// flushes buffered output and reports the first write error. The
+// engine closes its configured sink exactly once, on every terminal
+// path of the run.
+type SeriesSink interface {
+	Add(p SeriesPoint)
+	Close() error
+}
+
+// DiscardSeries is the SeriesSink that drops every point.
+var DiscardSeries SeriesSink = discardSeries{}
+
+type discardSeries struct{}
+
+func (discardSeries) Add(SeriesPoint) {}
+func (discardSeries) Close() error    { return nil }
+
+// SeriesStreamSink encodes each sample as one line — JSONL or CSV — to
+// a buffered writer, with the same discipline as StreamSink: the first
+// write error latches (subsequent Adds are no-ops, Close reports it)
+// and the sink never closes the underlying writer.
+type SeriesStreamSink struct {
+	bw       *bufio.Writer
+	csv      bool
+	headered bool
+	err      error
+}
+
+// NewJSONLSeriesSink returns a sink writing one JSON object per sample
+// line.
+func NewJSONLSeriesSink(w io.Writer) *SeriesStreamSink {
+	return &SeriesStreamSink{bw: bufio.NewWriter(w)}
+}
+
+// NewCSVSeriesSink returns a sink writing a header row plus one CSV
+// row per sample. The per-pool breakdown flattens into a single
+// "pools" column of ';'-joined id=used/cap entries.
+func NewCSVSeriesSink(w io.Writer) *SeriesStreamSink {
+	return &SeriesStreamSink{bw: bufio.NewWriter(w), csv: true}
+}
+
+// jsonSeriesPoint fixes the export schema (and field order)
+// independently of the in-memory SeriesPoint layout.
+type jsonSeriesPoint struct {
+	Now             int64       `json:"now"`
+	QueueDepth      int         `json:"queue_depth"`
+	Running         int         `json:"running"`
+	Done            int         `json:"done"`
+	Events          uint64      `json:"events"`
+	BusyNodes       int         `json:"busy_nodes"`
+	UsedCores       int         `json:"used_cores"`
+	UsedLocalMiB    int64       `json:"used_local_mib"`
+	UsedPoolMiB     int64       `json:"used_pool_mib"`
+	PoolDemandGiBps float64     `json:"pool_demand_gibps"`
+	MaxPoolUtil     float64     `json:"max_pool_util"`
+	MaxCongest      float64     `json:"max_congest"`
+	Pools           []PoolPoint `json:"pools,omitempty"`
+}
+
+// seriesCSVHeader matches jsonSeriesPoint's field order.
+const seriesCSVHeader = "now,queue_depth,running,done,events,busy_nodes,used_cores,used_local_mib,used_pool_mib,pool_demand_gibps,max_pool_util,max_congest,pools"
+
+// Add implements SeriesSink.
+func (s *SeriesStreamSink) Add(p SeriesPoint) {
+	if s.err != nil {
+		return
+	}
+	if s.csv {
+		if !s.headered {
+			s.headered = true
+			if _, err := fmt.Fprintln(s.bw, seriesCSVHeader); err != nil {
+				s.err = err
+				return
+			}
+		}
+		var pools strings.Builder
+		for i, pp := range p.Pools {
+			if i > 0 {
+				pools.WriteByte(';')
+			}
+			fmt.Fprintf(&pools, "%d=%d/%d", pp.ID, pp.UsedMiB, pp.CapacityMiB)
+		}
+		_, err := fmt.Fprintf(s.bw, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%g,%g,%s\n",
+			p.Now, p.QueueDepth, p.Running, p.Done, p.Events,
+			p.BusyNodes, p.UsedCores, p.UsedLocalMiB, p.UsedPoolMiB,
+			p.PoolDemandGiBps, p.MaxPoolUtil, p.MaxCongest, pools.String())
+		s.err = err
+		return
+	}
+	blob, err := json.Marshal(jsonSeriesPoint{
+		Now: p.Now, QueueDepth: p.QueueDepth, Running: p.Running,
+		Done: p.Done, Events: p.Events,
+		BusyNodes: p.BusyNodes, UsedCores: p.UsedCores,
+		UsedLocalMiB: p.UsedLocalMiB, UsedPoolMiB: p.UsedPoolMiB,
+		PoolDemandGiBps: p.PoolDemandGiBps, MaxPoolUtil: p.MaxPoolUtil,
+		MaxCongest: p.MaxCongest, Pools: p.Pools,
+	})
+	if err != nil {
+		s.err = err
+		return
+	}
+	blob = append(blob, '\n')
+	_, s.err = s.bw.Write(blob)
+}
+
+// Close implements SeriesSink: it flushes and returns the first error.
+func (s *SeriesStreamSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}

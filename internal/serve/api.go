@@ -11,6 +11,7 @@ import (
 
 	"dismem"
 	"dismem/internal/report"
+	"dismem/internal/telemetry"
 )
 
 // WhatIfRequest is the body of POST /v1/whatif: a what-if query against
@@ -223,6 +224,10 @@ func (s *Server) whatif(req *WhatIfRequest) (*WhatIfResponse, *dismem.Result, er
 	}
 	cp, err := entry.load()
 	if err != nil {
+		// The error is sticky (sync.Once): every query that picks this
+		// corrupt entry fails identically, and the counter makes the
+		// condition visible on /metrics before anyone reads the logs.
+		s.ckptLoadErrors.Add(1)
 		return nil, nil, &httpError{status: http.StatusInternalServerError,
 			msg: fmt.Sprintf("loading checkpoint %s: %v", entry.path, err)}
 	}
@@ -300,12 +305,16 @@ func (s *Server) recordFork(d time.Duration) {
 //	GET  /v1/checkpoints — the ring, ascending by instant
 //	POST /v1/whatif      — fork a what-if future (?format=text for the
 //	                       canonical plain-text report)
-//	GET  /debug/vars     — expvar counters (per-server, under "dmserve")
+//	GET  /metrics        — live baseline gauges + service counters in
+//	                       the Prometheus text exposition format
+//	GET  /debug/vars     — expvar counters (per-server, under the
+//	                       server's unique name; see VarsName)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/checkpoints", s.handleCheckpoints)
 	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
+	mux.Handle("/metrics", telemetry.Handler(s.gauges, telemetry.ExpvarSource(s.varsName, &s.vars)))
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	return mux
 }
@@ -426,12 +435,20 @@ func asHTTPError(err error, target **httpError) bool {
 
 // handleVars serves the per-server counters plus the process-global
 // expvar set (memstats, cmdline) in the standard /debug/vars shape.
+// The server's map leads under its process-unique name and is skipped
+// in the global sweep (it is published there too), so the body is
+// valid JSON with no duplicate keys even when several servers share
+// the process — each shows up once, under its own name.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	var names []string
-	expvar.Do(func(kv expvar.KeyValue) { names = append(names, kv.Key) })
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key != s.varsName {
+			names = append(names, kv.Key)
+		}
+	})
 	sort.Strings(names)
-	fmt.Fprintf(w, "{\n\"dmserve\": %s", s.vars.String())
+	fmt.Fprintf(w, "{\n%q: %s", s.varsName, s.vars.String())
 	for _, name := range names {
 		fmt.Fprintf(w, ",\n%q: %s", name, expvar.Get(name).String())
 	}

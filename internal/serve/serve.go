@@ -27,12 +27,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"dismem"
+	"dismem/internal/runstore"
+	"dismem/internal/telemetry"
 )
 
 // Config parameterises a Server.
@@ -64,6 +68,11 @@ type Config struct {
 	// interrupt-check and status-publish interval (default 3600,
 	// capped at CkptEvery).
 	Chunk int64
+	// Store, when non-nil, archives the baseline's final report as a
+	// "serve-baseline" run record the moment the baseline drains. The
+	// record carries no wall-clock state, so a baseline resumed from
+	// the ring archives exactly what an uninterrupted one archives.
+	Store *runstore.Store
 }
 
 // Status is the live baseline snapshot the drive loop publishes after
@@ -96,15 +105,43 @@ type Server struct {
 
 	sem chan struct{} // bounded what-if worker pool
 
-	base baselineCache
+	base     baselineCache
+	archived bool // baseline report already written to cfg.Store
 
-	// expvar counters, grouped under one per-server map so multiple
-	// servers (tests) never fight over the process-global registry.
+	// expvar counters, grouped under one per-server map published
+	// under a process-unique name ("dmserve", "dmserve_2", ...) so two
+	// servers in one process never collide in the global registry or
+	// emit duplicate keys in a /debug/vars body.
+	varsName                                 string
 	vars                                     expvar.Map
 	queriesServed, queriesInflight           expvar.Int
 	queriesErrored                           expvar.Int
 	forksTotal, forkNsTotal, forkNsMax       expvar.Int
 	ckptsWritten, ckptsEvicted, baselineHits expvar.Int
+	ckptLoadErrors                           expvar.Int
+
+	// gauges mirrors the published Status for GET /metrics scrapes.
+	gauges *telemetry.GaugeSet
+}
+
+// varsNames tracks the per-server expvar map names taken in this
+// process; expvar.Publish panics on a duplicate, so allocation must be
+// collision-free for the process lifetime (the registry has no
+// unpublish).
+var varsNames struct {
+	mu  sync.Mutex
+	seq int
+}
+
+// nextVarsName allocates the next process-unique server name.
+func nextVarsName() string {
+	varsNames.mu.Lock()
+	defer varsNames.mu.Unlock()
+	varsNames.seq++
+	if varsNames.seq == 1 {
+		return "dmserve"
+	}
+	return fmt.Sprintf("dmserve_%d", varsNames.seq)
 }
 
 // New builds the server: a fresh baseline from cfg.Options, or — when
@@ -140,10 +177,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		label: cfg.Label,
-		ring:  r,
-		sem:   make(chan struct{}, cfg.Workers),
+		cfg:    cfg,
+		label:  cfg.Label,
+		ring:   r,
+		sem:    make(chan struct{}, cfg.Workers),
+		gauges: telemetry.NewGaugeSet(),
 	}
 	s.initVars()
 
@@ -151,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 	if e, ok := r.newest(); ok {
 		cp, err := e.load()
 		if err != nil {
+			s.ckptLoadErrors.Add(1)
 			return nil, fmt.Errorf("serve: resuming baseline from %s: %w", e.path, err)
 		}
 		s.sim, err = dismem.Fork(cp, dismem.ForkOptions{})
@@ -181,7 +220,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// initVars wires the counters into the server's expvar map.
+// initVars wires the counters into the server's expvar map and
+// publishes the map under a process-unique name, so one /debug/vars
+// body (or /metrics scrape) can show every server in the process
+// without key collisions.
 func (s *Server) initVars() {
 	s.vars.Init()
 	s.vars.Set("queries_served", &s.queriesServed)
@@ -193,7 +235,14 @@ func (s *Server) initVars() {
 	s.vars.Set("checkpoints_written", &s.ckptsWritten)
 	s.vars.Set("checkpoints_evicted", &s.ckptsEvicted)
 	s.vars.Set("baseline_cache_hits", &s.baselineHits)
+	s.vars.Set("checkpoint_load_errors", &s.ckptLoadErrors)
+	s.varsName = nextVarsName()
+	expvar.Publish(s.varsName, &s.vars)
 }
+
+// VarsName returns the process-unique expvar key this server's counter
+// map is published under ("dmserve" for the first server).
+func (s *Server) VarsName() string { return s.varsName }
 
 // ResumedFrom returns the ring file the baseline was resumed from, or
 // "" when the server started fresh.
@@ -202,7 +251,8 @@ func (s *Server) ResumedFrom() string { return s.resumed }
 // Status returns the latest published baseline snapshot.
 func (s *Server) Status() Status { return *s.status.Load() }
 
-// publishStatus snapshots the baseline for lock-free handler reads.
+// publishStatus snapshots the baseline for lock-free handler reads and
+// mirrors the snapshot into the /metrics gauges.
 // Drive-loop-goroutine only.
 func (s *Server) publishStatus() {
 	sample := s.sim.Sample()
@@ -219,6 +269,54 @@ func (s *Server) publishStatus() {
 		MaxPoolUtil:  sample.Usage.MaxPoolUtil,
 		BaselineDone: s.sim.Done(),
 	})
+	g := s.gauges
+	g.Set("dismem_now_seconds", "baseline virtual clock", nil, float64(sample.Now))
+	g.Set("dismem_queue_depth", "jobs waiting in the baseline queue", nil, float64(sample.QueueDepth))
+	g.Set("dismem_running_jobs", "jobs running on the baseline machine", nil, float64(sample.Running))
+	g.Set("dismem_done_jobs", "baseline jobs finished", nil, float64(sample.Done))
+	g.Set("dismem_events_total", "DES events fired by the baseline", nil, float64(sample.Events))
+	g.Set("dismem_busy_nodes", "baseline nodes running at least one job", nil, float64(sample.Usage.BusyNodes))
+	g.Set("dismem_used_local_mib", "baseline node-local memory in use", nil, float64(sample.Usage.UsedLocal))
+	g.Set("dismem_used_pool_mib", "baseline pooled memory in use", nil, float64(sample.Usage.UsedPool))
+	g.Set("dismem_max_pool_util", "highest per-pool utilization", nil, sample.Usage.MaxPoolUtil)
+	g.Set("dismem_max_congestion", "highest per-pool fabric congestion ratio", nil, sample.Usage.MaxCongest)
+	done := 0.0
+	if s.sim.Done() {
+		done = 1
+	}
+	g.Set("dismem_baseline_done", "1 once the baseline workload drained", nil, done)
+}
+
+// archiveBaseline writes the drained baseline's final report to the
+// configured run store, once. Drive-loop-goroutine only.
+func (s *Server) archiveBaseline() error {
+	if s.cfg.Store == nil || s.archived {
+		return nil
+	}
+	res, err := s.sim.Result()
+	if err != nil {
+		return fmt.Errorf("serve: archiving baseline: %w", err)
+	}
+	spec, err := json.Marshal(struct {
+		Policy string `json:"policy"`
+		Model  string `json:"model"`
+	}{s.cfg.Options.Policy, s.cfg.Options.Model})
+	if err != nil {
+		return fmt.Errorf("serve: archiving baseline: %w", err)
+	}
+	rec := runstore.Run{
+		ID:     runstore.KeyOf("serve-baseline", spec, 0),
+		Kind:   "serve-baseline",
+		Label:  s.label,
+		Spec:   spec,
+		Report: res.Report,
+		Events: res.Events,
+	}
+	if err := s.cfg.Store.Append(rec); err != nil {
+		return fmt.Errorf("serve: archiving baseline: %w", err)
+	}
+	s.archived = true
+	return nil
 }
 
 // advance drives the baseline one chunk (never past the next ring
@@ -228,7 +326,7 @@ func (s *Server) publishStatus() {
 func (s *Server) advance() (bool, error) {
 	if s.sim.Done() {
 		s.publishStatus()
-		return false, nil
+		return false, s.archiveBaseline()
 	}
 	target := s.sim.Now() + s.cfg.Chunk
 	if target > s.nextCkpt {
@@ -242,7 +340,10 @@ func (s *Server) advance() (bool, error) {
 		s.nextCkpt += s.cfg.CkptEvery
 	}
 	s.publishStatus()
-	return !s.sim.Done(), nil
+	if s.sim.Done() {
+		return false, s.archiveBaseline()
+	}
+	return true, nil
 }
 
 // writeRingCheckpoint freezes the baseline and admits the checkpoint

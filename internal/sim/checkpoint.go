@@ -28,7 +28,7 @@ import (
 // Resume deep-copies everything it hands to the new engine, and the
 // checkpointed source cursor is forked, never advanced.
 type Checkpoint struct {
-	cfg     Config // Observer and RecordSink cleared (live callbacks/writers)
+	cfg     Config // Observer, RecordSink and SeriesSink cleared (live callbacks/writers)
 	bounded bool   // recorder was in bounded (non-retaining) mode
 
 	now    int64
@@ -82,10 +82,12 @@ func (cp *Checkpoint) Now() int64 { return cp.now }
 // Checkpointing does not disturb the engine: it can keep running, and
 // its future is unaffected by any forks taken from the checkpoint.
 //
-// Periodic observer sample ticks are deliberately not captured:
-// observers are live callbacks that cannot be cloned. A resumed future
-// that wants sampling passes its own Observer (and period) in
-// Overrides, which starts a fresh tick chain at the resume instant.
+// The pending periodic sampling tick IS captured (it is an ordinary
+// tagged event; only the consumers — observer and series sink — are
+// live and cleared). A future resumed with its own Observer or
+// SeriesSink therefore continues the checkpointed tick chain in phase:
+// its sample instants, and their order relative to same-instant
+// events, are identical to the uninterrupted run's (DESIGN.md §11).
 func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	if !e.started {
 		return nil, fmt.Errorf("sim: checkpoint of an unstarted engine")
@@ -106,16 +108,9 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 			return nil, fmt.Errorf("sim: source %T declined to fork", e.src)
 		}
 	}
-	recs, err := e.sim.Snapshot()
+	events, err := e.sim.Snapshot()
 	if err != nil {
 		return nil, err
-	}
-	// Drop sample ticks (see doc comment); everything else is captured.
-	events := recs[:0:0]
-	for _, r := range recs {
-		if r.Kind != evSample {
-			events = append(events, r)
-		}
 	}
 
 	cp := &Checkpoint{
@@ -145,6 +140,7 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	}
 	cp.cfg.Observer = nil
 	cp.cfg.RecordSink = nil
+	cp.cfg.SeriesSink = nil
 	if e.failRNG != nil {
 		cp.failRNG = e.failRNG.Clone()
 	}
@@ -190,11 +186,16 @@ type Overrides struct {
 	// been configured.
 	ReseedFailures bool
 	FailureSeed    uint64
-	// Observer receives the future's lifecycle callbacks; with
-	// SampleEvery (0 keeps the checkpointed period) it also restarts
-	// periodic sampling from the resume instant.
+	// Observer receives the future's lifecycle callbacks. When the
+	// checkpointed run was sampling, the restored tick chain continues
+	// in phase — the future's sample instants are identical to the
+	// uninterrupted run's. A checkpoint taken without sampling starts a
+	// fresh chain at the resume instant when the future enables it.
 	Observer Observer
-	// SampleEvery overrides the sampling period in simulated seconds.
+	// SampleEvery overrides the sampling period in simulated seconds
+	// (0 keeps the checkpointed period). A period different from the
+	// checkpointed one discards the restored tick and restarts the
+	// chain from the resume instant at the new period.
 	SampleEvery int64
 	// RecordSink attaches a record sink for the future's records. When
 	// nil and the checkpointed run recorded boundedly, the future uses
@@ -202,6 +203,13 @@ type Overrides struct {
 	// parent's sink are never re-emitted, and a bounded run cannot
 	// reconstruct them.
 	RecordSink metrics.Sink
+	// SeriesSink streams the future's utilization series (nil = none;
+	// parent sinks are never carried over). A resumed run's series is
+	// the uninterrupted run's series minus the rows already streamed to
+	// the parent's sink: concatenating the two files reproduces the
+	// clean run's series byte for byte (JSONL; a CSV resume re-emits
+	// the header).
+	SeriesSink metrics.SeriesSink
 }
 
 // Resume builds a fresh engine from a checkpoint, applying the
@@ -227,6 +235,11 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 		return nil, fmt.Errorf("sim: cannot reseed failures: checkpointed run has no failure injection")
 	}
 	cfg.Observer = o.Observer
+	cfg.SeriesSink = o.SeriesSink
+	// A changed sampling period cannot continue the checkpointed tick
+	// chain: the restored tick (scheduled one old period after the last
+	// fire) is dropped and a fresh chain starts at the resume instant.
+	periodChanged := o.SampleEvery > 0 && o.SampleEvery != cp.cfg.SampleEvery
 	if o.SampleEvery > 0 {
 		cfg.SampleEvery = o.SampleEvery
 	}
@@ -246,6 +259,7 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 		m:            cp.machine.Clone(),
 		rec:          rec,
 		obs:          cfg.Observer,
+		series:       cfg.SeriesSink,
 		started:      true,
 		srcDone:      cp.srcDone,
 		srcErr:       cp.srcErr,
@@ -324,6 +338,11 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 				return nil // the new timeline is scheduled below
 			}
 			return e.scenarioHandler(r.Data.(int))
+		case evSample:
+			if !e.sampling() || periodChanged {
+				return nil // no consumer, or a fresh chain is armed below
+			}
+			return e.sampleHandler()
 		default:
 			rebuildErr = fmt.Errorf("sim: checkpoint holds event of unknown kind %d (Resume not updated for a new event family?)", r.Kind)
 			return nil
@@ -357,6 +376,8 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 			e.scenEvs = append(e.scenEvs, ev)
 		case evPass:
 			e.passQueue = true
+		case evSample:
+			e.sampleEv = ev
 		}
 	}
 	for id, rs := range e.running {
@@ -383,7 +404,12 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 			e.failRNG = stats.NewRNG(o.FailureSeed)
 			e.scheduleNextFailure()
 		}
-		if e.obs != nil && cfg.SampleEvery > 0 {
+		if e.sampling() && e.sampleEv == nil {
+			// The checkpointed run was not sampling (or the period
+			// changed): start a fresh tick chain at the resume instant.
+			// A restored tick takes precedence — it keeps the resumed
+			// run's sample instants identical to the uninterrupted
+			// run's.
 			e.scheduleNextSample()
 		}
 	}

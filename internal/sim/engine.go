@@ -52,8 +52,9 @@ type Config struct {
 	// Callbacks must be read-only w.r.t. engine state; see Observer.
 	Observer Observer
 	// SampleEvery is the period, in simulated seconds, of periodic
-	// Observer.OnSample ticks (0 = no sampling). Ignored without an
-	// Observer.
+	// sampling ticks (0 = no sampling). Each tick delivers
+	// Observer.OnSample and streams a metrics.SeriesPoint to
+	// SeriesSink; ignored when neither consumer is configured.
 	SampleEvery int64
 	// RecordSink switches metrics to bounded recording: per-job records
 	// stream to the sink (metrics.Discard to drop them) instead of
@@ -62,6 +63,10 @@ type Config struct {
 	// observations, P² beyond) — everything else stays exact. Nil (the default) keeps
 	// the retain-all Recorder. The engine closes the sink at Finish.
 	RecordSink metrics.Sink
+	// SeriesSink streams one utilization SeriesPoint per sampling tick
+	// (see SampleEvery): the time-series analogue of RecordSink. The
+	// engine closes it exactly once, on every terminal path of the run.
+	SeriesSink metrics.SeriesSink
 }
 
 // FailureConfig models node failures as a Poisson process per node with
@@ -209,6 +214,13 @@ type Engine struct {
 	scenarioDown map[cluster.NodeID]bool
 
 	sampleEv *des.Event
+
+	// Series export state: the configured sink, its one-shot close
+	// latch, and the close error (surfaced at Finish like the record
+	// sink's).
+	series       metrics.SeriesSink
+	seriesClosed bool
+	seriesErr    error
 }
 
 // New builds an engine; the machine is constructed from cfg.Machine.
@@ -239,6 +251,7 @@ func New(cfg Config) (*Engine, error) {
 		m:            m,
 		rec:          rec,
 		obs:          cfg.Observer,
+		series:       cfg.SeriesSink,
 		running:      make(map[int]*runningState),
 		reDilate:     memmodel.ContentionSensitive(cfg.Model),
 		restarts:     make(map[int]int),
@@ -271,9 +284,10 @@ func (e *Engine) Start(w *workload.Workload) error {
 	}
 	if err := w.Validate(); err != nil {
 		// A failed start is a terminal path for this engine: close the
-		// configured sink now (idempotent) so its buffer is never left
-		// unflushed behind an error return.
+		// configured sinks now (idempotent) so their buffers are never
+		// left unflushed behind an error return.
 		_ = e.rec.CloseSink()
+		_ = e.closeSeries()
 		return err
 	}
 	return e.startSource(source.FromWorkload(w))
@@ -290,6 +304,7 @@ func (e *Engine) Start(w *workload.Workload) error {
 func (e *Engine) StartSource(src source.Source) error {
 	if src == nil {
 		_ = e.rec.CloseSink()
+		_ = e.closeSeries()
 		return fmt.Errorf("sim: nil source")
 	}
 	if e.cfg.Scenario.Modulates() {
@@ -312,15 +327,16 @@ func (e *Engine) startSource(src source.Source) error {
 	hasWork := !e.srcDone
 	if e.srcErr != nil {
 		// The engine will never reach Finish; close (and flush) the
-		// sink on this terminal path too.
+		// sinks on this terminal path too.
 		_ = e.rec.CloseSink()
+		_ = e.closeSeries()
 		return e.srcErr
 	}
 	if e.cfg.Failures != nil && hasWork {
 		e.failRNG = stats.NewRNG(e.cfg.Failures.Seed)
 		e.scheduleNextFailure()
 	}
-	if e.obs != nil && e.cfg.SampleEvery > 0 && hasWork {
+	if e.sampling() && hasWork {
 		e.scheduleNextSample()
 	}
 	if e.cfg.Scenario != nil && hasWork {
@@ -460,6 +476,7 @@ func (e *Engine) Finish() (*Result, error) {
 		// surfacing the source failure (the close error, if any, is
 		// secondary to the source error).
 		_ = e.rec.CloseSink()
+		_ = e.closeSeries()
 		return nil, fmt.Errorf("sim: workload source failed: %w", e.srcErr)
 	}
 	if !e.sim.Stopped() && !e.srcDone {
@@ -468,10 +485,12 @@ func (e *Engine) Finish() (*Result, error) {
 		// that lost its pending-arrival event), never a legal end state
 		// — refuse to report a silently truncated run (see Done).
 		_ = e.rec.CloseSink()
+		_ = e.closeSeries()
 		return nil, fmt.Errorf("sim: event queue drained at t=%d with undelivered source arrivals (engine wiring bug)", e.Now())
 	}
 	if !e.sim.Stopped() && (len(e.queue) != 0 || len(e.running) != 0) {
 		_ = e.rec.CloseSink()
+		_ = e.closeSeries()
 		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
 			len(e.queue), len(e.running), e.cfg.Scheduler.Name())
 	}
@@ -484,7 +503,11 @@ func (e *Engine) Finish() (*Result, error) {
 	report.NodeFailures = e.failures
 	report.FailureKills = e.failKills
 	if err := e.rec.CloseSink(); err != nil {
+		_ = e.closeSeries()
 		return nil, fmt.Errorf("sim: closing record sink: %w", err)
+	}
+	if err := e.closeSeries(); err != nil {
+		return nil, fmt.Errorf("sim: closing series sink: %w", err)
 	}
 	e.finished = true
 	e.result = &Result{
@@ -499,16 +522,97 @@ func (e *Engine) Finish() (*Result, error) {
 
 func (e *Engine) lastEventTime() int64 { return int64(e.sim.Now()) }
 
-// scheduleNextSample arms the next periodic OnSample tick. The chain
-// stops with the last outstanding job (jobDone cancels it) so trailing
-// ticks cannot stretch the metrics integration window.
+// sampling reports whether the engine runs the periodic sampling tick
+// chain: a period is configured and at least one consumer — observer
+// or series sink — is attached.
+func (e *Engine) sampling() bool {
+	return e.cfg.SampleEvery > 0 && (e.obs != nil || e.series != nil)
+}
+
+// closeSeries closes the configured series sink exactly once (on
+// whichever terminal path comes first), latching the close error for
+// Finish to surface.
+func (e *Engine) closeSeries() error {
+	if e.series == nil {
+		return nil
+	}
+	if !e.seriesClosed {
+		e.seriesClosed = true
+		e.seriesErr = e.series.Close()
+	}
+	return e.seriesErr
+}
+
+// scheduleNextSample arms the next periodic sampling tick one period
+// ahead. The chain stops with the last outstanding job (jobDone
+// cancels it) so trailing ticks cannot stretch the metrics integration
+// window.
 func (e *Engine) scheduleNextSample() {
-	at := e.sim.Now() + des.Time(e.cfg.SampleEvery)
-	e.sampleEv = e.sim.ScheduleKind(at, evSample, nil, func(des.Time) {
+	e.scheduleSampleAt(e.sim.Now() + des.Time(e.cfg.SampleEvery))
+}
+
+// scheduleSampleAt arms one sampling tick at an explicit instant; the
+// handler it installs is exactly what Resume rebuilds for a restored
+// evSample record, so a resumed run's tick chain continues the
+// checkpointed one bit-identically.
+func (e *Engine) scheduleSampleAt(at des.Time) {
+	e.sampleEv = e.sim.ScheduleKind(at, evSample, nil, e.sampleHandler())
+}
+
+// sampleHandler builds the firing closure of one periodic sampling
+// tick: deliver the sample to every attached consumer, then re-arm.
+// The closure reads e.obs and e.series at fire time (it captures no
+// consumer), which is what lets Resume rebuild it from the bare
+// evSample kind tag.
+func (e *Engine) sampleHandler() des.Handler {
+	return func(des.Time) {
 		e.sampleEv = nil
-		e.obs.OnSample(e.Sample())
+		e.emitSample()
 		e.scheduleNextSample()
-	})
+	}
+}
+
+// emitSample delivers one periodic sample to the observer and the
+// series sink.
+func (e *Engine) emitSample() {
+	s := e.Sample()
+	if e.obs != nil {
+		e.obs.OnSample(s)
+	}
+	if e.series != nil {
+		e.series.Add(e.seriesPoint(s))
+	}
+}
+
+// seriesPoint flattens a sample plus the per-pool usage breakdown into
+// the serializable series row.
+func (e *Engine) seriesPoint(s Sample) metrics.SeriesPoint {
+	p := metrics.SeriesPoint{
+		Now:             s.Now,
+		QueueDepth:      s.QueueDepth,
+		Running:         s.Running,
+		Done:            s.Done,
+		Events:          s.Events,
+		BusyNodes:       s.Usage.BusyNodes,
+		UsedCores:       s.Usage.UsedCores,
+		UsedLocalMiB:    s.Usage.UsedLocal,
+		UsedPoolMiB:     s.Usage.UsedPool,
+		PoolDemandGiBps: s.Usage.PoolDemand,
+		MaxPoolUtil:     s.Usage.MaxPoolUtil,
+		MaxCongest:      s.Usage.MaxCongest,
+	}
+	if pools := e.m.Pools(); len(pools) > 0 {
+		p.Pools = make([]metrics.PoolPoint, len(pools))
+		for i, pl := range pools {
+			p.Pools[i] = metrics.PoolPoint{
+				ID:          int(pl.ID),
+				UsedMiB:     pl.UsedMiB,
+				CapacityMiB: pl.CapacityMiB,
+				DemandGiBps: pl.DemandGiBps,
+			}
+		}
+	}
+	return p
 }
 
 func (e *Engine) onArrival(now int64, job *workload.Job) {

@@ -36,6 +36,7 @@ var eventKindNames = map[des.Kind]string{
 	evEnd:      "end",
 	evFailure:  "failure",
 	evRepair:   "repair",
+	evSample:   "sample",
 	evScenario: "scenario",
 }
 
@@ -349,6 +350,13 @@ func CheckpointFromState(cfg Config, st *CheckpointState) (*Checkpoint, error) {
 			}
 			if cfg.Failures == nil {
 				return nil, fmt.Errorf("sim: checkpoint event %d is a pending failure but the configuration has no failure injection", i)
+			}
+		case evSample:
+			if payloads != 0 {
+				return nil, fmt.Errorf("sim: checkpoint event %d (%s) carries an unexpected payload", i, er.Kind)
+			}
+			if cfg.SampleEvery <= 0 {
+				return nil, fmt.Errorf("sim: checkpoint event %d is a pending sampling tick but the configuration has no sampling period", i)
 			}
 		default: // pass: no payload
 			if payloads != 0 {

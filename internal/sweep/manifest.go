@@ -278,13 +278,14 @@ type unitSpec struct {
 	Seed       int                     `json:"seed"`
 }
 
-// unitKey derives the journal key for seed s of the cell, or
-// errNotCacheable when the cell holds live code (Scheduler factory,
-// StopWhen predicate) or a workload distribution with no serializable
-// state.
-func (c Cell) unitKey(o Options, mc dismem.MachineConfig, s int) (string, error) {
-	if c.Scheduler != nil || c.StopWhen != nil {
-		return "", errNotCacheable
+// unitSpecJSON builds the canonical configuration JSON for seed s of
+// the cell — the identity preimage shared by the manifest key and the
+// run-store record — or errNotCacheable when the cell holds live code
+// (Scheduler factory, StopWhen predicate, Series sink factory) or a
+// workload distribution with no serializable state.
+func (c Cell) unitSpecJSON(o Options, mc dismem.MachineConfig, s int) ([]byte, error) {
+	if c.Scheduler != nil || c.StopWhen != nil || c.Series != nil {
+		return nil, errNotCacheable
 	}
 	gen := dismem.GenConfig{}
 	if c.Gen != nil {
@@ -296,7 +297,7 @@ func (c Cell) unitKey(o Options, mc dismem.MachineConfig, s int) (string, error)
 	gen.Seed = uint64(s + 1)
 	gs, err := workload.GenConfigToState(gen)
 	if err != nil {
-		return "", fmt.Errorf("%w (%v)", errNotCacheable, err)
+		return nil, fmt.Errorf("%w (%v)", errNotCacheable, err)
 	}
 	spec := unitSpec{
 		Format:     manifestFormat,
@@ -319,7 +320,17 @@ func (c Cell) unitKey(o Options, mc dismem.MachineConfig, s int) (string, error)
 	}
 	b, err := json.Marshal(spec)
 	if err != nil {
-		return "", fmt.Errorf("%w (%v)", errNotCacheable, err)
+		return nil, fmt.Errorf("%w (%v)", errNotCacheable, err)
+	}
+	return b, nil
+}
+
+// unitKey derives the journal key for seed s of the cell: the hash of
+// its canonical spec JSON.
+func (c Cell) unitKey(o Options, mc dismem.MachineConfig, s int) (string, error) {
+	b, err := c.unitSpecJSON(o, mc, s)
+	if err != nil {
+		return "", err
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:16]), nil

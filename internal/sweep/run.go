@@ -9,6 +9,7 @@ import (
 
 	"dismem"
 	"dismem/internal/metrics"
+	"dismem/internal/runstore"
 	"dismem/internal/sim"
 )
 
@@ -40,6 +41,19 @@ type Options struct {
 	// already-journaled units from the journal instead of re-running
 	// them — the crash-safe resume mechanism behind dmsweep -resume.
 	Manifest *Manifest
+	// Store, when non-nil, archives every completed cacheable unit as a
+	// "sweep-unit" run record once the cell's seeds drain. Records are
+	// appended in seed order and carry no wall-clock state, so a
+	// resumed sweep archives byte-identical records to an uninterrupted
+	// one. Cells holding live code (Scheduler, StopWhen, Series) have
+	// no durable identity and are skipped.
+	Store *runstore.Store
+	// UnitDone, when non-nil, is called once per successfully completed
+	// simulation unit, including units served from the Manifest journal.
+	// It runs on the unit's worker goroutine, so it must be safe for
+	// concurrent use (dmsweep feeds an atomic /metrics progress counter
+	// with it). It observes progress only — it cannot fail the sweep.
+	UnitDone func()
 }
 
 func (o Options) withDefaults() Options {
@@ -109,9 +123,15 @@ type Cell struct {
 	// must be safe for concurrent use (stateless, or synchronised).
 	// Like Scheduler, StopWhen makes the cell's units uncacheable.
 	StopWhen func(dismem.Sample) bool
-	// SampleEvery is the sampling period for StopWhen in simulated
-	// seconds (default 3600).
+	// SampleEvery is the sampling period for StopWhen and Series in
+	// simulated seconds (default 3600).
 	SampleEvery int64
+	// Series, when set, attaches a utilization-series sink to each
+	// seed's simulation (dismem.NewJSONLSeriesSink over a per-seed
+	// file, say). Sinks are live writers, so cells with Series are
+	// never journaled to a Manifest or archived to a Store — like
+	// Scheduler and StopWhen, the cell holds live code.
+	Series func(seed int) metrics.SeriesSink
 }
 
 // abortObserver stops its simulation at the first sample matching the
@@ -198,6 +218,9 @@ func (c Cell) Run(o Options) (Agg, error) {
 				key = k
 				if res, ok := o.Manifest.lookup(k); ok {
 					outs[s] = seedOutFromUnit(res, s)
+					if o.UnitDone != nil {
+						o.UnitDone()
+					}
 					continue
 				}
 			}
@@ -213,10 +236,49 @@ func (c Cell) Run(o Options) (Agg, error) {
 					outs[s].err = err
 				}
 			}
+			if outs[s].err == nil && o.UnitDone != nil {
+				o.UnitDone()
+			}
 		}(s, key)
 	}
 	wg.Wait()
+	if err := c.archive(o, mc, outs); err != nil {
+		return Agg{}, err
+	}
 	return aggregate(outs)
+}
+
+// archive appends the cell's completed units to the run store, in seed
+// order (deterministic across worker counts). Live-code cells have no
+// durable identity and are skipped silently; a store write failure is
+// a sweep failure — an archive that silently drops runs is worse than
+// none.
+func (c Cell) archive(o Options, mc dismem.MachineConfig, outs []seedOut) error {
+	if o.Store == nil {
+		return nil
+	}
+	for s, out := range outs {
+		if out.err != nil {
+			continue // aggregate() surfaces the failure
+		}
+		spec, err := c.unitSpecJSON(o, mc, s)
+		if err != nil {
+			return nil // errNotCacheable: the whole cell holds live code
+		}
+		rec := runstore.Run{
+			ID:      runstore.KeyOf("sweep-unit", spec, s),
+			Kind:    "sweep-unit",
+			Label:   c.cellLabel(mc),
+			Seed:    s,
+			Spec:    spec,
+			Report:  out.rep,
+			Stopped: out.stopped,
+		}
+		if err := o.Store.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runUnit runs one (cell, seed) simulation with the per-unit panic
@@ -345,6 +407,11 @@ func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Opt
 	if c.StopWhen != nil || o.Ctx != nil {
 		abort = &abortObserver{stop: c.StopWhen, ctx: o.Ctx}
 		opts.Observer = abort
+	}
+	if c.Series != nil {
+		opts.SeriesSink = c.Series(s)
+	}
+	if abort != nil || c.Series != nil {
 		opts.SampleEvery = c.SampleEvery
 		if opts.SampleEvery <= 0 {
 			opts.SampleEvery = 3600

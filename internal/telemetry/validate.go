@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Validate parses one exposition-format document (text format 0.0.4)
+// and returns the number of samples it holds. It is the hand-written
+// checker the tests and the CI metrics smoke run over every /metrics
+// scrape: a malformed name, an unparsable value, broken label quoting,
+// metadata after samples, duplicate metadata or duplicate samples are
+// all errors with line numbers. It accepts any document a conforming
+// scraper would, not only ones this package wrote (untyped families,
+// histogram/summary TYPEs, timestamps, free comments).
+func Validate(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		samples   int
+		lineNo    int
+		typed     = map[string]string{} // family -> TYPE
+		helped    = map[string]bool{}
+		sampled   = map[string]bool{} // family has samples
+		seen      = map[string]bool{} // name{sig} uniqueness
+		lastFam   string
+		famClosed = map[string]bool{} // family interrupted by another family's samples
+	)
+	validTypes := map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !validName(fields[2]) {
+					return samples, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+				}
+				name := fields[2]
+				if helped[name] {
+					return samples, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return samples, fmt.Errorf("line %d: HELP for %s after its samples", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if len(fields) != 4 || !validName(fields[2]) {
+					return samples, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validTypes[typ] {
+					return samples, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+				}
+				if _, dup := typed[name]; dup {
+					return samples, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return samples, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		name, sig, err := parseSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(name, typed)
+		if fam != lastFam {
+			if lastFam != "" {
+				famClosed[lastFam] = true
+			}
+			if famClosed[fam] {
+				return samples, fmt.Errorf("line %d: samples for %s are not contiguous", lineNo, fam)
+			}
+			lastFam = fam
+		}
+		if seen[name+sig] {
+			return samples, fmt.Errorf("line %d: duplicate sample %s%s", lineNo, name, sig)
+		}
+		seen[name+sig] = true
+		sampled[fam] = true
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("document holds no samples")
+	}
+	return samples, nil
+}
+
+// familyOf maps a sample name to its metric family: histogram and
+// summary samples use the base name's _bucket/_sum/_count suffixes.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample validates one sample line and returns the metric name
+// and its canonicalized label signature.
+func parseSample(line string) (name, sig string, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
+		i++
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		var labels []string
+		seen := map[string]bool{}
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			j := strings.IndexByte(rest, '=')
+			if j < 0 {
+				return "", "", fmt.Errorf("unterminated label set")
+			}
+			lname := strings.TrimSpace(rest[:j])
+			if !validLabelName(lname) {
+				return "", "", fmt.Errorf("invalid label name %q", lname)
+			}
+			if seen[lname] {
+				return "", "", fmt.Errorf("duplicate label %q", lname)
+			}
+			seen[lname] = true
+			rest = rest[j+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", "", fmt.Errorf("label %s value is not quoted", lname)
+			}
+			val, remainder, err := parseQuoted(rest)
+			if err != nil {
+				return "", "", fmt.Errorf("label %s: %w", lname, err)
+			}
+			labels = append(labels, fmt.Sprintf("%s=%q", lname, val))
+			rest = remainder
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			} else if !strings.HasPrefix(strings.TrimLeft(rest, " \t"), "}") {
+				return "", "", fmt.Errorf("expected ',' or '}' after label %s", lname)
+			}
+		}
+		sig = "{" + strings.Join(labels, ",") + "}"
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", fmt.Errorf("expected value [timestamp], got %q", strings.TrimSpace(rest))
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return "", "", fmt.Errorf("unparsable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", fmt.Errorf("unparsable timestamp %q", fields[1])
+		}
+	}
+	return name, sig, nil
+}
+
+// parseQuoted consumes one double-quoted, backslash-escaped string
+// from the front of s and returns the decoded value plus the rest.
+func parseQuoted(s string) (val, rest string, err error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("expected opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i+1])
+			}
+			i += 2
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

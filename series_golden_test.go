@@ -1,0 +1,123 @@
+package dismem_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"dismem"
+)
+
+// seriesOpts is the adversarial configuration for the series golden
+// tests: contention-sensitive model, failures and a scenario timeline,
+// sampled off-phase from the scenario instants.
+func seriesOpts(wl *dismem.Workload, sink dismem.SeriesSink) dismem.Options {
+	o := forkOpts(wl)
+	o.SeriesSink = sink
+	o.SampleEvery = 1800
+	return o
+}
+
+// runSeries runs wl to completion with a JSONL series sink attached
+// and returns the series bytes.
+func runSeries(t *testing.T, wl *dismem.Workload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	mustRun(t, mustNew(t, seriesOpts(wl, dismem.NewJSONLSeriesSink(&buf))))
+	if buf.Len() == 0 {
+		t.Fatal("run produced an empty series")
+	}
+	return buf.Bytes()
+}
+
+// TestSeriesGoldenSourceVsWorkload: the same jobs delivered as a
+// materialised Workload and as a streaming Source produce
+// byte-identical series files.
+func TestSeriesGoldenSourceVsWorkload(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	slice := runSeries(t, wl)
+
+	var buf bytes.Buffer
+	o := seriesOpts(nil, dismem.NewJSONLSeriesSink(&buf))
+	o.Source = dismem.WorkloadSource(wl)
+	mustRun(t, mustNew(t, o))
+	if !bytes.Equal(slice, buf.Bytes()) {
+		t.Fatal("streamed-source series differs from the workload-slice series")
+	}
+}
+
+// TestSeriesGoldenResumeComposition: interrupt a run at an instant that
+// is NOT a tick multiple, fork from the checkpoint, and the parent's
+// series plus the fork's series concatenate to exactly the clean run's
+// bytes — the tick chain is checkpointed state, so the resumed chain
+// stays in phase.
+func TestSeriesGoldenResumeComposition(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	clean := runSeries(t, wl)
+
+	var prefix bytes.Buffer
+	h := mustNew(t, seriesOpts(wl, dismem.NewJSONLSeriesSink(&prefix)))
+	h.RunUntil(50000) // off-phase: not a multiple of the 1800 s period
+	cp, err := h.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.SampleEvery() != 1800 {
+		t.Fatalf("checkpoint reports sampling period %d, want 1800", cp.SampleEvery())
+	}
+	h.Stop()
+	if _, err := h.Result(); err != nil { // closes (flushes) the prefix sink
+		t.Fatal(err)
+	}
+
+	var suffix bytes.Buffer
+	mustRun(t, mustFork(t, cp, dismem.ForkOptions{SeriesSink: dismem.NewJSONLSeriesSink(&suffix)}))
+
+	joined := append(append([]byte{}, prefix.Bytes()...), suffix.Bytes()...)
+	if !bytes.Equal(clean, joined) {
+		t.Fatalf("prefix (%d B) + suffix (%d B) series != clean series (%d B)",
+			prefix.Len(), suffix.Len(), len(clean))
+	}
+}
+
+// TestSeriesGoldenDurableRoundTrip: the composition property survives
+// the durable checkpoint file format, and an explicit equal
+// ForkOptions.SampleEvery keeps the phase just like leaving it 0.
+func TestSeriesGoldenDurableRoundTrip(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	clean := runSeries(t, wl)
+
+	var prefix bytes.Buffer
+	h := mustNew(t, seriesOpts(wl, dismem.NewJSONLSeriesSink(&prefix)))
+	h.RunUntil(50000)
+	cp, err := h.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Stop()
+	if _, err := h.Result(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.dmckpt")
+	if err := dismem.WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dismem.ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var suffix bytes.Buffer
+	fo := dismem.ForkOptions{
+		SeriesSink:  dismem.NewJSONLSeriesSink(&suffix),
+		SampleEvery: loaded.SampleEvery(), // explicit equal period = same phase as 0
+	}
+	mustRun(t, mustFork(t, loaded, fo))
+
+	joined := append(append([]byte{}, prefix.Bytes()...), suffix.Bytes()...)
+	if !bytes.Equal(clean, joined) {
+		t.Fatalf("durable round trip broke series composition: prefix %d B + suffix %d B vs clean %d B",
+			prefix.Len(), suffix.Len(), len(clean))
+	}
+}

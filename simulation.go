@@ -74,6 +74,7 @@ func New(o Options) (*Simulation, error) {
 		Observer:        o.Observer,
 		SampleEvery:     o.SampleEvery,
 		RecordSink:      o.RecordSink,
+		SeriesSink:      o.SeriesSink,
 	})
 	if err != nil {
 		return nil, err
