@@ -134,6 +134,14 @@ func BenchmarkScenarioSimulation(b *testing.B) { benchkit.ScenarioSimulation(b) 
 // sampling-off reference, as BENCH_<date>_series.json.
 func BenchmarkSeriesSampling(b *testing.B) { benchkit.SeriesSampling(b) }
 
+// BenchmarkTraceSimulation is BenchmarkSimulation with every lifecycle
+// trace event JSON-encoded to a discarded trace stream: the full
+// end-to-end price of -trace-out (tracing is event-driven, so no
+// sampling tick chain is armed). `go run ./cmd/dmbench -trace` records
+// it, with Simulation as the nil-sink reference, as
+// BENCH_<date>_trace.json.
+func BenchmarkTraceSimulation(b *testing.B) { benchkit.TraceSimulation(b) }
+
 // BenchmarkStreamingReplay measures bounded-memory trace replay: a
 // 100k-job SWF trace streamed through SWFSource with the
 // online-aggregate sink, reporting jobs/s and the live-heap high-water

@@ -17,6 +17,8 @@
 //	                            # -> BENCH_<today>_serve.json
 //	dmbench -series             # sampling/series-export overhead
 //	                            # -> BENCH_<today>_series.json
+//	dmbench -trace              # lifecycle-trace export overhead
+//	                            # -> BENCH_<today>_trace.json
 package main
 
 import (
@@ -60,6 +62,7 @@ func main() {
 		ckptio    = flag.Bool("ckptio", false, "run the durable checkpoint encode/decode benchmarks instead of the headline set, writing BENCH_<date>_ckptio.json")
 		srv       = flag.Bool("serve", false, "run the what-if service benchmark (concurrent /v1/whatif queries against a checkpoint ring) instead of the headline set, writing BENCH_<date>_serve.json")
 		series    = flag.Bool("series", false, "run the sampling/series-export overhead benchmark instead of the headline set, writing BENCH_<date>_series.json")
+		trc       = flag.Bool("trace", false, "run the lifecycle-trace export overhead benchmark instead of the headline set, writing BENCH_<date>_trace.json")
 	)
 	flag.Parse()
 
@@ -74,17 +77,26 @@ func main() {
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
 	exclusive := 0
-	for _, f := range []bool{*stream, *fork, *ckptio, *srv, *series} {
+	for _, f := range []bool{*stream, *fork, *ckptio, *srv, *series, *trc} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork, -ckptio, -serve and -series")
+		fmt.Fprintln(os.Stderr, "dmbench: choose one of -stream, -fork, -ckptio, -serve, -series and -trace")
 		os.Exit(1)
 	}
 	suffix := ""
 	switch {
+	case *trc:
+		suffix = "_trace"
+		benches = []bench{
+			{"TraceSimulation", benchkit.TraceSimulation},
+			// Simulation rides along as the nil-sink reference: the jobs/s
+			// gap between the two is the whole cost of streaming the
+			// lifecycle trace as JSONL.
+			{"Simulation", benchkit.Simulation},
+		}
 	case *series:
 		suffix = "_series"
 		benches = []bench{

@@ -51,6 +51,17 @@
 // run's series is exactly the suffix of an uninterrupted run's.
 //
 //	dmsched -jobs 50000 -series-out util.jsonl -metrics-addr :9090
+//
+// -trace-out streams the per-job lifecycle trace (submit, dispatch
+// with placement detail, terminate with reason, restarts, scenario
+// interventions) to a file; -trace-format picks JSONL (default) or
+// Chrome trace-event JSON loadable in Perfetto / chrome://tracing.
+// Tracing is event-driven — it needs no sampling period. The JSONL
+// form composes across -ckpt-save/-ckpt-load exactly like the series:
+// an interrupted run's trace plus the resumed run's concatenate to the
+// uninterrupted run's file, byte for byte.
+//
+//	dmsched -jobs 50000 -trace-out trace.json -trace-format perfetto
 package main
 
 import (
@@ -62,6 +73,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -103,6 +115,8 @@ func main() {
 		ckptSave  = flag.String("ckpt-save", "", "on SIGINT/SIGTERM, freeze the run, write a durable checkpoint to this file, and exit with status 3 (resume with -ckpt-load)")
 		ckptLoad  = flag.String("ckpt-load", "", "resume a run from a checkpoint file written by -ckpt-save; workload, machine and policy flags are ignored (the checkpoint carries them)")
 		seriesOut = flag.String("series-out", "", "stream the utilization series to this file (.csv for CSV, else JSONL), one row per sampling tick; composes with -ckpt-save/-ckpt-load (the resumed series is the clean run's suffix)")
+		traceOut  = flag.String("trace-out", "", "stream the per-job lifecycle trace to this file; JSONL composes with -ckpt-save/-ckpt-load (the resumed trace is the clean run's suffix)")
+		traceFmt  = flag.String("trace-format", "jsonl", "trace encoding for -trace-out: jsonl | perfetto (Chrome trace-event JSON for Perfetto / chrome://tracing)")
 		seriesEv  = flag.Duration("series-every", 0, "sampling period for -series-out and -metrics-addr in simulated time (default 1h; on -ckpt-load, 0 keeps the checkpointed period and phase)")
 		metrAddr  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) with live run state on this address while the run is in flight")
 		verbose   = flag.Bool("v", false, "also print workload summary")
@@ -124,6 +138,15 @@ func main() {
 	if *seriesEv > 0 && *seriesOut == "" && *metrAddr == "" {
 		fatalf("-series-every requires -series-out or -metrics-addr")
 	}
+	if *traceFmt != "jsonl" && *traceFmt != "perfetto" {
+		fatalf("-trace-format %q: want jsonl or perfetto", *traceFmt)
+	}
+	if *ckptSave != "" && *traceOut != "" && *traceFmt == "perfetto" {
+		// A perfetto file is one JSON document, not a line stream: an
+		// interrupted file and a resumed file are each valid on their
+		// own but do not concatenate. Only JSONL traces compose.
+		fatalf("-ckpt-save composes only with -trace-format jsonl (a perfetto trace is a single JSON document and cannot be concatenated across an interrupt)")
+	}
 	if *ckptSave != "" {
 		if *swfStream {
 			fatalf("-ckpt-save cannot be combined with -swf-stream (a streamed trace source cannot checkpoint)")
@@ -141,12 +164,12 @@ func main() {
 			fatalf("-ckpt-save cannot be combined with -config or -checkpoint-at")
 		}
 	}
-	tele := newTelemetry(*progress, *seriesEv, *seriesOut, *metrAddr)
+	tele := newTelemetry(*progress, *seriesEv, *seriesOut, *metrAddr, *traceOut, *traceFmt)
 	if *ckptLoad != "" {
 		if *swf != "" || *specFlag != "" || *scenFlag != "" || *cfgPath != "" || *cpAt > 0 || *swfStream || *recordOut != "" {
-			fatalf("-ckpt-load resumes a self-contained run; it only combines with -progress, -series-out, -series-every, -metrics-addr, -v and -ckpt-save")
+			fatalf("-ckpt-load resumes a self-contained run; it only combines with -progress, -series-out, -series-every, -metrics-addr, -trace-out, -trace-format, -v and -ckpt-save")
 		}
-		runFromCheckpoint(*ckptLoad, *ckptSave, tele, *seriesOut)
+		runFromCheckpoint(*ckptLoad, *ckptSave, tele)
 		return
 	}
 	if *cpAt > 0 && *swfStream {
@@ -291,7 +314,7 @@ func main() {
 		label = s.Name()
 	}
 	if *cpAt > 0 {
-		runCheckpointed(label, opts, tele, *cpAt, forkSc, *recordOut, *seriesOut)
+		runCheckpointed(label, opts, tele, *cpAt, forkSc, *recordOut, *seriesOut, *traceOut, *traceFmt)
 		return
 	}
 	h, err := dismem.New(tele.apply(opts))
@@ -356,8 +379,10 @@ func drive(ctx context.Context, h *dismem.Simulation, ckptSave string) bool {
 // equal (or unset) period the resumed run's -series-out file is
 // exactly the suffix the uninterrupted run would have produced after
 // the interrupt instant; a different explicit period restarts the
-// chain fresh at the resume instant.
-func runFromCheckpoint(path, ckptSave string, tele *liveTelemetry, seriesOut string) {
+// chain fresh at the resume instant. The -trace-out file likewise
+// holds exactly the clean run's trace suffix (tracing is event-driven
+// and needs no period at all).
+func runFromCheckpoint(path, ckptSave string, tele *liveTelemetry) {
 	cp, err := dismem.ReadCheckpointFile(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -369,15 +394,14 @@ func runFromCheckpoint(path, ckptSave string, tele *liveTelemetry, seriesOut str
 		// same, a different one re-arms the chain at the resume
 		// instant.
 		SampleEvery: tele.sampleEvery,
+		SeriesSink:  tele.sink,
+		TraceSink:   tele.trace,
 	}
 	if fo.SampleEvery == 0 && tele.wantsSampling() && cp.SampleEvery() == 0 {
 		// The checkpointed run never sampled, so there is no phase to
 		// preserve: arm a fresh chain at the default period rather
 		// than silently producing an empty series.
 		fo.SampleEvery = defaultSampleEvery
-	}
-	if seriesOut != "" {
-		fo.SeriesSink = openSeriesSink(seriesOut)
 	}
 	h, err := dismem.Fork(cp, fo)
 	if err != nil {
@@ -393,10 +417,10 @@ func runFromCheckpoint(path, ckptSave string, tele *liveTelemetry, seriesOut str
 // smoke checks. The sampling tick chain is checkpointed state, and the
 // fork is re-armed at the same period, so the reports match even with
 // -progress/-series-out active — the fork's samples stay in phase
-// with the original's. With -records-out (-series-out), the forked
-// run's records (series) stream to a sibling <path>.fork file (the
-// original's sink cannot be shared across runs).
-func runCheckpointed(label string, opts dismem.Options, tele *liveTelemetry, at int64, forkSc *dismem.Scenario, recordOut, seriesOut string) {
+// with the original's. With -records-out (-series-out, -trace-out),
+// the forked run's records (series, trace) stream to a sibling
+// <path>.fork file (the original's sink cannot be shared across runs).
+func runCheckpointed(label string, opts dismem.Options, tele *liveTelemetry, at int64, forkSc *dismem.Scenario, recordOut, seriesOut, traceOut, traceFmt string) {
 	opts = tele.apply(opts)
 	h, err := dismem.New(opts)
 	if err != nil {
@@ -441,6 +465,11 @@ func runCheckpointed(label string, opts dismem.Options, tele *liveTelemetry, at 
 		fo.SeriesSink = openSeriesSink(forkOut)
 		fmt.Fprintf(os.Stderr, "note: forked run series streams to %s\n", forkOut)
 	}
+	if traceOut != "" {
+		forkOut := traceOut + ".fork"
+		fo.TraceSink = openTraceSink(forkOut, traceFmt)
+		fmt.Fprintf(os.Stderr, "note: forked run trace streams to %s\n", forkOut)
+	}
 	fork, err := dismem.Fork(cp, fo)
 	if err != nil {
 		fatalf("fork: %v", err)
@@ -458,20 +487,22 @@ func runCheckpointed(label string, opts dismem.Options, tele *liveTelemetry, at 
 // was given via -series-every or -progress.
 const defaultSampleEvery = 3600
 
-// liveTelemetry bundles the three consumers of the engine's single
-// sampling clock — the -progress printer, the -series-out sink and
-// the -metrics-addr gauges — resolved from their flags once and wired
+// liveTelemetry bundles the consumers of the engine's observation
+// hooks — the -progress printer, the -series-out sink and the
+// -metrics-addr gauges on the sampling clock, plus the event-driven
+// -trace-out sink — resolved from their flags once and wired
 // identically into every run path.
 type liveTelemetry struct {
 	sampleEvery int64             // explicit period from flags (0 = none given)
 	observer    dismem.Observer   // progress printer and/or gauge mirror (nil = neither)
 	sink        dismem.SeriesSink // -series-out sink (nil = none)
+	trace       dismem.TraceSink  // -trace-out sink (nil = none; needs no sampling)
 }
 
 // newTelemetry resolves the observation flags. It is also the flag
 // validator: -progress and -series-every drive the same clock, so
 // disagreeing periods are a fatal usage error, not a silent pick.
-func newTelemetry(progress, seriesEv time.Duration, seriesOut, metrAddr string) *liveTelemetry {
+func newTelemetry(progress, seriesEv time.Duration, seriesOut, metrAddr, traceOut, traceFmt string) *liveTelemetry {
 	prog := periodSeconds(progress)
 	ser := periodSeconds(seriesEv)
 	if prog > 0 && ser > 0 && prog != ser {
@@ -500,6 +531,9 @@ func newTelemetry(progress, seriesEv time.Duration, seriesOut, metrAddr string) 
 	if seriesOut != "" {
 		t.sink = openSeriesSink(seriesOut)
 	}
+	if traceOut != "" {
+		t.trace = openTraceSink(traceOut, traceFmt)
+	}
 	return t
 }
 
@@ -516,7 +550,8 @@ func periodSeconds(d time.Duration) int64 {
 }
 
 // wantsSampling reports whether any consumer needs the sampling tick
-// chain armed.
+// chain armed. The trace sink deliberately does not count: tracing is
+// event-driven and works with sampling off entirely.
 func (t *liveTelemetry) wantsSampling() bool {
 	return t.observer != nil || t.sink != nil
 }
@@ -527,6 +562,7 @@ func (t *liveTelemetry) wantsSampling() bool {
 func (t *liveTelemetry) apply(opts dismem.Options) dismem.Options {
 	opts.Observer = t.observer
 	opts.SeriesSink = t.sink
+	opts.TraceSink = t.trace
 	opts.SampleEvery = t.sampleEvery
 	if opts.SampleEvery == 0 && t.wantsSampling() {
 		opts.SampleEvery = defaultSampleEvery
@@ -567,6 +603,14 @@ func (o *gaugeObserver) OnSample(s dismem.Sample) {
 	g.Set("dismem_used_pool_mib", "pooled memory in use", nil, float64(s.Usage.UsedPool))
 	g.Set("dismem_max_pool_util", "highest per-pool utilization", nil, s.Usage.MaxPoolUtil)
 	g.Set("dismem_max_congestion", "highest per-pool fabric congestion ratio", nil, s.Usage.MaxCongest)
+	for _, p := range s.Pools {
+		lbl := map[string]string{"pool": strconv.Itoa(p.ID)}
+		g.Set("dismem_pool_used_bytes", "pooled memory in use, per pool", lbl, float64(p.UsedMiB)*1024*1024)
+		g.Set("dismem_pool_capacity_bytes", "pool capacity, per pool", lbl, float64(p.CapacityMiB)*1024*1024)
+	}
+	for rk, free := range s.RackFree {
+		g.Set("dismem_rack_free_nodes", "available (up, idle) nodes per rack", map[string]string{"rack": strconv.Itoa(rk)}, float64(free))
+	}
 }
 
 // startMetricsServer serves GET /metrics on addr for the lifetime of
@@ -616,6 +660,36 @@ func openSeriesSink(path string) dismem.SeriesSink {
 		return &fileSeriesSink{SeriesSink: dismem.NewCSVSeriesSink(f), f: f}
 	}
 	return &fileSeriesSink{SeriesSink: dismem.NewJSONLSeriesSink(f), f: f}
+}
+
+// fileTraceSink closes the underlying file when the engine closes the
+// sink — on every terminal path, including an interrupted run — so
+// the trace is fully on disk when the run reports.
+type fileTraceSink struct {
+	dismem.TraceSink
+	f *os.File
+}
+
+// Close implements dismem.TraceSink.
+func (s *fileTraceSink) Close() error {
+	err := s.TraceSink.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openTraceSink creates the -trace-out file in the requested encoding
+// (format is validated at flag-parse time).
+func openTraceSink(path, format string) dismem.TraceSink {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if format == "perfetto" {
+		return &fileTraceSink{TraceSink: dismem.NewPerfettoTraceSink(f), f: f}
+	}
+	return &fileTraceSink{TraceSink: dismem.NewJSONLTraceSink(f), f: f}
 }
 
 // progressPrinter streams one status line per sample tick.

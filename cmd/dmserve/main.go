@@ -10,8 +10,15 @@
 //	curl localhost:8080/v1/status
 //	curl localhost:8080/v1/checkpoints
 //	curl localhost:8080/metrics
+//	curl 'localhost:8080/v1/trace?from=3600&to=86400'
 //	curl -d '{"at":43200,"scenario":"at=50000 down rack=2; at=86400 up rack=2"}' \
 //	     localhost:8080/v1/whatif
+//
+// With -trace-ring N, the newest N baseline lifecycle-trace events
+// (submits, dispatches with placement, terminations with reason,
+// restarts, interventions, ring-checkpoint boundary marks) are kept in
+// a bounded in-memory ring and served on GET /v1/trace, windowed by
+// virtual time with ?from= and ?to=.
 //
 // GET /metrics serves the live baseline gauges plus the service
 // counters in Prometheus text format; with -store, the drained
@@ -74,6 +81,7 @@ func main() {
 		ckptEvery = flag.Int64("ckpt-every", 21600, "ring checkpoint period in simulated seconds")
 		ckptKeep  = flag.Int("ckpt-keep", 16, "ring retention: delete the oldest checkpoint beyond this many (0 = keep all)")
 		workers   = flag.Int("workers", 0, "max concurrent what-if forks (0 = GOMAXPROCS)")
+		traceRing = flag.Int("trace-ring", 0, "keep the newest N baseline lifecycle-trace events in memory and serve them on GET /v1/trace (0 = tracing off)")
 		storeDir  = flag.String("store", "", "archive the drained baseline's report to a run store in this directory (query with dmstore)")
 		verbose   = flag.Bool("v", false, "also print workload summary")
 	)
@@ -174,6 +182,7 @@ func main() {
 		CkptKeep:  *ckptKeep,
 		Workers:   *workers,
 		Store:     store,
+		TraceRing: *traceRing,
 	})
 	if err != nil {
 		fatalf("%v", err)

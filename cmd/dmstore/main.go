@@ -1,15 +1,24 @@
 // Command dmstore queries the run archive that dmsweep and dmserve
 // write (internal/runstore): list the stored runs, show one in full,
-// or diff two reports field by field. It also hosts the CI's
-// exposition-format linter: `dmstore lint-metrics` validates a
-// /metrics scrape on stdin against the text-format grammar.
+// diff two reports field by field, or chart one report metric across
+// many runs (trend). It also hosts the CI's exposition-format linter:
+// `dmstore lint-metrics` validates a /metrics scrape on stdin against
+// the text-format grammar.
 //
 // Usage:
 //
 //	dmstore -dir runs list
 //	dmstore -dir runs show 3f2a9c
 //	dmstore -dir runs diff 3f2a9c 77b01d
+//	dmstore -dir runs trend -kind sweep-unit -metric P95Wait
 //	curl -s localhost:8080/metrics | dmstore lint-metrics
+//
+// trend filters the archive (kind and spec substrings), picks one
+// numeric report field by its dotted JSON path (P95Wait, Wait.mean,
+// PoolUtil, ...), groups runs into one curve per label, and renders an
+// ASCII line chart — or machine-readable rows with -csv. Ordering is
+// deterministic (label, then seed or spec per -by), so the same
+// archive always renders the same chart.
 //
 // Run ids may be abbreviated to any unambiguous prefix. Records carry
 // no wall-clock state, so `show` output is byte-identical for a run
@@ -23,9 +32,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"dismem/internal/runstore"
 	"dismem/internal/telemetry"
+	"dismem/internal/viz"
 )
 
 func main() {
@@ -33,7 +44,7 @@ func main() {
 		dir = flag.String("dir", "runs", "run store directory")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dmstore [-dir DIR] list | show ID | diff ID ID | lint-metrics\n")
+		fmt.Fprintf(os.Stderr, "usage: dmstore [-dir DIR] list | show ID | diff ID ID | trend [options] | lint-metrics\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,6 +86,8 @@ func main() {
 			os.Exit(2)
 		}
 		diff(store, args[1], args[2])
+	case "trend":
+		trend(store, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "dmstore: unknown command %q\n", args[0])
 		flag.Usage()
@@ -134,6 +147,145 @@ func diff(store *runstore.Store, aID, bID string) {
 	fmt.Printf("%-32s  %14s  %14s\n", "FIELD", "A", "B")
 	for _, l := range lines {
 		fmt.Println(l)
+	}
+}
+
+// trendRow is one archived run projected onto the selected metric.
+type trendRow struct {
+	run   runstore.Run
+	value float64
+}
+
+// trend charts one numeric report field across the archived runs that
+// match the filters: one curve per label, points ordered by -by. The
+// ordering (and so the rendered bytes) is deterministic for a given
+// archive.
+func trend(store *runstore.Store, args []string) {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dmstore [-dir DIR] trend [-kind SUBSTR] [-spec SUBSTR] [-metric PATH] [-by seed|spec] [-csv]\n")
+		fs.PrintDefaults()
+	}
+	var (
+		kind   = fs.String("kind", "", `only runs whose kind contains this substring ("sweep-unit", "serve-baseline", ...)`)
+		spec   = fs.String("spec", "", "only runs whose canonical spec JSON contains this substring (e.g. a policy name)")
+		metric = fs.String("metric", "P95Wait", "report field to chart, as a dotted path into the report JSON (P95Wait, Wait.mean, PoolUtil, Completed, ...)")
+		by     = fs.String("by", "seed", "point ordering and x axis: seed (x = seed) | spec (x = rank of the run's spec within its curve)")
+		csv    = fs.Bool("csv", false, "print id,kind,label,seed,value rows instead of rendering a chart")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *by != "seed" && *by != "spec" {
+		fmt.Fprintf(os.Stderr, "dmstore: trend -by %q: want seed or spec\n", *by)
+		os.Exit(2)
+	}
+
+	var rows []trendRow
+	for _, r := range store.Runs() {
+		if r.Report == nil {
+			continue
+		}
+		if *kind != "" && !strings.Contains(r.Kind, *kind) {
+			continue
+		}
+		if *spec != "" && !strings.Contains(string(r.Spec), *spec) {
+			continue
+		}
+		v, err := metricValue(r.Report, *metric)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmstore:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, trendRow{run: r, value: v})
+	}
+	if len(rows) == 0 {
+		fmt.Println("no matching runs with reports")
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i].run, rows[j].run
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		as, bs := string(a.Spec), string(b.Spec)
+		if *by == "spec" {
+			if as != bs {
+				return as < bs
+			}
+			return a.Seed < b.Seed
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return as < bs
+	})
+
+	if *csv {
+		fmt.Printf("id,kind,label,seed,%s\n", *metric)
+		for _, row := range rows {
+			fmt.Printf("%s,%s,%q,%d,%g\n", row.run.ID, row.run.Kind, row.run.Label, row.run.Seed, row.value)
+		}
+		return
+	}
+
+	var series []viz.Series
+	for _, row := range rows {
+		label := row.run.Label
+		if label == "" {
+			label = row.run.Kind
+		}
+		if len(series) == 0 || series[len(series)-1].Name != label {
+			series = append(series, viz.Series{Name: label})
+		}
+		s := &series[len(series)-1]
+		x := float64(row.run.Seed)
+		if *by == "spec" {
+			x = float64(len(s.X))
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, row.value)
+	}
+	chart := viz.LineChart{
+		Title:  fmt.Sprintf("trend: %s across %d runs", *metric, len(rows)),
+		XLabel: *by,
+		YLabel: *metric,
+		Series: series,
+	}
+	fmt.Print(chart.Render())
+}
+
+// metricValue resolves a dotted path ("Wait.mean") through the
+// report's durable JSON representation to a numeric value.
+func metricValue(report any, path string) (float64, error) {
+	node := toTree(report)
+	for _, part := range strings.Split(path, ".") {
+		m, ok := node.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("trend: %s: %q is not an object", path, part)
+		}
+		node, ok = m[part]
+		if !ok {
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return 0, fmt.Errorf("trend: no report field %q; have: %s", part, strings.Join(keys, ", "))
+		}
+	}
+	switch v := node.(type) {
+	case float64:
+		return v, nil
+	case bool:
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("trend: %s is not numeric (descend into it with a dotted path)", path)
 	}
 }
 

@@ -116,6 +116,7 @@ import (
 	"dismem/internal/sim"
 	"dismem/internal/source"
 	"dismem/internal/spec"
+	"dismem/internal/trace"
 	"dismem/internal/workload"
 )
 
@@ -186,6 +187,16 @@ type (
 	// SeriesPoint is one row of the utilization time series a
 	// SeriesSink receives (see internal/metrics for the wire schema).
 	SeriesPoint = metrics.SeriesPoint
+	// TraceSink consumes per-job lifecycle trace events — submit,
+	// dispatch with placement detail, terminate/kill with reason,
+	// failure restarts, scenario interventions — in deterministic
+	// firing order. Build one with NewJSONLTraceSink /
+	// NewPerfettoTraceSink (or use DiscardTrace) and attach it with
+	// Options.TraceSink; see internal/trace for the contract.
+	TraceSink = trace.TraceSink
+	// TraceEvent is one typed trace event a TraceSink receives (see
+	// internal/trace for the taxonomy and wire schema).
+	TraceEvent = trace.Event
 	// SWFReadOptions controls SWF trace import (ReadSWF and SWFSource).
 	SWFReadOptions = workload.SWFReadOptions
 )
@@ -199,6 +210,9 @@ var DiscardRecords Sink = metrics.Discard
 // DiscardSeries is the SeriesSink that drops every sample: sampling
 // runs (observers still fire) but no series is exported.
 var DiscardSeries SeriesSink = metrics.DiscardSeries
+
+// DiscardTrace is the TraceSink that drops every event.
+var DiscardTrace TraceSink = trace.Discard
 
 // Topology constants for MachineConfig.
 const (
@@ -300,6 +314,21 @@ func NewJSONLSeriesSink(w io.Writer) SeriesSink { return metrics.NewJSONLSeriesS
 // row per sample to w, with the same lifecycle as NewJSONLSeriesSink.
 func NewCSVSeriesSink(w io.Writer) SeriesSink { return metrics.NewCSVSeriesSink(w) }
 
+// NewJSONLTraceSink returns a TraceSink writing one JSON object per
+// trace event line to w: the composable export format — an interrupted
+// run's trace plus its resume's trace concatenate byte-for-byte to the
+// clean run's (DESIGN.md §12). The sink buffers; the engine flushes and
+// closes it at the end of the run (the caller still closes any
+// underlying file).
+func NewJSONLTraceSink(w io.Writer) TraceSink { return trace.NewJSONLSink(w) }
+
+// NewPerfettoTraceSink returns a TraceSink writing Chrome trace-event
+// JSON that loads directly in Perfetto (ui.perfetto.dev): jobs as
+// duration spans grouped onto per-rack and per-pool tracks, scenario
+// interventions and restarts as instant events. Valid JSON only after
+// the engine closes it; same lifecycle as NewJSONLTraceSink.
+func NewPerfettoTraceSink(w io.Writer) TraceSink { return trace.NewPerfettoSink(w) }
+
 // Options configures a simulation (see New and Simulate).
 type Options struct {
 	// Machine is the machine configuration (DefaultMachine if zero).
@@ -365,6 +394,14 @@ type Options struct {
 	// to produce anything. The engine closes the sink at the end of the
 	// run.
 	SeriesSink SeriesSink
+	// TraceSink streams per-job lifecycle trace events in deterministic
+	// firing order: submit, dispatch with placement detail (racks,
+	// pools, local/remote split), terminate/kill with reason, failure
+	// restarts and scenario interventions. Nil is zero-cost; the engine
+	// closes the sink exactly once on every terminal path of the run.
+	// Unlike SeriesSink, tracing is event-driven and needs no
+	// SampleEvery.
+	TraceSink TraceSink
 }
 
 // Simulate runs one simulation to completion: a convenience wrapper

@@ -31,10 +31,10 @@ import (
 //
 // What cannot be checkpointed: a streaming SWF source (an io.Reader's
 // position cannot be duplicated — materialise the trace first), and
-// Observers, RecordSinks and SeriesSinks (live callbacks and writers;
-// forks attach their own via ForkOptions — the sampling tick chain
-// itself IS checkpointed, so a fork's samples stay in phase with the
-// parent's).
+// Observers, RecordSinks, SeriesSinks and TraceSinks (live callbacks
+// and writers; forks attach their own via ForkOptions — the sampling
+// tick chain itself IS checkpointed, so a fork's samples stay in phase
+// with the parent's).
 type Checkpoint struct {
 	cp   *sim.Checkpoint
 	opts Options
@@ -137,6 +137,12 @@ type ForkOptions struct {
 	// concatenating the parent's JSONL series with the fork's
 	// reproduces an uninterrupted run's file byte for byte.
 	SeriesSink SeriesSink
+	// TraceSink receives the fork's lifecycle trace events (nil = none;
+	// parent sinks are never carried over). Like the series, a resumed
+	// run's JSONL trace is exactly the suffix of the clean run's:
+	// concatenating the parent's trace with the fork's reproduces an
+	// uninterrupted run's file byte for byte.
+	TraceSink TraceSink
 }
 
 // Fork resumes one divergent future from a checkpoint: same prefix,
@@ -188,6 +194,7 @@ func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
 		SampleEvery:    o.SampleEvery,
 		RecordSink:     o.RecordSink,
 		SeriesSink:     o.SeriesSink,
+		TraceSink:      o.TraceSink,
 	}
 	switch {
 	case o.SchedulerImpl != nil:
@@ -227,6 +234,7 @@ func Fork(cp *Checkpoint, o ForkOptions) (*Simulation, error) {
 	}
 	opts.Observer = o.Observer
 	opts.SeriesSink = o.SeriesSink
+	opts.TraceSink = o.TraceSink
 	// SampleEvery 0 keeps the checkpointed period, so the recorded
 	// options keep it too: a re-checkpointed fork must persist the
 	// period its live tick chain actually runs at, or resuming that

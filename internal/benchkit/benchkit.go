@@ -140,6 +140,43 @@ func SeriesSampling(b *testing.B) {
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/run")
 }
 
+// TraceSimulation measures the price of lifecycle tracing: the
+// headline Simulation workload with every trace event (submit,
+// dispatch, terminate, ...) encoded to a discarded JSONL trace stream.
+// Tracing is event-driven — the sampling tick chain stays unarmed — so
+// the jobs/s gap to Simulation (nil sink) is the full cost of
+// -trace-out: event construction, placement extraction and JSON
+// encoding included.
+func TraceSimulation(b *testing.B) {
+	b.ReportAllocs()
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counter := &countingWriter{}
+		h, err := dismem.New(dismem.Options{
+			Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+			TraceSink: dismem.NewJSONLTraceSink(counter),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Jobs() == 0 {
+			b.Fatal("no jobs ran")
+		}
+		if counter.lines == 0 {
+			b.Fatal("no trace events streamed")
+		}
+		events += counter.lines
+	}
+	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
 // countingWriter counts JSONL lines on their way to the void.
 type countingWriter struct{ lines int }
 

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"dismem"
 	"dismem/internal/report"
 	"dismem/internal/telemetry"
+	"dismem/internal/trace"
 )
 
 // WhatIfRequest is the body of POST /v1/whatif: a what-if query against
@@ -303,6 +305,9 @@ func (s *Server) recordFork(d time.Duration) {
 //
 //	GET  /v1/status      — live baseline snapshot + ring occupancy
 //	GET  /v1/checkpoints — the ring, ascending by instant
+//	GET  /v1/trace       — baseline lifecycle-trace ring (?from=&to=
+//	                       bound the virtual-time window; requires
+//	                       Config.TraceRing > 0)
 //	POST /v1/whatif      — fork a what-if future (?format=text for the
 //	                       canonical plain-text report)
 //	GET  /metrics        — live baseline gauges + service counters in
@@ -313,6 +318,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/checkpoints", s.handleCheckpoints)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	mux.Handle("/metrics", telemetry.Handler(s.gauges, telemetry.ExpvarSource(s.varsName, &s.vars)))
 	mux.HandleFunc("/debug/vars", s.handleVars)
@@ -376,6 +382,63 @@ func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Checkpoints []checkpointInfo `json:"checkpoints"`
 	}{infos})
+}
+
+// traceResponse is the body of GET /v1/trace. Events use the JSONL
+// wire schema (one object per Event), oldest first; Dropped counts
+// events already overwritten by the bounded ring.
+type traceResponse struct {
+	From    int64         `json:"from"`
+	To      int64         `json:"to,omitempty"`
+	Count   int           `json:"count"`
+	Dropped uint64        `json:"dropped"`
+	Events  []trace.Event `json:"events"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.trace == nil {
+		http.Error(w, "tracing disabled (start the server with a trace ring, e.g. dmserve -trace-ring 65536)", http.StatusNotFound)
+		return
+	}
+	from, err := traceBound(r, "from")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := traceBound(r, "to")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	evs := s.trace.Query(from, to)
+	if evs == nil {
+		evs = []trace.Event{} // an empty window is [], not null
+	}
+	writeJSON(w, traceResponse{
+		From:    from,
+		To:      to,
+		Count:   len(evs),
+		Dropped: s.trace.Dropped(),
+		Events:  evs,
+	})
+}
+
+// traceBound parses one virtual-time window bound ("from"/"to") off a
+// /v1/trace query; absent means 0 (unbounded).
+func traceBound(r *http.Request, key string) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want a virtual time in seconds", key, raw)
+	}
+	return v, nil
 }
 
 func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {

@@ -30,13 +30,16 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"dismem"
 	"dismem/internal/runstore"
 	"dismem/internal/telemetry"
+	"dismem/internal/trace"
 )
 
 // Config parameterises a Server.
@@ -73,6 +76,15 @@ type Config struct {
 	// record carries no wall-clock state, so a baseline resumed from
 	// the ring archives exactly what an uninterrupted one archives.
 	Store *runstore.Store
+	// TraceRing, when > 0, keeps the newest TraceRing baseline
+	// lifecycle-trace events in a bounded in-memory ring served on
+	// GET /v1/trace. The ring is a non-composing trace owner: beyond
+	// the engine's lifecycle events it also records checkpoint/fork
+	// boundary marks (ring writes, baseline resume). What-if forks are
+	// not traced — the ring covers the baseline timeline only.
+	// Requires Options.TraceSink to be nil (the server owns the
+	// baseline's trace sink when the ring is enabled).
+	TraceRing int
 }
 
 // Status is the live baseline snapshot the drive loop publishes after
@@ -104,6 +116,10 @@ type Server struct {
 	status   atomic.Pointer[Status]
 
 	sem chan struct{} // bounded what-if worker pool
+
+	// trace is the bounded in-memory lifecycle-trace ring behind
+	// GET /v1/trace (nil = tracing disabled).
+	trace *trace.Ring
 
 	base     baselineCache
 	archived bool // baseline report already written to cfg.Store
@@ -162,6 +178,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Options.ModelImpl != nil {
 		return nil, fmt.Errorf("serve: baseline must select its model with Options.Model (a live ModelImpl has no durable form)")
 	}
+	if cfg.TraceRing > 0 && cfg.Options.TraceSink != nil {
+		return nil, fmt.Errorf("serve: Config.TraceRing and Options.TraceSink are mutually exclusive (the server owns the baseline's trace sink when the ring is enabled)")
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -183,6 +202,9 @@ func New(cfg Config) (*Server, error) {
 		sem:    make(chan struct{}, cfg.Workers),
 		gauges: telemetry.NewGaugeSet(),
 	}
+	if cfg.TraceRing > 0 {
+		s.trace = trace.NewRing(cfg.TraceRing)
+	}
 	s.initVars()
 
 	policy, model := cfg.Options.Policy, cfg.Options.Model
@@ -192,18 +214,32 @@ func New(cfg Config) (*Server, error) {
 			s.ckptLoadErrors.Add(1)
 			return nil, fmt.Errorf("serve: resuming baseline from %s: %w", e.path, err)
 		}
-		s.sim, err = dismem.Fork(cp, dismem.ForkOptions{})
+		fo := dismem.ForkOptions{}
+		if s.trace != nil {
+			fo.TraceSink = s.trace
+		}
+		s.sim, err = dismem.Fork(cp, fo)
 		if err != nil {
 			return nil, fmt.Errorf("serve: resuming baseline from %s: %w", e.path, err)
 		}
 		s.resumed = e.path
+		if s.trace != nil {
+			// The ring is a non-composing trace: it marks the resume
+			// boundary itself (the engine never emits boundary events).
+			s.trace.Add(trace.Event{Now: cp.At(), Type: trace.ForkMark,
+				Detail: "baseline resumed from " + filepath.Base(e.path)})
+		}
 		policy, model = cp.Policy(), cp.Model()
 		// The next ring boundary is the first multiple of CkptEvery
 		// strictly after the resume instant, so a resumed timeline
 		// lands checkpoints on the same grid as an uninterrupted one.
 		s.nextCkpt = (cp.At()/cfg.CkptEvery + 1) * cfg.CkptEvery
 	} else {
-		s.sim, err = dismem.New(cfg.Options)
+		opts := cfg.Options
+		if s.trace != nil {
+			opts.TraceSink = s.trace
+		}
+		s.sim, err = dismem.New(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -280,11 +316,28 @@ func (s *Server) publishStatus() {
 	g.Set("dismem_used_pool_mib", "baseline pooled memory in use", nil, float64(sample.Usage.UsedPool))
 	g.Set("dismem_max_pool_util", "highest per-pool utilization", nil, sample.Usage.MaxPoolUtil)
 	g.Set("dismem_max_congestion", "highest per-pool fabric congestion ratio", nil, sample.Usage.MaxCongest)
+	setLabeledGauges(g, sample)
 	done := 0.0
 	if s.sim.Done() {
 		done = 1
 	}
 	g.Set("dismem_baseline_done", "1 once the baseline workload drained", nil, done)
+}
+
+// setLabeledGauges mirrors the per-pool and per-rack breakdown of one
+// sample into labeled gauge families — the same families dmsched's
+// -metrics-addr exports, so dashboards work against either. Pool sets
+// are stable for a machine's lifetime (pools never appear or vanish
+// mid-run; a drained pool reads 0), so stale labels cannot linger.
+func setLabeledGauges(g *telemetry.GaugeSet, sample dismem.Sample) {
+	for _, p := range sample.Pools {
+		lbl := map[string]string{"pool": strconv.Itoa(p.ID)}
+		g.Set("dismem_pool_used_bytes", "pooled memory in use, per pool", lbl, float64(p.UsedMiB)*1024*1024)
+		g.Set("dismem_pool_capacity_bytes", "pool capacity, per pool", lbl, float64(p.CapacityMiB)*1024*1024)
+	}
+	for rk, free := range sample.RackFree {
+		g.Set("dismem_rack_free_nodes", "available (up, idle) nodes per rack", map[string]string{"rack": strconv.Itoa(rk)}, float64(free))
+	}
 }
 
 // archiveBaseline writes the drained baseline's final report to the
@@ -353,13 +406,25 @@ func (s *Server) writeRingCheckpoint() error {
 	if err != nil {
 		return fmt.Errorf("serve: baseline checkpoint at t=%d: %v", s.sim.Now(), err)
 	}
-	_, evicted, err := s.ring.add(cp)
+	path, evicted, err := s.ring.add(cp)
 	if err != nil {
 		return err
 	}
 	s.ckptsWritten.Add(1)
 	s.ckptsEvicted.Add(int64(len(evicted)))
+	s.traceMark(trace.CheckpointMark, cp.At(), path)
 	return nil
+}
+
+// traceMark records a checkpoint/fork boundary event in the trace
+// ring, when one is enabled. The ring is the non-composing trace owner
+// that records boundary marks the engine itself never emits.
+func (s *Server) traceMark(t trace.Type, at int64, path string) {
+	if s.trace == nil {
+		return
+	}
+	s.trace.Add(trace.Event{Now: at, Type: t,
+		Detail: "ring checkpoint " + filepath.Base(path)})
 }
 
 // Run is the drive loop: it advances the baseline chunk by chunk —
@@ -404,5 +469,6 @@ func (s *Server) FinalCheckpoint() (string, error) {
 	}
 	s.ckptsWritten.Add(1)
 	s.ckptsEvicted.Add(int64(len(evicted)))
+	s.traceMark(trace.CheckpointMark, cp.At(), path)
 	return path, nil
 }

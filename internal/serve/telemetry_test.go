@@ -45,6 +45,9 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"dismem_baseline_done 1\n",
 		"dismem_queue_depth 0\n",
+		`dismem_pool_used_bytes{pool="0"} `,
+		`dismem_pool_capacity_bytes{pool="0"} `,
+		`dismem_rack_free_nodes{rack="0"} `,
 		s.VarsName() + "_queries_served 1\n",
 		s.VarsName() + "_checkpoints_written ",
 		s.VarsName() + "_checkpoint_load_errors 0\n",

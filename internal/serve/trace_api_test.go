@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dismem"
+	"dismem/internal/trace"
+)
+
+func testTraceServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Options:   testOptions(t),
+		CkptDir:   t.TempDir(),
+		CkptEvery: 7200,
+		Workers:   2,
+		TraceRing: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTraceEndpointDisabled: without a trace ring, GET /v1/trace
+// explains how to turn tracing on instead of returning an empty list.
+func TestTraceEndpointDisabled(t *testing.T) {
+	s := testServer(t, 0)
+	rec := do(s.Handler(), http.MethodGet, "/v1/trace", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /v1/trace = %d, want 404", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "tracing disabled") {
+		t.Fatalf("body %q does not explain how to enable tracing", rec.Body.String())
+	}
+}
+
+// TestTraceRingExcludesExplicitSink: the ring and a caller-owned
+// Options.TraceSink are mutually exclusive — New must refuse.
+func TestTraceRingExcludesExplicitSink(t *testing.T) {
+	opts := testOptions(t)
+	opts.TraceSink = dismem.DiscardTrace
+	_, err := New(Config{Options: opts, CkptDir: t.TempDir(), CkptEvery: 7200, TraceRing: 16})
+	if err == nil || !strings.Contains(err.Error(), "TraceRing") {
+		t.Fatalf("New() error = %v, want the TraceRing/TraceSink conflict", err)
+	}
+}
+
+// TestTraceEndpointServesBaseline: with a ring configured, the drained
+// baseline's lifecycle events are queryable — whole timeline, windowed
+// slices, and the checkpoint boundary marks only a non-composing owner
+// records.
+func TestTraceEndpointServesBaseline(t *testing.T) {
+	s := testTraceServer(t)
+	driveToDone(t, s)
+	h := s.Handler()
+
+	rec := do(h, http.MethodGet, "/v1/trace", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/trace = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		From    int64         `json:"from"`
+		Count   int           `json:"count"`
+		Dropped uint64        `json:"dropped"`
+		Events  []trace.Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count == 0 || resp.Count != len(resp.Events) {
+		t.Fatalf("count = %d with %d events", resp.Count, len(resp.Events))
+	}
+	byType := map[trace.Type]int{}
+	last := int64(-1 << 62)
+	for _, ev := range resp.Events {
+		byType[ev.Type]++
+		if ev.Now < last {
+			t.Fatalf("events out of order: %d after %d", ev.Now, last)
+		}
+		last = ev.Now
+	}
+	for _, want := range []trace.Type{trace.Submit, trace.Dispatch, trace.Terminate} {
+		if byType[want] == 0 {
+			t.Fatalf("baseline trace has no %q events (got %v)", want, byType)
+		}
+	}
+	if byType[trace.CheckpointMark] == 0 {
+		t.Fatalf("ring recorded no checkpoint marks (got %v)", byType)
+	}
+
+	// A window query returns only that slice of virtual time.
+	rec = do(h, http.MethodGet, "/v1/trace?from=7200&to=14400", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("windowed GET = %d: %s", rec.Code, rec.Body)
+	}
+	var win struct {
+		From   int64         `json:"from"`
+		To     int64         `json:"to"`
+		Events []trace.Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &win); err != nil {
+		t.Fatal(err)
+	}
+	if win.From != 7200 || win.To != 14400 {
+		t.Fatalf("window echoed as [%d, %d)", win.From, win.To)
+	}
+	if len(win.Events) == 0 || len(win.Events) >= resp.Count {
+		t.Fatalf("window holds %d of %d events, want a proper slice", len(win.Events), resp.Count)
+	}
+	for _, ev := range win.Events {
+		if ev.Now < 7200 || ev.Now >= 14400 {
+			t.Fatalf("event at t=%d outside the [7200, 14400) window", ev.Now)
+		}
+	}
+
+	// An empty window is an empty list, not null.
+	rec = do(h, http.MethodGet, "/v1/trace?from=1&to=2", "")
+	if !strings.Contains(rec.Body.String(), `"events": []`) {
+		t.Fatalf("empty window should render as []:\n%s", rec.Body)
+	}
+
+	// Endpoint hygiene: bad bounds and wrong methods fail loudly.
+	if rec := do(h, http.MethodGet, "/v1/trace?from=yesterday", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad from = %d, want 400", rec.Code)
+	}
+	if rec := do(h, http.MethodPost, "/v1/trace", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/trace = %d, want 405", rec.Code)
+	}
+}
+
+// TestTraceEventWireSchema: events on the endpoint marshal with the
+// JSONL wire names (Event.MarshalJSON), not Go field names.
+func TestTraceEventWireSchema(t *testing.T) {
+	s := testTraceServer(t)
+	driveToDone(t, s)
+	rec := do(s.Handler(), http.MethodGet, "/v1/trace", "")
+	body := rec.Body.String()
+	for _, want := range []string{`"now":`, `"type":`, `"job":`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("endpoint payload missing wire key %s:\n%.400s", want, body)
+		}
+	}
+	if strings.Contains(body, `"Now":`) || strings.Contains(body, `"LocalMiB":`) {
+		t.Fatalf("endpoint payload leaks Go field names:\n%.400s", body)
+	}
+}

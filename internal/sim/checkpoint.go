@@ -11,6 +11,7 @@ import (
 	"dismem/internal/sched"
 	"dismem/internal/source"
 	"dismem/internal/stats"
+	"dismem/internal/trace"
 	"dismem/internal/workload"
 )
 
@@ -28,7 +29,7 @@ import (
 // Resume deep-copies everything it hands to the new engine, and the
 // checkpointed source cursor is forked, never advanced.
 type Checkpoint struct {
-	cfg     Config // Observer, RecordSink and SeriesSink cleared (live callbacks/writers)
+	cfg     Config // Observer, RecordSink, SeriesSink and TraceSink cleared (live callbacks/writers)
 	bounded bool   // recorder was in bounded (non-retaining) mode
 
 	now    int64
@@ -83,8 +84,8 @@ func (cp *Checkpoint) Now() int64 { return cp.now }
 // its future is unaffected by any forks taken from the checkpoint.
 //
 // The pending periodic sampling tick IS captured (it is an ordinary
-// tagged event; only the consumers — observer and series sink — are
-// live and cleared). A future resumed with its own Observer or
+// tagged event; only the consumers — observer, series sink, trace
+// sink — are live and cleared). A future resumed with its own Observer or
 // SeriesSink therefore continues the checkpointed tick chain in phase:
 // its sample instants, and their order relative to same-instant
 // events, are identical to the uninterrupted run's (DESIGN.md §11).
@@ -141,6 +142,7 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	cp.cfg.Observer = nil
 	cp.cfg.RecordSink = nil
 	cp.cfg.SeriesSink = nil
+	cp.cfg.TraceSink = nil
 	if e.failRNG != nil {
 		cp.failRNG = e.failRNG.Clone()
 	}
@@ -210,6 +212,12 @@ type Overrides struct {
 	// clean run's series byte for byte (JSONL; a CSV resume re-emits
 	// the header).
 	SeriesSink metrics.SeriesSink
+	// TraceSink streams the future's lifecycle trace events (nil =
+	// none; parent sinks are never carried over). Like the series, a
+	// resumed run's JSONL trace is the clean run's trace minus the
+	// events already streamed to the parent's sink: concatenating the
+	// two files reproduces the clean run's trace byte for byte.
+	TraceSink trace.TraceSink
 }
 
 // Resume builds a fresh engine from a checkpoint, applying the
@@ -236,6 +244,7 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 	}
 	cfg.Observer = o.Observer
 	cfg.SeriesSink = o.SeriesSink
+	cfg.TraceSink = o.TraceSink
 	// A changed sampling period cannot continue the checkpointed tick
 	// chain: the restored tick (scheduled one old period after the last
 	// fire) is dropped and a fresh chain starts at the resume instant.
@@ -260,6 +269,7 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 		rec:          rec,
 		obs:          cfg.Observer,
 		series:       cfg.SeriesSink,
+		trace:        cfg.TraceSink,
 		started:      true,
 		srcDone:      cp.srcDone,
 		srcErr:       cp.srcErr,

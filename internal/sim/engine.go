@@ -21,6 +21,7 @@ import (
 	"dismem/internal/sched"
 	"dismem/internal/source"
 	"dismem/internal/stats"
+	"dismem/internal/trace"
 	"dismem/internal/workload"
 )
 
@@ -67,6 +68,13 @@ type Config struct {
 	// (see SampleEvery): the time-series analogue of RecordSink. The
 	// engine closes it exactly once, on every terminal path of the run.
 	SeriesSink metrics.SeriesSink
+	// TraceSink streams per-job lifecycle trace events — submit,
+	// dispatch with placement detail, terminate/kill with reason,
+	// failure restarts, scenario interventions — emitted synchronously
+	// from the engine's handlers in deterministic firing order (see
+	// package trace). Nil is zero-cost. Like SeriesSink, the engine
+	// closes it exactly once, on every terminal path of the run.
+	TraceSink trace.TraceSink
 }
 
 // FailureConfig models node failures as a Poisson process per node with
@@ -221,6 +229,12 @@ type Engine struct {
 	series       metrics.SeriesSink
 	seriesClosed bool
 	seriesErr    error
+
+	// Trace export state, with the same close discipline as the series
+	// sink's.
+	trace       trace.TraceSink
+	traceClosed bool
+	traceErr    error
 }
 
 // New builds an engine; the machine is constructed from cfg.Machine.
@@ -252,6 +266,7 @@ func New(cfg Config) (*Engine, error) {
 		rec:          rec,
 		obs:          cfg.Observer,
 		series:       cfg.SeriesSink,
+		trace:        cfg.TraceSink,
 		running:      make(map[int]*runningState),
 		reDilate:     memmodel.ContentionSensitive(cfg.Model),
 		restarts:     make(map[int]int),
@@ -288,6 +303,7 @@ func (e *Engine) Start(w *workload.Workload) error {
 		// left unflushed behind an error return.
 		_ = e.rec.CloseSink()
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return err
 	}
 	return e.startSource(source.FromWorkload(w))
@@ -305,6 +321,7 @@ func (e *Engine) StartSource(src source.Source) error {
 	if src == nil {
 		_ = e.rec.CloseSink()
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return fmt.Errorf("sim: nil source")
 	}
 	if e.cfg.Scenario.Modulates() {
@@ -330,6 +347,7 @@ func (e *Engine) startSource(src source.Source) error {
 		// sinks on this terminal path too.
 		_ = e.rec.CloseSink()
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return e.srcErr
 	}
 	if e.cfg.Failures != nil && hasWork {
@@ -448,9 +466,11 @@ func (e *Engine) Usage() cluster.Usage { return e.m.Usage() }
 // Events returns the number of DES events fired so far.
 func (e *Engine) Events() uint64 { return e.sim.Fired() }
 
-// Sample returns the full live-state snapshot observers receive.
+// Sample returns the full live-state snapshot observers receive,
+// including the per-pool and per-rack breakdowns the labeled /metrics
+// gauges read.
 func (e *Engine) Sample() Sample {
-	return Sample{
+	s := Sample{
 		Now:        e.Now(),
 		QueueDepth: len(e.queue),
 		Running:    len(e.running),
@@ -458,6 +478,23 @@ func (e *Engine) Sample() Sample {
 		Events:     e.sim.Fired(),
 		Usage:      e.m.Usage(),
 	}
+	if pools := e.m.Pools(); len(pools) > 0 {
+		s.Pools = make([]metrics.PoolPoint, len(pools))
+		for i, pl := range pools {
+			s.Pools[i] = metrics.PoolPoint{
+				ID:          int(pl.ID),
+				UsedMiB:     pl.UsedMiB,
+				CapacityMiB: pl.CapacityMiB,
+				DemandGiBps: pl.DemandGiBps,
+			}
+		}
+	}
+	racks := e.m.Config().Racks
+	s.RackFree = make([]int, racks)
+	for r := 0; r < racks; r++ {
+		s.RackFree[r] = e.m.RackFreeNodes(r)
+	}
+	return s
 }
 
 // Finish closes the metrics integration interval and builds the result.
@@ -477,6 +514,7 @@ func (e *Engine) Finish() (*Result, error) {
 		// secondary to the source error).
 		_ = e.rec.CloseSink()
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return nil, fmt.Errorf("sim: workload source failed: %w", e.srcErr)
 	}
 	if !e.sim.Stopped() && !e.srcDone {
@@ -486,11 +524,13 @@ func (e *Engine) Finish() (*Result, error) {
 		// — refuse to report a silently truncated run (see Done).
 		_ = e.rec.CloseSink()
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return nil, fmt.Errorf("sim: event queue drained at t=%d with undelivered source arrivals (engine wiring bug)", e.Now())
 	}
 	if !e.sim.Stopped() && (len(e.queue) != 0 || len(e.running) != 0) {
 		_ = e.rec.CloseSink()
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return nil, fmt.Errorf("sim: %d queued and %d running jobs never terminated (scheduler %q)",
 			len(e.queue), len(e.running), e.cfg.Scheduler.Name())
 	}
@@ -504,10 +544,15 @@ func (e *Engine) Finish() (*Result, error) {
 	report.FailureKills = e.failKills
 	if err := e.rec.CloseSink(); err != nil {
 		_ = e.closeSeries()
+		_ = e.closeTrace()
 		return nil, fmt.Errorf("sim: closing record sink: %w", err)
 	}
 	if err := e.closeSeries(); err != nil {
+		_ = e.closeTrace()
 		return nil, fmt.Errorf("sim: closing series sink: %w", err)
+	}
+	if err := e.closeTrace(); err != nil {
+		return nil, fmt.Errorf("sim: closing trace sink: %w", err)
 	}
 	e.finished = true
 	e.result = &Result{
@@ -541,6 +586,19 @@ func (e *Engine) closeSeries() error {
 		e.seriesErr = e.series.Close()
 	}
 	return e.seriesErr
+}
+
+// closeTrace closes the configured trace sink exactly once, with the
+// same latch discipline as closeSeries.
+func (e *Engine) closeTrace() error {
+	if e.trace == nil {
+		return nil
+	}
+	if !e.traceClosed {
+		e.traceClosed = true
+		e.traceErr = e.trace.Close()
+	}
+	return e.traceErr
 }
 
 // scheduleNextSample arms the next periodic sampling tick one period
@@ -587,7 +645,7 @@ func (e *Engine) emitSample() {
 // seriesPoint flattens a sample plus the per-pool usage breakdown into
 // the serializable series row.
 func (e *Engine) seriesPoint(s Sample) metrics.SeriesPoint {
-	p := metrics.SeriesPoint{
+	return metrics.SeriesPoint{
 		Now:             s.Now,
 		QueueDepth:      s.QueueDepth,
 		Running:         s.Running,
@@ -600,23 +658,18 @@ func (e *Engine) seriesPoint(s Sample) metrics.SeriesPoint {
 		PoolDemandGiBps: s.Usage.PoolDemand,
 		MaxPoolUtil:     s.Usage.MaxPoolUtil,
 		MaxCongest:      s.Usage.MaxCongest,
+		Pools:           s.Pools,
 	}
-	if pools := e.m.Pools(); len(pools) > 0 {
-		p.Pools = make([]metrics.PoolPoint, len(pools))
-		for i, pl := range pools {
-			p.Pools[i] = metrics.PoolPoint{
-				ID:          int(pl.ID),
-				UsedMiB:     pl.UsedMiB,
-				CapacityMiB: pl.CapacityMiB,
-				DemandGiBps: pl.DemandGiBps,
-			}
-		}
-	}
-	return p
 }
 
 func (e *Engine) onArrival(now int64, job *workload.Job) {
 	e.rec.OnSubmit(now)
+	if e.trace != nil {
+		e.trace.Add(trace.Event{
+			Now: now, Type: trace.Submit,
+			Job: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+		})
+	}
 	if !e.cfg.Scheduler.Feasible(job, e.m, e.cfg.Model) {
 		rec := metrics.JobRecord{
 			ID: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
@@ -624,6 +677,13 @@ func (e *Engine) onArrival(now int64, job *workload.Job) {
 			MemPerNode: job.MemPerNode, Dilation: 1, Rejected: true,
 		}
 		e.rec.Add(rec)
+		if e.trace != nil {
+			e.trace.Add(trace.Event{
+				Now: now, Type: trace.Terminate,
+				Job: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+				Reason: "rejected",
+			})
+		}
 		if e.obs != nil {
 			e.obs.OnTerminate(now, rec)
 		}
@@ -788,9 +848,46 @@ func (e *Engine) start(now int64, d sched.Dispatch) {
 	e.running[job.ID] = rs
 	e.insertRunning(job.ID)
 	e.scheduleEnd(rs)
+	if e.trace != nil {
+		racks, pools := e.placementOf(rs.alloc)
+		e.trace.Add(trace.Event{
+			Now: now, Type: trace.Dispatch,
+			Job: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+			Racks:    racks,
+			Pools:    pools,
+			LocalMiB: rs.alloc.TotalMiB() - rs.alloc.RemoteMiB(), RemoteMiB: rs.alloc.RemoteMiB(),
+			Dilation: dil,
+		})
+	}
 	if e.obs != nil {
 		e.obs.OnDispatch(now, job, rs.alloc.RemoteMiB(), dil)
 	}
+}
+
+// placementOf flattens an allocation's placement for the trace: the
+// racks its nodes sit in and the pools it borrows from, each ascending.
+// It walks Shares directly (same pool rule as TouchedPools) in one
+// pass; the returned slices are fresh — trace consumers like the
+// dmserve ring retain events, so they must never alias engine scratch.
+func (e *Engine) placementOf(a *cluster.Allocation) (racks, pools []int) {
+	nodes := e.m.Nodes()
+	for _, sh := range a.Shares {
+		r := nodes[sh.Node].Rack
+		if i := sort.SearchInts(racks, r); i == len(racks) || racks[i] != r {
+			racks = append(racks, 0)
+			copy(racks[i+1:], racks[i:])
+			racks[i] = r
+		}
+		if sh.RemoteMiB > 0 {
+			p := int(sh.Pool)
+			if i := sort.SearchInts(pools, p); i == len(pools) || pools[i] != p {
+				pools = append(pools, 0)
+				copy(pools[i+1:], pools[i:])
+				pools[i] = p
+			}
+		}
+	}
+	return racks, pools
 }
 
 // currentDilation evaluates the model against the committed allocation
@@ -859,6 +956,7 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 	e.removeRunning(jobID)
 	delete(e.running, jobID)
 	job := rs.job
+	failed := false
 	if byFailure {
 		e.failKills++
 		e.restarts[job.ID]++
@@ -866,6 +964,13 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 			// The site resubmits the job: it re-enters the queue and
 			// restarts from scratch. Only its final outcome produces
 			// a job record.
+			if e.trace != nil {
+				e.trace.Add(trace.Event{
+					Now: now, Type: trace.Restart,
+					Job: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+					Start: rs.start, Restarts: e.restarts[job.ID],
+				})
+			}
 			e.queue = append(e.queue, job)
 			e.afterChange(now)
 			e.requestPass()
@@ -874,6 +979,7 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 		// Resubmission budget exhausted: give up on the job; it is
 		// recorded below as killed.
 		killed = true
+		failed = true
 	}
 	rec := metrics.JobRecord{
 		ID: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
@@ -885,6 +991,20 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 		Restarts: e.restarts[job.ID],
 	}
 	e.rec.Add(rec)
+	if e.trace != nil {
+		reason := "done"
+		switch {
+		case failed:
+			reason = "failed"
+		case killed:
+			reason = "killed"
+		}
+		e.trace.Add(trace.Event{
+			Now: now, Type: trace.Terminate,
+			Job: job.ID, User: job.User, Nodes: job.Nodes, Submit: job.Submit,
+			Start: rs.start, Reason: reason, Restarts: e.restarts[job.ID],
+		})
+	}
 	if e.obs != nil {
 		e.obs.OnTerminate(now, rec)
 	}

@@ -25,6 +25,13 @@ type Sample struct {
 	Events uint64
 	// Usage is the machine occupancy snapshot.
 	Usage cluster.Usage
+	// Pools is the per-pool usage breakdown, ascending by pool ID
+	// (empty on pool-less machines). It backs the labeled per-pool
+	// gauges on /metrics and the series export's pool columns.
+	Pools []metrics.PoolPoint
+	// RackFree is the number of available (up, idle) nodes per rack,
+	// indexed by rack.
+	RackFree []int
 }
 
 // Observer receives engine lifecycle callbacks. All methods are invoked

@@ -5,6 +5,7 @@ import (
 
 	"dismem/internal/cluster"
 	"dismem/internal/scenario"
+	"dismem/internal/trace"
 )
 
 // This file is the engine half of the scenario subsystem: timed
@@ -19,6 +20,11 @@ import (
 func (e *Engine) onScenario(now int64, ev scenario.Event) {
 	if !e.outstanding() {
 		return // nothing outstanding; jobDone already cancels the rest
+	}
+	if e.trace != nil {
+		// Emitted before the intervention is applied, so the kills it
+		// causes trace after their cause.
+		e.trace.Add(trace.Event{Now: now, Type: trace.ScenarioEvent, Detail: ev.String()})
 	}
 	e.applyScenario(now, ev)
 	e.scenApplied++

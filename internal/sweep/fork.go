@@ -87,6 +87,8 @@ func (c Cell) CheckpointAt(o Options, t int64) (*ForkPoint, error) {
 //   - Failures, when set, reseeds the future failure stream per seed
 //     (the base cell must have configured failure injection).
 //   - StopWhen / SampleEvery apply to the future as in Run.
+//   - Trace, when set, attaches a per-seed lifecycle-trace sink to the
+//     forked future (parent sinks are never carried over).
 //
 // Machine, Model, Gen, StrictKill and Bounded are fixed by the base
 // cell at checkpoint time and ignored here. One fork point serves any
@@ -114,6 +116,9 @@ func (c Cell) ForkFrom(fp *ForkPoint) (Agg, error) {
 			if c.Failures != nil {
 				fo.ReseedFailures = true
 				fo.FailureSeed = c.Failures.Seed + uint64(s)
+			}
+			if c.Trace != nil {
+				fo.TraceSink = c.Trace(s)
 			}
 			var abort *abortObserver
 			if c.StopWhen != nil {

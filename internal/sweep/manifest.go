@@ -281,10 +281,10 @@ type unitSpec struct {
 // unitSpecJSON builds the canonical configuration JSON for seed s of
 // the cell — the identity preimage shared by the manifest key and the
 // run-store record — or errNotCacheable when the cell holds live code
-// (Scheduler factory, StopWhen predicate, Series sink factory) or a
-// workload distribution with no serializable state.
+// (Scheduler factory, StopWhen predicate, Series or Trace sink
+// factory) or a workload distribution with no serializable state.
 func (c Cell) unitSpecJSON(o Options, mc dismem.MachineConfig, s int) ([]byte, error) {
-	if c.Scheduler != nil || c.StopWhen != nil || c.Series != nil {
+	if c.Scheduler != nil || c.StopWhen != nil || c.Series != nil || c.Trace != nil {
 		return nil, errNotCacheable
 	}
 	gen := dismem.GenConfig{}

@@ -11,6 +11,7 @@ import (
 	"dismem/internal/metrics"
 	"dismem/internal/runstore"
 	"dismem/internal/sim"
+	"dismem/internal/trace"
 )
 
 // ErrInterrupted reports a sweep cancelled through Options.Ctx (for
@@ -45,8 +46,8 @@ type Options struct {
 	// "sweep-unit" run record once the cell's seeds drain. Records are
 	// appended in seed order and carry no wall-clock state, so a
 	// resumed sweep archives byte-identical records to an uninterrupted
-	// one. Cells holding live code (Scheduler, StopWhen, Series) have
-	// no durable identity and are skipped.
+	// one. Cells holding live code (Scheduler, StopWhen, Series, Trace)
+	// have no durable identity and are skipped.
 	Store *runstore.Store
 	// UnitDone, when non-nil, is called once per successfully completed
 	// simulation unit, including units served from the Manifest journal.
@@ -132,6 +133,12 @@ type Cell struct {
 	// never journaled to a Manifest or archived to a Store — like
 	// Scheduler and StopWhen, the cell holds live code.
 	Series func(seed int) metrics.SeriesSink
+	// Trace, when set, attaches a lifecycle-trace sink to each seed's
+	// simulation (dismem.NewJSONLTraceSink over a per-seed file, say).
+	// Tracing is event-driven — it needs no SampleEvery. Like Series,
+	// a Trace factory is live code: the cell's units are never
+	// journaled to a Manifest or archived to a Store.
+	Trace func(seed int) trace.TraceSink
 }
 
 // abortObserver stops its simulation at the first sample matching the
@@ -410,6 +417,9 @@ func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Opt
 	}
 	if c.Series != nil {
 		opts.SeriesSink = c.Series(s)
+	}
+	if c.Trace != nil {
+		opts.TraceSink = c.Trace(s)
 	}
 	if abort != nil || c.Series != nil {
 		opts.SampleEvery = c.SampleEvery

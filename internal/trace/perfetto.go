@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PerfettoSink writes the trace in Chrome trace-event JSON — the format
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// Jobs render as async duration spans grouped onto per-rack and
+// per-pool tracks: a job dispatched onto racks {2,3} touching pool 2
+// opens one span on each of the three tracks, closed at termination.
+// Scenario interventions and failure restarts render as instant events
+// on a dedicated "cluster" track. Timestamps are simulated seconds
+// converted to the format's microseconds.
+//
+// The writer streams: events encode as they arrive and Close emits the
+// closing bracket, so the output is valid JSON only after Close. Spans
+// still open at Close (a run stopped early) are left unclosed — the
+// format tolerates it, and it is the truthful rendering of an
+// interrupted run. The write-error discipline matches JSONLSink.
+type PerfettoSink struct {
+	bw     *bufio.Writer
+	err    error
+	closed bool
+	wrote  bool // at least one event emitted (comma placement)
+
+	// Track metadata is emitted lazily, once per first use.
+	rackNamed map[int]bool
+	poolNamed map[int]bool
+	// open maps a job ID to the track ids of its open spans.
+	open map[int]openSpan
+}
+
+type openSpan struct {
+	racks []int
+	pools []int
+}
+
+// Perfetto track layout: process IDs group the track families.
+const (
+	pidRacks   = 1 // one thread per rack
+	pidPools   = 2 // one thread per pool
+	pidCluster = 3 // instants: scenario interventions, restarts
+)
+
+// NewPerfettoSink returns a sink writing Chrome trace-event JSON.
+func NewPerfettoSink(w io.Writer) *PerfettoSink {
+	s := &PerfettoSink{
+		bw:        bufio.NewWriter(w),
+		rackNamed: make(map[int]bool),
+		poolNamed: make(map[int]bool),
+		open:      make(map[int]openSpan),
+	}
+	_, s.err = s.bw.WriteString("{\"traceEvents\":[\n")
+	if s.err == nil {
+		s.emitRaw(map[string]any{
+			"ph": "M", "name": "process_name", "pid": pidCluster, "tid": 0,
+			"args": map[string]any{"name": "cluster"},
+		})
+	}
+	return s
+}
+
+// perfettoEvent is the wire shape of one trace-event line, with a fixed
+// field order for deterministic output.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (s *PerfettoSink) emitRaw(v any) {
+	if s.err != nil {
+		return
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.wrote {
+		if _, s.err = s.bw.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.wrote = true
+	_, s.err = s.bw.Write(blob)
+}
+
+func (s *PerfettoSink) emit(ev perfettoEvent) { s.emitRaw(ev) }
+
+// nameRack / namePool emit the track metadata once per first use.
+func (s *PerfettoSink) nameRack(r int) {
+	if s.rackNamed[r] {
+		return
+	}
+	s.rackNamed[r] = true
+	s.emitRaw(map[string]any{
+		"ph": "M", "name": "process_name", "pid": pidRacks, "tid": r,
+		"args": map[string]any{"name": "racks"},
+	})
+	s.emitRaw(map[string]any{
+		"ph": "M", "name": "thread_name", "pid": pidRacks, "tid": r,
+		"args": map[string]any{"name": fmt.Sprintf("rack %d", r)},
+	})
+}
+
+func (s *PerfettoSink) namePool(p int) {
+	if s.poolNamed[p] {
+		return
+	}
+	s.poolNamed[p] = true
+	s.emitRaw(map[string]any{
+		"ph": "M", "name": "process_name", "pid": pidPools, "tid": p,
+		"args": map[string]any{"name": "pools"},
+	})
+	s.emitRaw(map[string]any{
+		"ph": "M", "name": "thread_name", "pid": pidPools, "tid": p,
+		"args": map[string]any{"name": fmt.Sprintf("pool %d", p)},
+	})
+}
+
+// ts converts simulated seconds to trace-format microseconds.
+func ts(now int64) int64 { return now * 1_000_000 }
+
+// Add implements TraceSink.
+func (s *PerfettoSink) Add(ev Event) {
+	if s.err != nil || s.closed {
+		return
+	}
+	switch ev.Type {
+	case Dispatch:
+		name := fmt.Sprintf("job %d", ev.Job)
+		args := map[string]any{
+			"user": ev.User, "nodes": ev.Nodes, "submit": ev.Submit,
+			"local_mib": ev.LocalMiB, "remote_mib": ev.RemoteMiB,
+			"dilation": ev.Dilation,
+		}
+		for _, r := range ev.Racks {
+			s.nameRack(r)
+			s.emit(perfettoEvent{
+				Name: name, Cat: "job", Ph: "b", Ts: ts(ev.Now),
+				Pid: pidRacks, Tid: r, ID: fmt.Sprintf("j%d.r%d", ev.Job, r),
+				Args: args,
+			})
+		}
+		for _, p := range ev.Pools {
+			s.namePool(p)
+			s.emit(perfettoEvent{
+				Name: name, Cat: "job", Ph: "b", Ts: ts(ev.Now),
+				Pid: pidPools, Tid: p, ID: fmt.Sprintf("j%d.p%d", ev.Job, p),
+				Args: args,
+			})
+		}
+		s.open[ev.Job] = openSpan{
+			racks: append([]int(nil), ev.Racks...),
+			pools: append([]int(nil), ev.Pools...),
+		}
+	case Terminate:
+		sp, ok := s.open[ev.Job]
+		if !ok {
+			return // rejected at arrival, or dispatched before this trace began
+		}
+		delete(s.open, ev.Job)
+		name := fmt.Sprintf("job %d", ev.Job)
+		args := map[string]any{"reason": ev.Reason}
+		if ev.Restarts > 0 {
+			args["restarts"] = ev.Restarts
+		}
+		for _, r := range sp.racks {
+			s.emit(perfettoEvent{
+				Name: name, Cat: "job", Ph: "e", Ts: ts(ev.Now),
+				Pid: pidRacks, Tid: r, ID: fmt.Sprintf("j%d.r%d", ev.Job, r),
+				Args: args,
+			})
+		}
+		for _, p := range sp.pools {
+			s.emit(perfettoEvent{
+				Name: name, Cat: "job", Ph: "e", Ts: ts(ev.Now),
+				Pid: pidPools, Tid: p, ID: fmt.Sprintf("j%d.p%d", ev.Job, p),
+				Args: args,
+			})
+		}
+	case Restart:
+		// The killed occupant's spans close, and the resubmission shows
+		// as an instant on the cluster track.
+		sp, ok := s.open[ev.Job]
+		if ok {
+			delete(s.open, ev.Job)
+			name := fmt.Sprintf("job %d", ev.Job)
+			for _, r := range sp.racks {
+				s.emit(perfettoEvent{
+					Name: name, Cat: "job", Ph: "e", Ts: ts(ev.Now),
+					Pid: pidRacks, Tid: r, ID: fmt.Sprintf("j%d.r%d", ev.Job, r),
+					Args: map[string]any{"reason": "restart"},
+				})
+			}
+			for _, p := range sp.pools {
+				s.emit(perfettoEvent{
+					Name: name, Cat: "job", Ph: "e", Ts: ts(ev.Now),
+					Pid: pidPools, Tid: p, ID: fmt.Sprintf("j%d.p%d", ev.Job, p),
+					Args: map[string]any{"reason": "restart"},
+				})
+			}
+		}
+		s.emit(perfettoEvent{
+			Name: fmt.Sprintf("restart job %d", ev.Job), Cat: "restart",
+			Ph: "i", Ts: ts(ev.Now), Pid: pidCluster, Tid: 0, S: "g",
+			Args: map[string]any{"restarts": ev.Restarts},
+		})
+	case ScenarioEvent, CheckpointMark, ForkMark:
+		s.emit(perfettoEvent{
+			Name: ev.Detail, Cat: string(ev.Type),
+			Ph: "i", Ts: ts(ev.Now), Pid: pidCluster, Tid: 0, S: "g",
+		})
+	case Submit:
+		// Queue waits render through the dispatch span's submit arg; a
+		// per-submit instant on every track would drown the view.
+	}
+}
+
+// Close implements TraceSink: it writes the closing bracket, flushes,
+// and returns the first error. Spans of still-running jobs (a stopped
+// run) stay open — the truthful rendering of an interrupted run.
+func (s *PerfettoSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if _, s.err = s.bw.WriteString("\n]}\n"); s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}

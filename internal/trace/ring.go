@@ -1,0 +1,82 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded in-memory TraceSink: it retains the newest Cap
+// events and serves time-windowed queries. Unlike the stream sinks it
+// is safe for concurrent use — dmserve's drive goroutine appends while
+// HTTP handlers query.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // index of the slot the next Add overwrites
+	full    bool
+	dropped uint64
+}
+
+// NewRing returns a ring retaining the newest cap events (minimum 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{buf: make([]Event, 0, cap)}
+}
+
+// Add implements TraceSink.
+func (r *Ring) Add(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+	r.dropped++
+}
+
+// Close implements TraceSink; the ring keeps serving after close (the
+// run drained, its tail stays queryable).
+func (r *Ring) Close() error { return nil }
+
+// Len returns how many events the ring currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns how many events the bound has evicted.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Query returns the retained events with from <= Now < to, oldest
+// first (to <= 0 means no upper bound). The result is a copy.
+func (r *Ring) Query(from, to int64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	scan := func(ev Event) {
+		if ev.Now < from || (to > 0 && ev.Now >= to) {
+			return
+		}
+		out = append(out, ev)
+	}
+	if r.full {
+		for i := r.next; i < len(r.buf); i++ {
+			scan(r.buf[i])
+		}
+		for i := 0; i < r.next; i++ {
+			scan(r.buf[i])
+		}
+	} else {
+		for _, ev := range r.buf {
+			scan(ev)
+		}
+	}
+	return out
+}

@@ -75,6 +75,7 @@ func New(o Options) (*Simulation, error) {
 		SampleEvery:     o.SampleEvery,
 		RecordSink:      o.RecordSink,
 		SeriesSink:      o.SeriesSink,
+		TraceSink:       o.TraceSink,
 	})
 	if err != nil {
 		return nil, err

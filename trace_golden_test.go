@@ -1,0 +1,280 @@
+package dismem_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"dismem"
+)
+
+// traceOpts is the adversarial configuration for the trace golden
+// tests: contention-sensitive model, failures and a scenario timeline,
+// so the stream carries every event type — submits, dispatches with
+// multi-rack placement, restarts, kills and scenario interventions.
+// Tracing is event-driven, so no SampleEvery is armed.
+func traceOpts(wl *dismem.Workload, sink dismem.TraceSink) dismem.Options {
+	o := forkOpts(wl)
+	o.TraceSink = sink
+	return o
+}
+
+// runTrace runs wl to completion with a JSONL trace sink attached and
+// returns the trace bytes.
+func runTrace(t *testing.T, wl *dismem.Workload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	mustRun(t, mustNew(t, traceOpts(wl, dismem.NewJSONLTraceSink(&buf))))
+	if buf.Len() == 0 {
+		t.Fatal("run produced an empty trace")
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGoldenDeterminism: the same configuration traces
+// byte-identically across runs, every line is a standalone JSON
+// object, and the adversarial configuration exercises the full event
+// taxonomy.
+func TestTraceGoldenDeterminism(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	first := runTrace(t, wl)
+	second := runTrace(t, wl)
+	if !bytes.Equal(first, second) {
+		t.Fatal("two identical runs produced different traces")
+	}
+
+	seen := map[string]int{}
+	for i, line := range bytes.Split(bytes.TrimSuffix(first, []byte("\n")), []byte("\n")) {
+		var ev struct {
+			Now  *int64 `json:"now"`
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Now == nil || ev.Type == "" {
+			t.Fatalf("line %d is missing now/type: %s", i+1, line)
+		}
+		seen[ev.Type]++
+	}
+	for _, want := range []string{"submit", "dispatch", "terminate", "restart", "scenario"} {
+		if seen[want] == 0 {
+			t.Fatalf("adversarial run emitted no %q events (got %v)", want, seen)
+		}
+	}
+	if seen["checkpoint"] != 0 || seen["fork"] != 0 {
+		t.Fatalf("engine emitted boundary marks into a composing stream: %v", seen)
+	}
+}
+
+// TestTraceGoldenSourceVsWorkload: the same jobs delivered as a
+// materialised Workload and as a streaming Source produce
+// byte-identical trace files.
+func TestTraceGoldenSourceVsWorkload(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	slice := runTrace(t, wl)
+
+	var buf bytes.Buffer
+	o := traceOpts(nil, dismem.NewJSONLTraceSink(&buf))
+	o.Source = dismem.WorkloadSource(wl)
+	mustRun(t, mustNew(t, o))
+	if !bytes.Equal(slice, buf.Bytes()) {
+		t.Fatal("streamed-source trace differs from the workload-slice trace")
+	}
+}
+
+// TestTraceGoldenResumeComposition: interrupt a run mid-flight, fork
+// from the checkpoint with a fresh sink, and the parent's trace plus
+// the fork's trace concatenate to exactly the clean run's bytes — the
+// reason the engine never emits checkpoint/fork boundary marks into a
+// composing stream.
+func TestTraceGoldenResumeComposition(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	clean := runTrace(t, wl)
+
+	var prefix bytes.Buffer
+	h := mustNew(t, traceOpts(wl, dismem.NewJSONLTraceSink(&prefix)))
+	h.RunUntil(50000)
+	cp, err := h.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Stop()
+	if _, err := h.Result(); err != nil { // closes (flushes) the prefix sink
+		t.Fatal(err)
+	}
+
+	var suffix bytes.Buffer
+	mustRun(t, mustFork(t, cp, dismem.ForkOptions{TraceSink: dismem.NewJSONLTraceSink(&suffix)}))
+
+	joined := append(append([]byte{}, prefix.Bytes()...), suffix.Bytes()...)
+	if !bytes.Equal(clean, joined) {
+		t.Fatalf("prefix (%d B) + suffix (%d B) trace != clean trace (%d B)",
+			prefix.Len(), suffix.Len(), len(clean))
+	}
+}
+
+// TestTraceGoldenDurableRoundTrip: the composition property survives
+// the durable checkpoint file format.
+func TestTraceGoldenDurableRoundTrip(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	clean := runTrace(t, wl)
+
+	var prefix bytes.Buffer
+	h := mustNew(t, traceOpts(wl, dismem.NewJSONLTraceSink(&prefix)))
+	h.RunUntil(50000)
+	cp, err := h.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Stop()
+	if _, err := h.Result(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.dmckpt")
+	if err := dismem.WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dismem.ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var suffix bytes.Buffer
+	mustRun(t, mustFork(t, loaded, dismem.ForkOptions{TraceSink: dismem.NewJSONLTraceSink(&suffix)}))
+
+	joined := append(append([]byte{}, prefix.Bytes()...), suffix.Bytes()...)
+	if !bytes.Equal(clean, joined) {
+		t.Fatalf("durable round trip broke trace composition: prefix %d B + suffix %d B vs clean %d B",
+			prefix.Len(), suffix.Len(), len(clean))
+	}
+}
+
+// perfettoDoc is the structural subset of the Chrome trace-event
+// format the validation below inspects.
+type perfettoDoc struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   int64  `json:"ts"`
+		Pid  int    `json:"pid"`
+		Tid  int    `json:"tid"`
+		ID   string `json:"id"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceGoldenPerfetto: the Perfetto export is deterministic, is
+// one well-formed JSON document, and on a completed run every async
+// span that opens also closes (b/e balance per span id).
+func TestTraceGoldenPerfetto(t *testing.T) {
+	wl := dismem.SyntheticWorkload(800, 1)
+	render := func() []byte {
+		var buf bytes.Buffer
+		mustRun(t, mustNew(t, traceOpts(wl, dismem.NewPerfettoTraceSink(&buf))))
+		return buf.Bytes()
+	}
+	first := render()
+	if !bytes.Equal(first, render()) {
+		t.Fatal("two identical runs produced different Perfetto documents")
+	}
+
+	var doc perfettoDoc
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatalf("Perfetto output is not one valid JSON document: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Perfetto document has no traceEvents")
+	}
+	opens, instants := map[string]int{}, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "b":
+			opens[ev.ID]++
+		case "e":
+			opens[ev.ID]--
+			if opens[ev.ID] < 0 {
+				t.Fatalf("span %q closed more often than it opened", ev.ID)
+			}
+		case "i":
+			instants++
+		case "M":
+		default:
+			t.Fatalf("unexpected phase %q in event %+v", ev.Ph, ev)
+		}
+	}
+	for id, n := range opens {
+		if n != 0 {
+			t.Fatalf("span %q left open on a completed run (%d unmatched opens)", id, n)
+		}
+	}
+	if instants == 0 {
+		t.Fatal("scenario/restart instants missing from the cluster track")
+	}
+}
+
+// closeCountTraceSink counts Add and Close calls, for pinning the
+// engine's close-exactly-once discipline.
+type closeCountTraceSink struct {
+	events int
+	closes int
+}
+
+func (s *closeCountTraceSink) Add(dismem.TraceEvent) { s.events++ }
+func (s *closeCountTraceSink) Close() error          { s.closes++; return nil }
+
+// TestTraceSinkClosedOncePerTerminalPath: the engine closes the
+// configured trace sink exactly once on every terminal path — run to
+// completion, truncation by Stop (even with Result called repeatedly),
+// and a forked future running out.
+func TestTraceSinkClosedOncePerTerminalPath(t *testing.T) {
+	wl := dismem.SyntheticWorkload(400, 1)
+
+	t.Run("run-to-completion", func(t *testing.T) {
+		sink := &closeCountTraceSink{}
+		mustRun(t, mustNew(t, traceOpts(wl, sink)))
+		if sink.closes != 1 {
+			t.Fatalf("sink closed %d times, want 1", sink.closes)
+		}
+		if sink.events == 0 {
+			t.Fatal("sink saw no events")
+		}
+	})
+
+	t.Run("stop-then-result", func(t *testing.T) {
+		sink := &closeCountTraceSink{}
+		h := mustNew(t, traceOpts(wl, sink))
+		h.RunUntil(30000)
+		h.Stop()
+		for i := 0; i < 2; i++ { // Result is idempotent on the close
+			if _, err := h.Result(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sink.closes != 1 {
+			t.Fatalf("sink closed %d times, want 1", sink.closes)
+		}
+	})
+
+	t.Run("forked-future", func(t *testing.T) {
+		h := mustNew(t, traceOpts(wl, nil))
+		h.RunUntil(30000)
+		cp, err := h.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Stop()
+		if _, err := h.Result(); err != nil {
+			t.Fatal(err)
+		}
+		sink := &closeCountTraceSink{}
+		mustRun(t, mustFork(t, cp, dismem.ForkOptions{TraceSink: sink}))
+		if sink.closes != 1 {
+			t.Fatalf("fork closed the sink %d times, want 1", sink.closes)
+		}
+		if sink.events == 0 {
+			t.Fatal("fork traced no events")
+		}
+	})
+}
