@@ -91,7 +91,7 @@ func BenchmarkVal2Lublin(b *testing.B) { benchExperiment(b, "val2") }
 func BenchmarkEventQueue(b *testing.B) {
 	b.ReportAllocs()
 	s := des.New()
-	noop := func(des.Time) {}
+	noop := func(des.Time, any) {}
 	for i := 0; i < b.N; i++ {
 		// Keep ~1k events in flight, firing one per scheduled.
 		s.Schedule(s.Now()+des.Time(i%1000), noop)
@@ -121,6 +121,11 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 // BenchmarkSimulation measures end-to-end simulated-jobs-per-second for
 // the full memaware stack under the contention-sensitive model.
 func BenchmarkSimulation(b *testing.B) { benchkit.Simulation(b) }
+
+// BenchmarkBatchSimulation is BenchmarkSimulation on the batched
+// multi-run path: one Runner per benchmark, machine and pools recycled
+// between runs (see dismem.RunBatch).
+func BenchmarkBatchSimulation(b *testing.B) { benchkit.BatchSimulation(b) }
 
 // BenchmarkScenarioSimulation is BenchmarkSimulation with an active
 // intervention timeline (rack outage + diurnal cycle), guarding the

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dismem/internal/benchkit"
+	"dismem/internal/profiling"
 )
 
 // entry is one benchmark's recorded result.
@@ -63,8 +64,26 @@ func main() {
 		srv       = flag.Bool("serve", false, "run the what-if service benchmark (concurrent /v1/whatif queries against a checkpoint ring) instead of the headline set, writing BENCH_<date>_serve.json")
 		series    = flag.Bool("series", false, "run the sampling/series-export overhead benchmark instead of the headline set, writing BENCH_<date>_series.json")
 		trc       = flag.Bool("trace", false, "run the lifecycle-trace export overhead benchmark instead of the headline set, writing BENCH_<date>_trace.json")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile (pprof allocs: cumulative sites plus post-GC in-use heap) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		os.Exit(1)
+	}
+	flushProfiles := func() {
+		if stopProfiling == nil {
+			return
+		}
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmbench:", err)
+		}
+		stopProfiling = nil
+	}
+	defer flushProfiles()
 
 	type bench struct {
 		name string
@@ -74,6 +93,10 @@ func main() {
 		{"MachineAllocRelease", benchkit.MachineAllocRelease},
 		{"MemAwarePlan", benchkit.MemAwarePlan},
 		{"Simulation", benchkit.Simulation},
+		// BatchSimulation rides along as the amortised reference: the
+		// jobs/s gap to Simulation is what the Runner's machine and
+		// pool reuse saves per run in a batch or sweep.
+		{"BatchSimulation", benchkit.BatchSimulation},
 		{"ScenarioSimulation", benchkit.ScenarioSimulation},
 	}
 	exclusive := 0
@@ -188,11 +211,13 @@ func main() {
 	blob, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 	blob = append(blob, '\n')
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)

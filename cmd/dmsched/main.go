@@ -80,6 +80,7 @@ import (
 
 	"dismem"
 	"dismem/internal/config"
+	"dismem/internal/profiling"
 	"dismem/internal/report"
 	"dismem/internal/telemetry"
 	"dismem/internal/workload"
@@ -122,8 +123,17 @@ func main() {
 		verbose   = flag.Bool("v", false, "also print workload summary")
 		cfgPath   = flag.String("config", "", "JSON experiment config (overrides the flags above)")
 		writeCfg  = flag.Bool("write-config", false, "print a starter config JSON and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile (pprof allocs: cumulative sites plus post-GC in-use heap) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfiling = stopProf
+	defer flushProfiles()
 
 	if *writeCfg {
 		def := config.Default()
@@ -338,6 +348,7 @@ func driveAndReport(h *dismem.Simulation, label, ckptSave string) {
 	}
 	printReport(label, res)
 	if interrupted {
+		flushProfiles()
 		os.Exit(exitInterrupted)
 	}
 }
@@ -764,5 +775,21 @@ func printReport(policy string, res *dismem.Result) {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "dmsched: "+format+"\n", args...)
+	flushProfiles()
 	os.Exit(1)
+}
+
+// stopProfiling finalises -cpuprofile/-memprofile; flushProfiles runs
+// it at most once, so the deferred call and the explicit calls ahead
+// of os.Exit compose.
+var stopProfiling func() error
+
+func flushProfiles() {
+	if stopProfiling == nil {
+		return
+	}
+	if err := stopProfiling(); err != nil {
+		fmt.Fprintf(os.Stderr, "dmsched: %v\n", err)
+	}
+	stopProfiling = nil
 }

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"syscall"
 
+	"dismem/internal/profiling"
 	"dismem/internal/runstore"
 	"dismem/internal/sweep"
 	"dismem/internal/telemetry"
@@ -59,6 +60,8 @@ func main() {
 		plot     = flag.Bool("plot", false, "also render figure sweeps as ASCII charts")
 		storeDir = flag.String("store", "", "archive every completed unit's report to a run store in this directory (query with dmstore)")
 		metrAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) with sweep progress on this address while the sweep runs")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile (pprof allocs: cumulative sites plus post-GC in-use heap) to this file at exit")
 	)
 	flag.Parse()
 
@@ -66,6 +69,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmsweep: -resume requires -manifest")
 		os.Exit(2)
 	}
+	stop, perr := profiling.Start(*cpuProf, *memProf)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "dmsweep:", perr)
+		os.Exit(2)
+	}
+	stopProfiling = stop
+	defer flushProfiles()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -118,9 +128,11 @@ func main() {
 			if *manifest != "" {
 				fmt.Fprintf(os.Stderr, "dmsweep: progress journaled; rerun with -manifest %s -resume to continue\n", *manifest)
 			}
+			flushProfiles()
 			os.Exit(exitInterrupted)
 		}
 		fmt.Fprintln(os.Stderr, "dmsweep:", err)
+		flushProfiles()
 		os.Exit(2)
 	}
 	for i, t := range tables {
@@ -139,6 +151,21 @@ func main() {
 			}
 		}
 	}
+}
+
+// stopProfiling finalises -cpuprofile/-memprofile; flushProfiles runs
+// it at most once, so the deferred call and the explicit calls ahead
+// of os.Exit compose.
+var stopProfiling func() error
+
+func flushProfiles() {
+	if stopProfiling == nil {
+		return
+	}
+	if err := stopProfiling(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmsweep:", err)
+	}
+	stopProfiling = nil
 }
 
 // startMetricsServer serves GET /metrics on addr for the lifetime of

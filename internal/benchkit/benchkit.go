@@ -32,6 +32,36 @@ import (
 // iteration; the jobs/s metric is derived from it.
 const SimulationJobs = 1000
 
+// jobAlloc snapshots the allocator counters so a benchmark can report
+// its per-job allocation discipline. Take one snapshot right before
+// ResetTimer and report right after StopTimer:
+//
+//	a := allocSnapshot()
+//	b.ResetTimer()
+//	... timed loop ...
+//	b.StopTimer()
+//	a.reportPerJob(b, SimulationJobs)
+//
+// allocs/job is the number the alloc-budget regression test bounds:
+// B/op and allocs/op scale with the per-iteration workload size, so
+// the normalised form is what stays comparable across benchmarks and
+// across workload-size changes.
+type jobAlloc struct{ mallocs, bytes uint64 }
+
+func allocSnapshot() jobAlloc {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return jobAlloc{mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+func (a jobAlloc) reportPerJob(b *testing.B, jobsPerOp int) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := float64(jobsPerOp) * float64(b.N)
+	b.ReportMetric(float64(ms.Mallocs-a.mallocs)/n, "allocs/job")
+	b.ReportMetric(float64(ms.TotalAlloc-a.bytes)/n, "B/job")
+}
+
 // MachineAllocRelease measures the cluster bookkeeping cycle.
 func MachineAllocRelease(b *testing.B) {
 	b.ReportAllocs()
@@ -84,6 +114,7 @@ func MemAwarePlan(b *testing.B) {
 func Simulation(b *testing.B) {
 	b.ReportAllocs()
 	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	a := allocSnapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := dismem.New(dismem.Options{
@@ -100,7 +131,38 @@ func Simulation(b *testing.B) {
 			b.Fatal("no jobs ran")
 		}
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	a.reportPerJob(b, SimulationJobs)
+}
+
+// BatchSimulation is Simulation on the batched multi-run path: one
+// Runner executes the headline workload per iteration, so every run
+// after the first reuses the previous run's machine (reset in place),
+// DES event pool and engine scratch instead of rebuilding them. The
+// jobs/s gap to Simulation is what dismem.RunBatch — and the sweep
+// worker pool built on it — saves per run; results stay bit-identical
+// to fresh construction (TestRunBatchMatchesLoopOfSimulate).
+func BatchSimulation(b *testing.B) {
+	b.ReportAllocs()
+	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	r := dismem.NewRunner(dismem.Options{
+		Policy: "memaware", Model: "bandwidth:1,1", Workload: wl,
+	})
+	a := allocSnapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(dismem.RunSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Jobs() == 0 {
+			b.Fatal("no jobs ran")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	a.reportPerJob(b, SimulationJobs)
 }
 
 // SeriesSampling measures the price of live observation: the headline
@@ -113,6 +175,7 @@ func SeriesSampling(b *testing.B) {
 	b.ReportAllocs()
 	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
 	samples := 0
+	a := allocSnapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		counter := &countingWriter{}
@@ -136,8 +199,10 @@ func SeriesSampling(b *testing.B) {
 		}
 		samples += counter.lines
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/run")
+	a.reportPerJob(b, SimulationJobs)
 }
 
 // TraceSimulation measures the price of lifecycle tracing: the
@@ -151,6 +216,7 @@ func TraceSimulation(b *testing.B) {
 	b.ReportAllocs()
 	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
 	events := 0
+	a := allocSnapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		counter := &countingWriter{}
@@ -173,8 +239,10 @@ func TraceSimulation(b *testing.B) {
 		}
 		events += counter.lines
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	a.reportPerJob(b, SimulationJobs)
 }
 
 // countingWriter counts JSONL lines on their way to the void.
@@ -306,6 +374,7 @@ func streamingReplay(b *testing.B, n int) {
 	path := filepath.Join(b.TempDir(), "trace.swf")
 	writeLublinTrace(b, path, n)
 
+	a := allocSnapshot()
 	b.ResetTimer()
 	var peak uint64
 	for i := 0; i < b.N; i++ {
@@ -335,8 +404,10 @@ func streamingReplay(b *testing.B, n int) {
 			peak = obs.peak
 		}
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "jobs/s")
 	b.ReportMetric(float64(peak)/1e6, "peakheap-MB")
+	a.reportPerJob(b, n)
 }
 
 // replayInterarrival thins the Lublin arrival process so the default
@@ -400,6 +471,7 @@ func ScenarioSimulation(b *testing.B) {
 		b.Fatal(err)
 	}
 	wl := dismem.SyntheticWorkload(SimulationJobs, 1)
+	a := allocSnapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := dismem.New(dismem.Options{
@@ -416,7 +488,9 @@ func ScenarioSimulation(b *testing.B) {
 			b.Fatal("scenario run degenerate")
 		}
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(SimulationJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	a.reportPerJob(b, SimulationJobs)
 }
 
 // ServeQueries measures the serving layer (internal/serve) end to end:

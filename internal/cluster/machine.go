@@ -79,6 +79,10 @@ type Allocation struct {
 	cached      bool
 	pools       []PoolID // distinct pools borrowed from, first-touch order
 	poolsCached bool
+	// pooled marks allocations created by Machine.AllocateCopy: they are
+	// owned by the machine's free list and may be recycled after release
+	// (Machine.Recycle is a no-op for any other allocation).
+	pooled bool
 }
 
 // ensureSums computes the cached memory totals once. It allocates
@@ -156,12 +160,31 @@ func (a *Allocation) RemoteFraction() float64 {
 // Machine owns all resource state. It is not safe for concurrent use;
 // the simulation kernel is single-threaded (see package des).
 type Machine struct {
-	cfg       Config
+	cfg Config
+	// baseCfg is the configuration the machine was constructed with —
+	// the state Reset returns to, unaffected by scenario growth or
+	// resizes that rewrite cfg.
+	baseCfg   Config
 	nodes     []Node
 	pools     []Pool
 	freeNodes int
 	downNodes int
 	allocs    map[int]*Allocation // by job ID
+
+	// version increments on every state mutation (allocate, release,
+	// node up/down, pool resize, growth, reset). (Machine pointer,
+	// Version) therefore identifies one exact machine state, which
+	// placers key derived-view caches on.
+	version uint64
+
+	// allocPool is the free list AllocateCopy draws from and Recycle
+	// returns to.
+	allocPool []*Allocation
+
+	// usageCache memoizes Usage at usageVer (0 = never computed;
+	// version is always >= 1 after Reset).
+	usageCache Usage
+	usageVer   uint64
 
 	// poolDegraded marks pools whose capacity a SetPoolCapacity call
 	// pushed below live usage (scenario degradation). The flag is kept
@@ -195,16 +218,49 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	total := cfg.TotalNodes()
-	m := &Machine{
-		cfg:       cfg,
-		nodes:     make([]Node, total),
-		freeNodes: total,
-		allocs:    make(map[int]*Allocation),
-		rackFree:  make([]int, cfg.Racks),
-		freeBits:  make([]uint64, (total+63)/64),
-		nodeStamp: make([]int64, total),
+	m := &Machine{baseCfg: cfg, allocs: make(map[int]*Allocation)}
+	m.Reset()
+	return m, nil
+}
+
+// sliceFor returns s resized to n elements, zeroed — reusing s's
+// backing array when its capacity suffices.
+func sliceFor[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
 	}
+	return make([]T, n)
+}
+
+// Reset returns the machine to its freshly constructed state under the
+// config New was called with: all nodes up and free, pools empty and at
+// configured capacity, every committed allocation dropped (pooled ones
+// recycled). Mutations that rewrote the live config — scenario growth,
+// machine-wide pool resizes — are rolled back. Slice storage and the
+// allocation free list are retained, so a batch of runs reuses one
+// machine's memory. New itself is implemented as a Reset of a blank
+// machine, which is what makes reset-and-reuse equivalent to fresh
+// construction by construction.
+func (m *Machine) Reset() {
+	cfg := m.baseCfg
+	for id, a := range m.allocs {
+		delete(m.allocs, id)
+		m.Recycle(a)
+	}
+	total := cfg.TotalNodes()
+	m.cfg = cfg
+	m.nodes = sliceFor(m.nodes, total)
+	m.freeNodes = total
+	m.downNodes = 0
+	m.busyNodes = 0
+	m.usedLocalMiB = 0
+	m.usedPoolMiB = 0
+	m.rackFree = sliceFor(m.rackFree, cfg.Racks)
+	m.freeBits = sliceFor(m.freeBits, (total+63)/64)
+	m.nodeStamp = sliceFor(m.nodeStamp, total)
+	m.stampGen = 0
 	for i := range m.nodes {
 		m.nodes[i] = Node{ID: NodeID(i), Rack: i / cfg.NodesPerRack}
 		m.setFree(NodeID(i))
@@ -214,18 +270,21 @@ func New(cfg Config) (*Machine, error) {
 	}
 	switch cfg.Topology {
 	case TopologyRack:
-		m.pools = make([]Pool, cfg.Racks)
+		m.pools = sliceFor(m.pools, cfg.Racks)
 		for r := range m.pools {
 			m.pools[r] = Pool{ID: PoolID(r), CapacityMiB: cfg.PoolMiB, FabricGiBps: cfg.FabricGiBps}
 		}
 	case TopologyGlobal:
-		m.pools = []Pool{{ID: 0, CapacityMiB: cfg.PoolMiB, FabricGiBps: cfg.FabricGiBps}}
+		m.pools = sliceFor(m.pools, 1)
+		m.pools[0] = Pool{ID: 0, CapacityMiB: cfg.PoolMiB, FabricGiBps: cfg.FabricGiBps}
+	default:
+		m.pools = m.pools[:0]
 	}
-	m.remoteShares = make([]int, len(m.pools))
-	m.poolNeed = make([]int64, len(m.pools))
-	m.poolsHit = make([]PoolID, 0, len(m.pools))
-	m.poolDegraded = make([]bool, len(m.pools))
-	return m, nil
+	m.remoteShares = sliceFor(m.remoteShares, len(m.pools))
+	m.poolNeed = sliceFor(m.poolNeed, len(m.pools))
+	m.poolsHit = m.poolsHit[:0]
+	m.poolDegraded = sliceFor(m.poolDegraded, len(m.pools))
+	m.version++
 }
 
 // setFree marks node id available in the free bitset.
@@ -244,6 +303,8 @@ func (m *Machine) clearFree(id NodeID) { m.freeBits[id>>6] &^= 1 << (uint(id) & 
 func (m *Machine) Clone() *Machine {
 	c := &Machine{
 		cfg:          m.cfg,
+		baseCfg:      m.baseCfg,
+		version:      m.version,
 		nodes:        append([]Node(nil), m.nodes...),
 		pools:        append([]Pool(nil), m.pools...),
 		freeNodes:    m.freeNodes,
@@ -279,6 +340,19 @@ func MustNew(cfg Config) *Machine {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// BaseConfig returns the configuration the machine was constructed
+// with: the state Reset restores, unaffected by scenario growth or
+// resizes that rewrite Config. Engines reusing a machine across runs
+// compare it against the next run's configuration.
+func (m *Machine) BaseConfig() Config { return m.baseCfg }
+
+// Version returns the mutation counter: it increments on every state
+// change (allocate, release, node up/down, pool resize, growth, reset),
+// so (Machine pointer, Version) identifies one exact machine state.
+// Derived-view caches — e.g. the memory-aware placer's rack views — are
+// keyed on it.
+func (m *Machine) Version() uint64 { return m.version }
 
 // Nodes returns a read-only view of all nodes. Callers must not retain
 // the slice across mutations.
@@ -378,6 +452,7 @@ func (m *Machine) SetDown(id NodeID) error {
 	m.downNodes++
 	m.rackFree[n.Rack]--
 	m.clearFree(id)
+	m.version++
 	return nil
 }
 
@@ -395,6 +470,7 @@ func (m *Machine) SetUp(id NodeID) error {
 	m.downNodes--
 	m.rackFree[n.Rack]++
 	m.setFree(id)
+	m.version++
 	return nil
 }
 
@@ -422,6 +498,7 @@ func (m *Machine) SetPoolCapacity(id PoolID, capMiB int64) error {
 	p := &m.pools[id]
 	p.CapacityMiB = capMiB
 	m.poolDegraded[id] = p.UsedMiB > p.CapacityMiB
+	m.version++
 	return nil
 }
 
@@ -472,6 +549,7 @@ func (m *Machine) AddRack() (int, error) {
 		m.poolNeed = append(m.poolNeed, 0)
 		m.poolDegraded = append(m.poolDegraded, false)
 	}
+	m.version++
 	return rack, nil
 }
 
@@ -485,11 +563,58 @@ func (m *Machine) AllocationOf(jobID int) (*Allocation, bool) {
 }
 
 // Allocate validates and commits an allocation atomically: on error the
-// machine is unchanged.
+// machine is unchanged. The machine retains a until it is released, so
+// the caller must not reuse or mutate it; planners that recycle their
+// plan storage commit through AllocateCopy instead.
 func (m *Machine) Allocate(a *Allocation) error {
 	if err := m.check(a); err != nil {
 		return err
 	}
+	m.commit(a)
+	return nil
+}
+
+// AllocateCopy validates a, then commits a deep copy drawn from the
+// machine's allocation free list, leaving a untouched — the caller
+// (typically a placer whose Plan result is scratch, valid only until
+// its next Plan call) keeps ownership of a, and the machine owns the
+// committed copy. The copy is returned so dispatch state can reference
+// it; after the job is released, pass it to Recycle to return it to the
+// free list.
+func (m *Machine) AllocateCopy(a *Allocation) (*Allocation, error) {
+	if err := m.check(a); err != nil {
+		return nil, err
+	}
+	var c *Allocation
+	if n := len(m.allocPool); n > 0 {
+		c = m.allocPool[n-1]
+		m.allocPool[n-1] = nil
+		m.allocPool = m.allocPool[:n-1]
+	} else {
+		c = &Allocation{pooled: true}
+	}
+	c.JobID = a.JobID
+	c.Shares = append(c.Shares[:0], a.Shares...)
+	m.commit(c)
+	return c, nil
+}
+
+// Recycle returns a released AllocateCopy allocation to the free list.
+// It is a no-op for allocations the machine does not own (anything not
+// created by AllocateCopy), so callers can recycle unconditionally. The
+// allocation must already have been released: recycling a live
+// allocation would corrupt the machine's books when the struct is
+// reused.
+func (m *Machine) Recycle(a *Allocation) {
+	if a == nil || !a.pooled {
+		return
+	}
+	*a = Allocation{Shares: a.Shares[:0], pools: a.pools[:0], pooled: true}
+	m.allocPool = append(m.allocPool, a)
+}
+
+// commit applies a checked allocation to the machine's books.
+func (m *Machine) commit(a *Allocation) {
 	a.ensureSums()
 	for _, s := range a.Shares {
 		n := &m.nodes[s.Node]
@@ -509,7 +634,7 @@ func (m *Machine) Allocate(a *Allocation) error {
 	m.freeNodes -= len(a.Shares)
 	m.busyNodes += len(a.Shares)
 	m.allocs[a.JobID] = a
-	return nil
+	m.version++
 }
 
 // check validates a without mutating state.
@@ -615,6 +740,7 @@ func (m *Machine) Release(jobID int) error {
 	m.freeNodes += len(a.Shares)
 	m.busyNodes -= len(a.Shares)
 	delete(m.allocs, jobID)
+	m.version++
 	return nil
 }
 
@@ -652,8 +778,13 @@ type Usage struct {
 
 // Usage returns the current snapshot. Cores are charged as fully used
 // on busy nodes (exclusive allocation). Node-side figures come from the
-// incremental aggregates, so the call is O(pools), not O(nodes).
+// incremental aggregates, so the call is O(pools), not O(nodes) — and
+// memoized on the machine version, since the engine reads usage several
+// times per event (observation, sampling, reporting) between mutations.
 func (m *Machine) Usage() Usage {
+	if m.usageVer == m.version {
+		return m.usageCache
+	}
 	u := Usage{
 		BusyNodes: m.busyNodes,
 		UsedCores: m.busyNodes * m.cfg.CoresPerNode,
@@ -672,6 +803,7 @@ func (m *Machine) Usage() Usage {
 			u.MaxCongest = c
 		}
 	}
+	m.usageCache, m.usageVer = u, m.version
 	return u
 }
 

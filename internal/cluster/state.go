@@ -78,7 +78,12 @@ func FromState(st MachineState) (*Machine, error) {
 
 	total := len(st.Nodes)
 	m := &Machine{
-		cfg:          st.Config,
+		cfg:     st.Config,
+		baseCfg: st.Config,
+		// version must start >= 1: usageVer == 0 means "never
+		// computed", and a restored machine's first Usage() call has
+		// to miss that cache, not hit a zero value.
+		version:      1,
 		nodes:        append([]Node(nil), st.Nodes...),
 		pools:        append([]Pool(nil), st.Pools...),
 		allocs:       make(map[int]*Allocation, len(st.Allocs)),

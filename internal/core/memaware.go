@@ -54,10 +54,29 @@ type MemAware struct {
 	idle    *cluster.Machine
 	idleCfg cluster.Config
 
+	// View cache: the per-rack state and its two sorted variants are
+	// job-independent, so they are keyed by (machine, version) and
+	// reused across every Plan call in a scheduling pass until a commit
+	// bumps the machine version. This removes the dominant cost of the
+	// planning hot path (rebuilding and re-sorting rack views per job).
+	viewM         *cluster.Machine
+	viewVer       uint64
+	raw           []rackView
+	poolPoorViews []rackView
+	poolPoorValid bool
+	coolRichViews []rackView
+	coolRichValid bool
+
 	// Per-call scratch reused across Plan invocations (the policy is
-	// single-simulation state, like the machine it schedules).
-	viewScratch  []rackView
+	// single-simulation state, like the machine it schedules). The plan
+	// Plan returns aliases this scratch: per the Placer contract it is
+	// valid only until the next Plan call, and callers commit it with
+	// Machine.AllocateCopy.
+	eligScratch  []rackView
 	quotaScratch []int
+	shareScratch []cluster.NodeShare
+	allocScratch cluster.Allocation
+	planScratch  sched.Plan
 }
 
 // New returns the policy with the paper's default knobs: cap 1.5,
@@ -157,7 +176,8 @@ func (p *MemAware) Plan(job *workload.Job, m *cluster.Machine, model memmodel.Mo
 		// Admission control: wait rather than run pathologically slow.
 		return nil
 	}
-	return &sched.Plan{Alloc: alloc, Dilation: d}
+	p.planScratch = sched.Plan{Alloc: alloc, Dilation: d}
+	return &p.planScratch
 }
 
 // rackView is the per-rack state the selection heuristics score.
@@ -206,16 +226,21 @@ func sortViews(v []rackView, less func(a, b *rackView) bool) {
 	}
 }
 
-// rackViews rebuilds the per-rack state from the machine's incremental
-// aggregates in O(racks); no node is visited. The returned slice is
-// scratch owned by the policy and valid until the next call.
+// rackViews returns the per-rack state, rebuilt from the machine's
+// incremental aggregates in O(racks) — no node is visited — only when
+// the (machine, version) key has changed since the last call. The
+// returned slice is cache owned by the policy; callers must not mutate
+// it (the sorted variants below copy before sorting).
 func (p *MemAware) rackViews(m *cluster.Machine) []rackView {
+	if p.viewM == m && p.viewVer == m.Version() {
+		return p.raw
+	}
 	cfg := m.Config()
 	pools := m.Pools()
-	if cap(p.viewScratch) < cfg.Racks {
-		p.viewScratch = make([]rackView, cfg.Racks)
+	if cap(p.raw) < cfg.Racks {
+		p.raw = make([]rackView, cfg.Racks)
 	}
-	views := p.viewScratch[:cfg.Racks]
+	views := p.raw[:cfg.Racks]
 	for r := 0; r < cfg.Racks; r++ {
 		v := rackView{rack: r, pool: cluster.NoPool, freeNodes: m.RackFreeNodes(r)}
 		switch cfg.Topology {
@@ -230,7 +255,34 @@ func (p *MemAware) rackViews(m *cluster.Machine) []rackView {
 		}
 		views[r] = v
 	}
-	return views
+	p.raw = views
+	p.viewM, p.viewVer = m, m.Version()
+	p.poolPoorValid, p.coolRichValid = false, false
+	return p.raw
+}
+
+// poolPoor returns the rack views sorted by lessPoolPoor, cached under
+// the same (machine, version) key as the raw views.
+func (p *MemAware) poolPoor(m *cluster.Machine) []rackView {
+	raw := p.rackViews(m)
+	if !p.poolPoorValid {
+		p.poolPoorViews = append(p.poolPoorViews[:0], raw...)
+		sortViews(p.poolPoorViews, lessPoolPoor)
+		p.poolPoorValid = true
+	}
+	return p.poolPoorViews
+}
+
+// coolRich returns the rack views sorted by lessCoolRich, cached under
+// the same (machine, version) key as the raw views.
+func (p *MemAware) coolRich(m *cluster.Machine) []rackView {
+	raw := p.rackViews(m)
+	if !p.coolRichValid {
+		p.coolRichViews = append(p.coolRichViews[:0], raw...)
+		sortViews(p.coolRichViews, lessCoolRich)
+		p.coolRichValid = true
+	}
+	return p.coolRichViews
 }
 
 // planLocal places an all-local job. With Balance, pool-poor racks are
@@ -238,9 +290,10 @@ func (p *MemAware) rackViews(m *cluster.Machine) []rackView {
 func (p *MemAware) planLocal(job *workload.Job, m *cluster.Machine) *sched.Plan {
 	views := p.rackViews(m)
 	if p.Balance {
-		sortViews(views, lessPoolPoor)
+		views = p.poolPoor(m)
 	}
-	shares := make([]cluster.NodeShare, 0, job.Nodes)
+	shares := p.shareScratch[:0]
+	defer func() { p.shareScratch = shares[:0] }()
 	for _, v := range views {
 		if v.freeNodes == 0 {
 			continue
@@ -252,13 +305,19 @@ func (p *MemAware) planLocal(job *workload.Job, m *cluster.Machine) *sched.Plan 
 			return len(shares) < job.Nodes
 		})
 		if len(shares) == job.Nodes {
-			return &sched.Plan{
-				Alloc:    &cluster.Allocation{JobID: job.ID, Shares: shares},
-				Dilation: 1,
-			}
+			return p.scratchPlan(job.ID, shares, 1)
 		}
 	}
 	return nil
+}
+
+// scratchPlan assembles the policy's scratch plan around shares. The
+// whole-struct reassignment of the scratch allocation resets its cached
+// aggregate sums from the previous call.
+func (p *MemAware) scratchPlan(jobID int, shares []cluster.NodeShare, dilation float64) *sched.Plan {
+	p.allocScratch = cluster.Allocation{JobID: jobID, Shares: shares}
+	p.planScratch = sched.Plan{Alloc: &p.allocScratch, Dilation: dilation}
+	return &p.planScratch
 }
 
 // planSpill builds the node set for a job that must borrow remote MiB
@@ -266,19 +325,25 @@ func (p *MemAware) planLocal(job *workload.Job, m *cluster.Machine) *sched.Plan 
 // the job is optionally spread across them (Shape).
 func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remote int64) *cluster.Allocation {
 	cfg := m.Config()
-	views := p.rackViews(m)
-	// Keep only racks that can host at least one spilling node.
-	eligible := views[:0]
-	for _, v := range views {
+	// The eligibility filter depends on the job (freePool >= remote), so
+	// it cannot be cached; the sort does not, so it is. Filtering the
+	// cached lessCoolRich-sorted views yields exactly what the historical
+	// filter-then-sort produced: lessCoolRich is a strict total order
+	// (rack-index tiebreak), so the sorted order of any subset is the
+	// subsequence of the sorted whole.
+	source := p.rackViews(m)
+	if p.Balance {
+		source = p.coolRich(m)
+	}
+	eligible := p.eligScratch[:0]
+	for _, v := range source {
 		if v.freeNodes > 0 && v.pool != cluster.NoPool && v.freePool >= remote {
 			eligible = append(eligible, v)
 		}
 	}
+	p.eligScratch = eligible[:0]
 	if len(eligible) == 0 {
 		return nil
-	}
-	if p.Balance {
-		sortViews(eligible, lessCoolRich)
 	}
 
 	// Per-rack quota: greedy fill, or an even spread when shaping.
@@ -340,7 +405,8 @@ func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remot
 		}
 	}
 
-	shares := make([]cluster.NodeShare, 0, job.Nodes)
+	shares := p.shareScratch[:0]
+	defer func() { p.shareScratch = shares[:0] }()
 	for i, v := range eligible {
 		if quota[i] == 0 {
 			continue
@@ -357,7 +423,8 @@ func (p *MemAware) planSpill(job *workload.Job, m *cluster.Machine, local, remot
 			return nil // machine changed underneath us: planner bug
 		}
 	}
-	return &cluster.Allocation{JobID: job.ID, Shares: shares}
+	p.allocScratch = cluster.Allocation{JobID: job.ID, Shares: shares}
+	return &p.allocScratch
 }
 
 func mustPool(m *cluster.Machine, id cluster.PoolID) cluster.Pool {

@@ -19,7 +19,7 @@ func TestSnapshotRestoreOrder(t *testing.T) {
 	s := New()
 	var origOrder []string
 	mk := func(name string) Handler {
-		return func(Time) { origOrder = append(origOrder, name) }
+		return func(Time, any) { origOrder = append(origOrder, name) }
 	}
 	s.ScheduleKind(10, kindA, "a1", mk("a1"))
 	s.ScheduleKind(10, kindB, "b1", mk("b1"))
@@ -47,7 +47,7 @@ func TestSnapshotRestoreOrder(t *testing.T) {
 	var restOrder []string
 	s2, evs, err := Restore(3, 7, recs, func(r EventRecord) Handler {
 		name := r.Data.(string)
-		return func(Time) { restOrder = append(restOrder, name) }
+		return func(Time, any) { restOrder = append(restOrder, name) }
 	})
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
@@ -68,7 +68,7 @@ func TestSnapshotRestoreOrder(t *testing.T) {
 	}
 	// A post-restore event at t=10 must fire after every restored t=10
 	// event (it would have been scheduled later in the original run).
-	s2.ScheduleKind(10, kindA, "late", func(Time) { restOrder = append(restOrder, "late") })
+	s2.ScheduleKind(10, kindA, "late", func(Time, any) { restOrder = append(restOrder, "late") })
 
 	s.RunAll()
 	s2.RunAll()
@@ -85,7 +85,7 @@ func TestSnapshotRestoreOrder(t *testing.T) {
 // snapshot instead of being silently dropped.
 func TestSnapshotRejectsOpaque(t *testing.T) {
 	s := New()
-	s.Schedule(10, func(Time) {})
+	s.Schedule(10, func(Time, any) {})
 	if _, err := s.Snapshot(); err == nil {
 		t.Fatal("Snapshot of an opaque event succeeded, want error")
 	}
@@ -96,8 +96,8 @@ func TestSnapshotRejectsOpaque(t *testing.T) {
 // nil.
 func TestRestoreDropsNilHandlers(t *testing.T) {
 	s := New()
-	s.ScheduleKind(10, 1, nil, func(Time) {})
-	s.ScheduleKind(11, 2, nil, func(Time) {})
+	s.ScheduleKind(10, 1, nil, func(Time, any) {})
+	s.ScheduleKind(11, 2, nil, func(Time, any) {})
 	recs, err := s.Snapshot()
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestRestoreDropsNilHandlers(t *testing.T) {
 		if r.Kind == 1 {
 			return nil
 		}
-		return func(Time) { fired++ }
+		return func(Time, any) { fired++ }
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestRestoreDropsNilHandlers(t *testing.T) {
 // TestRestoreRejectsPastEvents guards against corrupt checkpoints.
 func TestRestoreRejectsPastEvents(t *testing.T) {
 	recs := []EventRecord{{Time: 5, Kind: 1}}
-	if _, _, err := Restore(10, 0, recs, func(EventRecord) Handler { return func(Time) {} }); err == nil {
+	if _, _, err := Restore(10, 0, recs, func(EventRecord) Handler { return func(Time, any) {} }); err == nil {
 		t.Fatal("Restore accepted an event before the clock, want error")
 	}
 }
@@ -133,7 +133,7 @@ func TestRestoreRejectsPastEvents(t *testing.T) {
 // payload to the new event, keeping rescheduled events checkpointable.
 func TestReschedulePreservesKind(t *testing.T) {
 	s := New()
-	e := s.ScheduleKind(10, 3, "payload", func(Time) {})
+	e := s.ScheduleKind(10, 3, "payload", func(Time, any) {})
 	ne := s.Reschedule(e, 20)
 	if ne.Kind() != 3 || ne.Data() != "payload" {
 		t.Fatalf("rescheduled event kind=%d data=%v, want 3/payload", ne.Kind(), ne.Data())

@@ -29,8 +29,12 @@ const Infinity Time = math.MaxInt64
 
 // Handler is a callback invoked when an event fires. now is the
 // simulator clock at firing time (== the time the event was scheduled
-// for).
-type Handler func(now Time)
+// for) and data is the payload attached at schedule time (nil for the
+// plain Schedule variants). Passing the payload to the handler lets a
+// scheduling layer register one handler per event family instead of
+// closing over per-event state, which keeps the event hot path
+// allocation-free.
+type Handler func(now Time, data any)
 
 // Kind tags an event with a caller-defined type so the queue can be
 // snapshotted as data (Snapshot) and the closures rebuilt on restore
@@ -45,6 +49,13 @@ const KindOpaque Kind = 0
 
 // Event is a scheduled occurrence. It is owned by the Simulator; callers
 // hold it only to Cancel it or inspect its time.
+//
+// Events are pooled: once an event fires or is cancelled, its handle is
+// dead — the simulator recycles the struct for a future Schedule, so a
+// retained dead handle may alias an unrelated live event. Callers must
+// drop (nil out) their handle when the event fires or when they cancel
+// it. Cancelling the event currently being fired, from inside its own
+// handler, is safe: recycling happens only after the handler returns.
 type Event struct {
 	time    Time
 	band    int8
@@ -111,11 +122,42 @@ type Simulator struct {
 	queue   eventHeap
 	stopped bool
 	fired   uint64
+	// pool holds recycled Event structs: events are returned here when
+	// they fire or are cancelled and reused by the next schedule, so a
+	// steady-state simulation allocates no events at all.
+	pool []*Event
 }
 
 // New returns an empty simulator with the clock at 0.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// NewReusing returns an empty simulator that adopts prev's event pool
+// and queue storage, so a fresh run starts with the previous run's
+// warmed-up capacity instead of growing its own. Any events still
+// pending in prev are recycled into the new pool. prev must not be used
+// afterwards: its queue is gone and its pooled events now belong to the
+// returned simulator.
+func NewReusing(prev *Simulator) *Simulator {
+	if prev == nil {
+		return New()
+	}
+	s := &Simulator{pool: prev.pool}
+	for _, e := range prev.queue {
+		s.recycle(e)
+	}
+	s.queue = prev.queue[:0]
+	prev.queue, prev.pool = nil, nil
+	prev.stopped = true
+	return s
+}
+
+// recycle zeroes a dead event (releasing its handler and payload
+// references) and returns it to the free pool.
+func (s *Simulator) recycle(e *Event) {
+	*e = Event{index: -1}
+	s.pool = append(s.pool, e)
 }
 
 // Now returns the current virtual time.
@@ -171,7 +213,15 @@ func (s *Simulator) schedule(at Time, band int8, handler Handler) *Event {
 	if handler == nil {
 		panic("des: nil handler")
 	}
-	e := &Event{time: at, band: band, seq: s.seq, handler: handler}
+	var e *Event
+	if n := len(s.pool); n > 0 {
+		e = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		*e = Event{time: at, band: band, seq: s.seq, handler: handler}
+	} else {
+		e = &Event{time: at, band: band, seq: s.seq, handler: handler}
+	}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -185,29 +235,39 @@ func (s *Simulator) ScheduleDelta(delta Time, handler Handler) *Event {
 	return s.Schedule(s.now+delta, handler)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers do not need to track
-// event lifecycle precisely.
+// Cancel removes a pending event and recycles it: the handle is dead
+// afterwards and the caller must drop it. Cancelling a handle that was
+// already dead (fired or cancelled) and not yet reused is still a
+// no-op, but a dead handle held across a later schedule may alias a new
+// event, so callers must not rely on the historical
+// cancel-anytime-is-safe behavior.
 func (s *Simulator) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
 	heap.Remove(&s.queue, e.index)
+	s.recycle(e)
 }
 
 // Reschedule moves a pending event to a new time, preserving FIFO
 // fairness at the new instant (it is assigned a fresh sequence number,
-// in the default band). If the event already fired it is re-created.
-// The kind tag and payload carry over.
+// in the default band). The kind tag and payload carry over. The old
+// handle is dead; use only the returned one. The event must still be
+// pending: a fired or cancelled handle has been recycled (its handler
+// is gone, and the struct may already back an unrelated event), so
+// rescheduling one panics or corrupts the queue — callers that want
+// fire-again semantics re-Schedule instead.
 func (s *Simulator) Reschedule(e *Event, at Time) *Event {
+	h, k, d := e.handler, e.kind, e.data
 	s.Cancel(e)
-	ne := s.Schedule(at, e.handler)
-	ne.kind, ne.data = e.kind, e.data
+	ne := s.Schedule(at, h)
+	ne.kind, ne.data = k, d
 	return ne
 }
 
 // Step fires the single earliest event. It returns false when the queue
-// is empty or the simulator has been stopped.
+// is empty or the simulator has been stopped. The fired event is
+// recycled after its handler returns.
 func (s *Simulator) Step() bool {
 	if s.stopped || len(s.queue) == 0 {
 		return false
@@ -215,7 +275,8 @@ func (s *Simulator) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.time
 	s.fired++
-	e.handler(s.now)
+	e.handler(s.now, e.data)
+	s.recycle(e)
 	return true
 }
 

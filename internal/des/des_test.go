@@ -13,7 +13,7 @@ func TestEventsFireInTimeOrder(t *testing.T) {
 	var fired []Time
 	for _, at := range []Time{5, 1, 9, 3, 3, 7} {
 		at := at
-		s.Schedule(at, func(now Time) { fired = append(fired, now) })
+		s.Schedule(at, func(now Time, _ any) { fired = append(fired, now) })
 	}
 	s.RunAll()
 	want := []Time{1, 3, 3, 5, 7, 9}
@@ -32,7 +32,7 @@ func TestFIFOTieBreak(t *testing.T) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		s.Schedule(42, func(Time) { order = append(order, i) })
+		s.Schedule(42, func(Time, any) { order = append(order, i) })
 	}
 	s.RunAll()
 	for i, v := range order {
@@ -44,7 +44,7 @@ func TestFIFOTieBreak(t *testing.T) {
 
 func TestHandlerSeesEventTime(t *testing.T) {
 	s := New()
-	s.Schedule(7, func(now Time) {
+	s.Schedule(7, func(now Time, _ any) {
 		if now != 7 {
 			t.Fatalf("handler now = %d, want 7", now)
 		}
@@ -58,10 +58,10 @@ func TestHandlerSeesEventTime(t *testing.T) {
 func TestScheduleDuringHandler(t *testing.T) {
 	s := New()
 	var fired []Time
-	s.Schedule(1, func(now Time) {
+	s.Schedule(1, func(now Time, _ any) {
 		fired = append(fired, now)
-		s.ScheduleDelta(4, func(now Time) { fired = append(fired, now) })
-		s.ScheduleDelta(0, func(now Time) { fired = append(fired, now) })
+		s.ScheduleDelta(4, func(now Time, _ any) { fired = append(fired, now) })
+		s.ScheduleDelta(0, func(now Time, _ any) { fired = append(fired, now) })
 	})
 	s.RunAll()
 	want := []Time{1, 1, 5}
@@ -75,7 +75,7 @@ func TestScheduleDuringHandler(t *testing.T) {
 func TestCancel(t *testing.T) {
 	s := New()
 	ran := false
-	e := s.Schedule(3, func(Time) { ran = true })
+	e := s.Schedule(3, func(Time, any) { ran = true })
 	s.Cancel(e)
 	s.RunAll()
 	if ran {
@@ -92,9 +92,9 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfSameTime(t *testing.T) {
 	s := New()
 	var fired []int
-	e1 := s.Schedule(5, func(Time) { fired = append(fired, 1) })
-	s.Schedule(5, func(Time) { fired = append(fired, 2) })
-	s.Schedule(5, func(Time) { fired = append(fired, 3) })
+	e1 := s.Schedule(5, func(Time, any) { fired = append(fired, 1) })
+	s.Schedule(5, func(Time, any) { fired = append(fired, 2) })
+	s.Schedule(5, func(Time, any) { fired = append(fired, 3) })
 	s.Cancel(e1)
 	s.RunAll()
 	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
@@ -105,7 +105,7 @@ func TestCancelOneOfSameTime(t *testing.T) {
 func TestReschedule(t *testing.T) {
 	s := New()
 	var at Time
-	e := s.Schedule(3, func(now Time) { at = now })
+	e := s.Schedule(3, func(now Time, _ any) { at = now })
 	s.Reschedule(e, 8)
 	s.RunAll()
 	if at != 8 {
@@ -117,7 +117,7 @@ func TestRunUntil(t *testing.T) {
 	s := New()
 	var fired []Time
 	for _, at := range []Time{1, 5, 10, 15} {
-		s.Schedule(at, func(now Time) { fired = append(fired, now) })
+		s.Schedule(at, func(now Time, _ any) { fired = append(fired, now) })
 	}
 	s.Run(10)
 	if len(fired) != 3 {
@@ -138,8 +138,8 @@ func TestRunUntil(t *testing.T) {
 func TestStop(t *testing.T) {
 	s := New()
 	count := 0
-	s.Schedule(1, func(Time) { count++; s.Stop() })
-	s.Schedule(2, func(Time) { count++ })
+	s.Schedule(1, func(Time, any) { count++; s.Stop() })
+	s.Schedule(2, func(Time, any) { count++ })
 	s.RunAll()
 	if count != 1 {
 		t.Fatalf("events after Stop fired: count = %d", count)
@@ -151,14 +151,14 @@ func TestStop(t *testing.T) {
 
 func TestSchedulePastPanics(t *testing.T) {
 	s := New()
-	s.Schedule(10, func(Time) {})
+	s.Schedule(10, func(Time, any) {})
 	s.RunAll()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling into the past did not panic")
 		}
 	}()
-	s.Schedule(5, func(Time) {})
+	s.Schedule(5, func(Time, any) {})
 }
 
 func TestNilHandlerPanics(t *testing.T) {
@@ -176,13 +176,13 @@ func TestNegativeDeltaPanics(t *testing.T) {
 			t.Fatal("negative delta did not panic")
 		}
 	}()
-	New().ScheduleDelta(-1, func(Time) {})
+	New().ScheduleDelta(-1, func(Time, any) {})
 }
 
 func TestFiredCounter(t *testing.T) {
 	s := New()
 	for i := 0; i < 7; i++ {
-		s.Schedule(Time(i), func(Time) {})
+		s.Schedule(Time(i), func(Time, any) {})
 	}
 	s.RunAll()
 	if s.Fired() != 7 {
@@ -206,7 +206,7 @@ func TestRandomScheduleOrderProperty(t *testing.T) {
 		// from time order.
 		rng.Shuffle(len(times), func(i, j int) { times[i], times[j] = times[j], times[i] })
 		for _, at := range times {
-			s.Schedule(at, func(now Time) { fired = append(fired, now) })
+			s.Schedule(at, func(now Time, _ any) { fired = append(fired, now) })
 		}
 		s.RunAll()
 		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
@@ -240,7 +240,7 @@ func TestCancelDeterminism(t *testing.T) {
 		fired := map[int]bool{}
 		for i, v := range raw {
 			i, at := i, Time(v)
-			ev := s.Schedule(at, func(Time) { fired[i] = true })
+			ev := s.Schedule(at, func(Time, any) { fired[i] = true })
 			recs = append(recs, rec{ev: ev, at: at, cancel: rng.Float64() < 0.4})
 		}
 		for _, r := range recs {

@@ -8,7 +8,7 @@ func TestScheduleFrontFiresBeforeSameInstantEvents(t *testing.T) {
 	// scheduling order is preserved.
 	s := New()
 	var got []string
-	mark := func(name string) Handler { return func(Time) { got = append(got, name) } }
+	mark := func(name string) Handler { return func(Time, any) { got = append(got, name) } }
 
 	s.Schedule(10, mark("a"))
 	s.Schedule(10, mark("b"))
@@ -36,10 +36,10 @@ func TestScheduleFrontChainsAtOneInstant(t *testing.T) {
 	// event at that instant fires.
 	s := New()
 	var got []string
-	s.Schedule(10, func(Time) { got = append(got, "pass") })
+	s.Schedule(10, func(Time, any) { got = append(got, "pass") })
 	var arrive func(n int) Handler
 	arrive = func(n int) Handler {
-		return func(Time) {
+		return func(Time, any) {
 			got = append(got, "arrival")
 			if n > 0 {
 				s.ScheduleFront(10, arrive(n-1))

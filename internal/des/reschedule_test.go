@@ -2,28 +2,28 @@ package des
 
 import "testing"
 
-func TestRescheduleFiredEventRecreates(t *testing.T) {
+func TestReschedulePendingMoves(t *testing.T) {
 	s := New()
 	count := 0
-	e := s.Schedule(1, func(Time) { count++ })
+	e := s.Schedule(9, func(Time, any) { count++ })
+	// Rescheduling a pending event moves it; the old handle is dead and
+	// only the returned one is live.
+	ne := s.Reschedule(e, 5)
 	s.RunAll()
 	if count != 1 {
 		t.Fatalf("event fired %d times, want 1", count)
 	}
-	// Rescheduling an already-fired event re-creates it with the same
-	// handler.
-	s.Reschedule(e, 5)
-	s.RunAll()
-	if count != 2 {
-		t.Fatalf("recreated event did not fire: count=%d", count)
+	if s.Now() != 5 {
+		t.Fatalf("fired at %d, want 5", s.Now())
 	}
+	_ = ne
 }
 
 func TestRescheduleKeepsFIFOFairness(t *testing.T) {
 	s := New()
 	var order []int
-	a := s.Schedule(10, func(Time) { order = append(order, 1) })
-	s.Schedule(10, func(Time) { order = append(order, 2) })
+	a := s.Schedule(10, func(Time, any) { order = append(order, 1) })
+	s.Schedule(10, func(Time, any) { order = append(order, 2) })
 	// Rescheduling event 1 to the same instant moves it BEHIND event 2
 	// (fresh sequence number): rescheduling is re-submission.
 	s.Reschedule(a, 10)
@@ -38,8 +38,8 @@ func TestPendingCount(t *testing.T) {
 	if s.Pending() != 0 {
 		t.Fatalf("fresh simulator has %d pending", s.Pending())
 	}
-	e1 := s.Schedule(1, func(Time) {})
-	s.Schedule(2, func(Time) {})
+	e1 := s.Schedule(1, func(Time, any) {})
+	s.Schedule(2, func(Time, any) {})
 	if s.Pending() != 2 {
 		t.Fatalf("Pending = %d, want 2", s.Pending())
 	}

@@ -61,6 +61,15 @@ type Batch struct {
 	// MaxPerUser caps concurrently running jobs per user (0 =
 	// unlimited); throttled jobs are skipped, not treated as blocking.
 	MaxPerUser int
+
+	// Per-pass scratch, reused across passes so the steady-state pass
+	// allocates nothing: the sorted queue copy, the dispatch list Pass
+	// returns (valid until the next Pass, see Scheduler), and the
+	// conservative planning profile. A Batch instance is owned by one
+	// run at a time (see sim.Overrides.Scheduler).
+	qScratch   []*workload.Job
+	outScratch []Dispatch
+	prof       Profile
 }
 
 // tryPlan applies the chassis-level admission knobs around the
@@ -96,21 +105,36 @@ func (b *Batch) Feasible(job *workload.Job, m *cluster.Machine, model memmodel.M
 
 // Pass implements Scheduler.
 func (b *Batch) Pass(ctx *Context) []Dispatch {
-	q := append([]*workload.Job(nil), ctx.Queue...)
+	b.qScratch = append(b.qScratch[:0], ctx.Queue...)
+	q := b.qScratch
 	b.Order.Sort(ctx.Now, q)
+	var out []Dispatch
 	switch b.Backfill {
 	case BackfillConservative:
-		return b.passConservative(ctx, q)
+		out = b.passConservative(ctx, q)
 	default:
-		return b.passEASY(ctx, q)
+		out = b.passEASY(ctx, q)
 	}
+	b.outScratch = out
+	return out
+}
+
+// commit commits plan for job through the machine's allocation free
+// list and returns the dispatch carrying the committed (machine-owned)
+// copy. A commit failure is a planner bug, not a recoverable condition.
+func commit(ctx *Context, job *workload.Job, plan *Plan) Dispatch {
+	alloc, err := ctx.Machine.AllocateCopy(plan.Alloc)
+	if err != nil {
+		panic(fmt.Sprintf("sched: committing plan for job %d: %v", job.ID, err))
+	}
+	return Dispatch{Job: job, Plan: Plan{Alloc: alloc, Dilation: plan.Dilation}}
 }
 
 // passEASY handles both BackfillNone and BackfillEASY: dispatch in
 // order until the first blocked job; with EASY, continue scanning and
 // start any job that cannot delay the head's reservation.
 func (b *Batch) passEASY(ctx *Context, q []*workload.Job) []Dispatch {
-	var out []Dispatch
+	out := b.outScratch[:0]
 	i := 0
 	for ; i < len(q); i++ {
 		plan, blocking := b.tryPlan(ctx, q[i])
@@ -120,11 +144,7 @@ func (b *Batch) passEASY(ctx *Context, q []*workload.Job) []Dispatch {
 			}
 			continue // throttled or patient: does not block the queue
 		}
-		if err := ctx.Machine.Allocate(plan.Alloc); err != nil {
-			// A planner bug, not a recoverable condition.
-			panic(fmt.Sprintf("sched: committing plan for job %d: %v", q[i].ID, err))
-		}
-		out = append(out, Dispatch{Job: q[i], Plan: plan})
+		out = append(out, commit(ctx, q[i], plan))
 	}
 	if b.Backfill == BackfillNone || i >= len(q) {
 		return out
@@ -151,14 +171,11 @@ func (b *Batch) passEASY(ctx *Context, q []*workload.Job) []Dispatch {
 				continue
 			}
 		}
-		if err := ctx.Machine.Allocate(plan.Alloc); err != nil {
-			panic(fmt.Sprintf("sched: committing backfill for job %d: %v", cand.ID, err))
-		}
+		out = append(out, commit(ctx, cand, plan))
 		if !endsBeforeShadow {
 			extraNodes -= cand.Nodes
 			extraPool -= remote
 		}
-		out = append(out, Dispatch{Job: cand, Plan: plan})
 	}
 	return out
 }
@@ -211,12 +228,13 @@ func (b *Batch) passConservative(ctx *Context, q []*workload.Job) []Dispatch {
 	}
 	// Feeding releases in ascending end order keeps every AddRelease an
 	// O(1) append to the profile tail instead of a mid-slice insert.
-	prof := NewProfile(ctx.Now, freeNodes, freePool)
+	prof := &b.prof
+	prof.Reset(ctx.Now, freeNodes, freePool)
 	for _, r := range ctx.ByEnd() {
 		prof.AddRelease(r.GuaranteedEnd(), len(r.Alloc.Shares), r.Alloc.RemoteMiB())
 	}
 
-	var out []Dispatch
+	out := b.outScratch[:0]
 	for k, job := range q {
 		if k >= maxRes {
 			break
@@ -229,12 +247,10 @@ func (b *Batch) passConservative(ctx *Context, q []*workload.Job) []Dispatch {
 		start := prof.EarliestFit(ctx.Now, dur, job.Nodes, needPool)
 		if start == ctx.Now {
 			if plan, _ := b.tryPlan(ctx, job); plan != nil {
-				if err := ctx.Machine.Allocate(plan.Alloc); err != nil {
-					panic(fmt.Sprintf("sched: committing plan for job %d: %v", job.ID, err))
-				}
+				d := commit(ctx, job, plan)
 				end := ctx.Now + ctx.Limit(job, plan.Dilation)
-				prof.Reserve(ctx.Now, end, job.Nodes, plan.Alloc.RemoteMiB())
-				out = append(out, Dispatch{Job: job, Plan: plan})
+				prof.Reserve(ctx.Now, end, job.Nodes, d.Plan.Alloc.RemoteMiB())
+				out = append(out, d)
 				continue
 			}
 			// Aggregate capacity exists but the placement is

@@ -51,8 +51,20 @@ type Context struct {
 	ByEndFn func() []RunningJob
 
 	userRunning map[int]int
+	userBuilt   bool
 	byEnd       []RunningJob
 	byEndValid  bool
+}
+
+// Reset clears the per-pass memoized state (the lazy per-user counts
+// and the ByEnd view) so one Context value can be reused across passes
+// without reallocating its internals. The exported fields are left for
+// the caller to refill.
+func (c *Context) Reset() {
+	clear(c.userRunning)
+	c.userBuilt = false
+	c.byEnd = nil
+	c.byEndValid = false
 }
 
 // RunningOfUser returns how many jobs of user are in the Running
@@ -60,11 +72,14 @@ type Context struct {
 // The per-user counts are built once per pass, so per-job throttling
 // checks are O(1) instead of O(running).
 func (c *Context) RunningOfUser(user int) int {
-	if c.userRunning == nil {
-		c.userRunning = make(map[int]int, len(c.Running))
+	if !c.userBuilt {
+		if c.userRunning == nil {
+			c.userRunning = make(map[int]int, len(c.Running))
+		}
 		for i := range c.Running {
 			c.userRunning[c.Running[i].Job.User]++
 		}
+		c.userBuilt = true
 	}
 	return c.userRunning[user]
 }
@@ -106,10 +121,13 @@ func (c *Context) Limit(job *workload.Job, dilation float64) int64 {
 }
 
 // Dispatch is one job started during a pass; its allocation is already
-// committed to the machine.
+// committed to the machine. Plan.Alloc is the committed allocation (the
+// machine-owned copy when the scheduler commits via AllocateCopy), so
+// it stays valid for the job's whole residency even when the placer
+// recycles its planning scratch.
 type Dispatch struct {
 	Job  *workload.Job
-	Plan *Plan
+	Plan Plan
 }
 
 // Scheduler examines the queue and starts jobs. Pass commits the
@@ -118,7 +136,9 @@ type Scheduler interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Pass runs one scheduling cycle and returns the started jobs in
-	// dispatch order.
+	// dispatch order. The returned slice may be scheduler-owned scratch,
+	// valid only until the next Pass call; callers that need it longer
+	// must copy it.
 	Pass(ctx *Context) []Dispatch
 	// Feasible reports whether job could ever run on an idle machine m
 	// under the given memory model; the engine rejects infeasible jobs

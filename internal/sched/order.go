@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"dismem/internal/workload"
 )
@@ -10,6 +11,11 @@ import (
 // Order is a queue-ordering policy. Sort must be deterministic: all
 // comparisons fall back to job ID so equal-priority jobs keep arrival
 // order.
+//
+// Because every comparator below is a strict total order (the job-ID
+// tiebreak leaves no equal pairs), the sorted permutation is unique and
+// slices.SortFunc — unstable but allocation-free — produces exactly the
+// ordering the historical sort.SliceStable implementation did.
 type Order interface {
 	// Name identifies the policy.
 	Name() string
@@ -25,11 +31,11 @@ func (FCFS) Name() string { return "fcfs" }
 
 // Sort implements Order.
 func (FCFS) Sort(_ int64, jobs []*workload.Job) {
-	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].Submit != jobs[j].Submit {
-			return jobs[i].Submit < jobs[j].Submit
+	slices.SortFunc(jobs, func(a, b *workload.Job) int {
+		if a.Submit != b.Submit {
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return jobs[i].ID < jobs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 
@@ -42,11 +48,11 @@ func (SJF) Name() string { return "sjf" }
 
 // Sort implements Order.
 func (SJF) Sort(_ int64, jobs []*workload.Job) {
-	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].Estimate != jobs[j].Estimate {
-			return jobs[i].Estimate < jobs[j].Estimate
+	slices.SortFunc(jobs, func(a, b *workload.Job) int {
+		if a.Estimate != b.Estimate {
+			return cmp.Compare(a.Estimate, b.Estimate)
 		}
-		return jobs[i].ID < jobs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 
@@ -59,11 +65,11 @@ func (LargestFirst) Name() string { return "largest" }
 
 // Sort implements Order.
 func (LargestFirst) Sort(_ int64, jobs []*workload.Job) {
-	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].Nodes != jobs[j].Nodes {
-			return jobs[i].Nodes > jobs[j].Nodes
+	slices.SortFunc(jobs, func(a, b *workload.Job) int {
+		if a.Nodes != b.Nodes {
+			return cmp.Compare(b.Nodes, a.Nodes)
 		}
-		return jobs[i].ID < jobs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 
@@ -83,11 +89,11 @@ func (WFP) Sort(now int64, jobs []*workload.Job) {
 		}
 		return float64(j.Nodes) * math.Pow(wait/float64(j.Estimate), 3)
 	}
-	sort.SliceStable(jobs, func(i, j int) bool {
-		si, sj := score(jobs[i]), score(jobs[j])
-		if si != sj {
-			return si > sj
+	slices.SortFunc(jobs, func(a, b *workload.Job) int {
+		sa, sb := score(a), score(b)
+		if sa != sb {
+			return cmp.Compare(sb, sa)
 		}
-		return jobs[i].ID < jobs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }

@@ -15,6 +15,7 @@ import (
 // but never over-commits the machine, because dispatch re-validates.
 type Profile struct {
 	points []profilePoint
+	cands  []int64 // EarliestFit candidate-start scratch
 }
 
 type profilePoint struct {
@@ -26,7 +27,16 @@ type profilePoint struct {
 // NewProfile starts a profile at time now with the given free capacity,
 // which persists to infinity until modified.
 func NewProfile(now int64, freeNodes int, freePool int64) *Profile {
-	return &Profile{points: []profilePoint{{t: now, nodes: freeNodes, pool: freePool}}}
+	p := &Profile{}
+	p.Reset(now, freeNodes, freePool)
+	return p
+}
+
+// Reset re-initializes the profile in place, reusing its breakpoint
+// storage: the allocation-free equivalent of NewProfile for planners
+// that keep one profile across passes.
+func (p *Profile) Reset(now int64, freeNodes int, freePool int64) {
+	p.points = append(p.points[:0], profilePoint{t: now, nodes: freeNodes, pool: freePool})
 }
 
 // split ensures a breakpoint exists at time t (t must be >= the first
@@ -99,13 +109,14 @@ func (p *Profile) EarliestFit(from, dur int64, nodes int, pool int64) int64 {
 		from = p.points[0].t
 	}
 	// Candidate starts: `from` and every later breakpoint (capacity
-	// only changes there).
-	cands := []int64{from}
+	// only changes there). The list is profile-owned scratch.
+	cands := append(p.cands[:0], from)
 	for _, pt := range p.points {
 		if pt.t > from {
 			cands = append(cands, pt.t)
 		}
 	}
+	p.cands = cands
 	for _, start := range cands {
 		if p.windowFits(start, start+dur, nodes, pool) {
 			return start

@@ -288,6 +288,13 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 		scenApplied:  cp.scenApplied,
 		scenarioDown: make(map[cluster.NodeID]bool, len(cp.scenarioDown)),
 	}
+	e.bindHandlers()
+	if cfg.Scenario != nil {
+		// scenEvs is indexed by intervention index (the evScenario
+		// payload); slots are filled from the restored records or the
+		// replacement timeline below.
+		e.scenEvs = make([]*des.Event, len(cfg.Scenario.Events))
+	}
 	for id, n := range cp.restarts {
 		e.restarts[id] = n
 	}
@@ -321,38 +328,38 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 	}
 
 	// Rebuild the DES queue from the records: each kind maps back to
-	// the same closure the engine would have scheduled live. Records an
-	// override invalidates are dropped here (nil handler); a kind this
-	// switch does not know is a maintenance bug (a new event family
+	// the engine's per-family handler — the record's payload travels in
+	// des.Event.Data, exactly as a live-scheduled event's would. Records
+	// an override invalidates are dropped here (nil handler); a kind
+	// this switch does not know is a maintenance bug (a new event family
 	// without a Resume arm) and must fail the restore, not silently
 	// drop the event and break the bit-identical contract.
 	var rebuildErr error
 	sim2, evs, err := des.Restore(des.Time(cp.now), cp.fired, cp.events, func(r des.EventRecord) des.Handler {
 		switch r.Kind {
 		case evArrival:
-			return e.arrivalHandler(r.Data.(*workload.Job))
+			return e.hArrival
 		case evPass:
-			return e.passHandler()
+			return e.hPass
 		case evEnd:
-			p := r.Data.(endPayload)
-			return e.endHandler(p.ID, p.Killed)
+			return e.hEnd
 		case evFailure:
 			if o.ReseedFailures {
 				return nil // re-armed below from the new stream
 			}
-			return e.failureHandler()
+			return e.hFailure
 		case evRepair:
-			return e.repairHandler(r.Data.(cluster.NodeID))
+			return e.hRepair
 		case evScenario:
 			if replaceScenario {
 				return nil // the new timeline is scheduled below
 			}
-			return e.scenarioHandler(r.Data.(int))
+			return e.hScenario
 		case evSample:
 			if !e.sampling() || periodChanged {
 				return nil // no consumer, or a fresh chain is armed below
 			}
-			return e.sampleHandler()
+			return e.hSample
 		default:
 			rebuildErr = fmt.Errorf("sim: checkpoint holds event of unknown kind %d (Resume not updated for a new event family?)", r.Kind)
 			return nil
@@ -383,7 +390,7 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 		case evFailure:
 			e.failEv = ev
 		case evScenario:
-			e.scenEvs = append(e.scenEvs, ev)
+			e.scenEvs[r.Data.(int)] = ev
 		case evPass:
 			e.passQueue = true
 		case evSample:
@@ -406,8 +413,7 @@ func Resume(cp *Checkpoint, o Overrides) (*Engine, error) {
 				if ev.At < cp.now {
 					continue // this timeline's past already happened
 				}
-				e.scenEvs = append(e.scenEvs,
-					e.sim.ScheduleKind(des.Time(ev.At), evScenario, i, e.scenarioHandler(i)))
+				e.scenEvs[i] = e.sim.ScheduleKind(des.Time(ev.At), evScenario, i, e.hScenario)
 			}
 		}
 		if o.ReseedFailures {

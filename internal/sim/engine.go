@@ -142,6 +142,10 @@ type runningState struct {
 	rate       float64
 	lastUpdate int64
 	endEv      *des.Event
+	// endLive and endKill cache the two boxed endPayload values this job
+	// can carry, so re-dilation reschedules reuse the box instead of
+	// allocating a fresh one per scheduleEnd.
+	endLive, endKill any
 }
 
 // Event kinds: every event the engine schedules carries one of these
@@ -235,10 +239,62 @@ type Engine struct {
 	trace       trace.TraceSink
 	traceClosed bool
 	traceErr    error
+
+	// Per-family event handlers, bound once at construction. Events
+	// carry their payload through des.Event.Data, so scheduling an event
+	// reuses these bound method values instead of allocating a closure
+	// per event (a bare method expression like e.onArrivalEvent allocates
+	// at every use site).
+	hArrival, hPass, hEnd, hSample, hFailure, hRepair, hScenario des.Handler
+
+	// Scratch reused across events within one run (see DESIGN.md §13):
+	// the two running-set snapshots handed to scheduler passes (valid
+	// only during the pass), the pass context, the started-set of the
+	// current dispatch round, the up-node candidate list of the failure
+	// process, and the runningState free list.
+	snapRun, snapEnd []sched.RunningJob
+	passCtx          sched.Context
+	startedScratch   map[int]bool
+	upScratch        []cluster.NodeID
+	rsPool           []*runningState
+}
+
+// bindHandlers creates the per-family handler values once per engine.
+func (e *Engine) bindHandlers() {
+	e.hArrival = e.onArrivalEvent
+	e.hPass = e.onPassEvent
+	e.hEnd = e.onEndEvent
+	e.hSample = e.onSampleEvent
+	e.hFailure = e.onFailureEvent
+	e.hRepair = e.onRepairEvent
+	e.hScenario = e.onScenarioEvent
+	// The pass context's lazy end-order snapshot is bound here too: a
+	// method value allocates, and ByEndFn is the same for every pass.
+	e.passCtx.ByEndFn = e.endSnapshot
 }
 
 // New builds an engine; the machine is constructed from cfg.Machine.
-func New(cfg Config) (*Engine, error) {
+func New(cfg Config) (*Engine, error) { return newEngine(cfg, nil) }
+
+// NewReusing builds an engine for cfg that recycles a finished
+// predecessor's run-independent state: the machine (reset in place when
+// cfg.Machine matches its base configuration), the DES event free list,
+// and every per-event scratch structure (snapshots, pass context,
+// runningState pool, maps). The per-run observable state — recorder,
+// scheduler, sinks, RNGs — is fresh, so a NewReusing engine produces
+// byte-identical reports, records, series and traces to a New one with
+// the same Config (the batch path's bit-identity contract, pinned by
+// TestRunBatchMatchesLoopOfSimulate). prev becomes unusable; passing a
+// nil or unfinished prev falls back to plain construction.
+func NewReusing(cfg Config, prev *Engine) (*Engine, error) {
+	if prev == nil || !prev.finished {
+		return newEngine(cfg, nil)
+	}
+	return newEngine(cfg, prev)
+}
+
+// newEngine is the shared constructor behind New and NewReusing.
+func newEngine(cfg Config, prev *Engine) (*Engine, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: nil scheduler")
 	}
@@ -247,9 +303,20 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	m, err := cluster.New(cfg.Machine)
-	if err != nil {
-		return nil, err
+	var m *cluster.Machine
+	if prev != nil && prev.m.BaseConfig() == cfg.Machine {
+		// Reset is New by construction (same code path over the same
+		// base configuration), so the reused machine is bit-identical
+		// to a fresh one — with its node/pool/bitset backing arrays and
+		// allocation free list retained.
+		m = prev.m
+		m.Reset()
+	} else {
+		var err error
+		m, err = cluster.New(cfg.Machine)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := cfg.Scenario.Validate(); err != nil {
 		return nil, err
@@ -259,7 +326,7 @@ func New(cfg Config) (*Engine, error) {
 		rec = metrics.NewBoundedRecorder()
 		rec.SetSink(cfg.RecordSink)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:          cfg,
 		sim:          des.New(),
 		m:            m,
@@ -272,7 +339,32 @@ func New(cfg Config) (*Engine, error) {
 		restarts:     make(map[int]int),
 		dilScale:     1,
 		scenarioDown: make(map[cluster.NodeID]bool),
-	}, nil
+	}
+	if prev != nil {
+		// Adopt the predecessor's recycled storage. Everything here is
+		// either empty, cleared, or pooled zeroed values; nothing of the
+		// previous run's observable state survives.
+		e.sim = des.NewReusing(prev.sim)
+		e.queue = prev.queue[:0]
+		e.runIDs = prev.runIDs[:0]
+		e.endOrder = prev.endOrder[:0]
+		clear(prev.running)
+		e.running = prev.running
+		clear(prev.restarts)
+		e.restarts = prev.restarts
+		clear(prev.scenarioDown)
+		e.scenarioDown = prev.scenarioDown
+		e.snapRun = prev.snapRun[:0]
+		e.snapEnd = prev.snapEnd[:0]
+		e.passCtx = prev.passCtx
+		e.passCtx.Reset()
+		e.startedScratch = prev.startedScratch
+		e.upScratch = prev.upScratch[:0]
+		e.rsPool = prev.rsPool
+		prev.rsPool = nil
+	}
+	e.bindHandlers()
+	return e, nil
 }
 
 // Run simulates the workload to completion and returns the result. It
@@ -358,20 +450,24 @@ func (e *Engine) startSource(src source.Source) error {
 		e.scheduleNextSample()
 	}
 	if e.cfg.Scenario != nil && hasWork {
+		e.scenEvs = make([]*des.Event, len(e.cfg.Scenario.Events))
 		for i := range e.cfg.Scenario.Events {
 			ev := e.cfg.Scenario.Events[i]
-			e.scenEvs = append(e.scenEvs,
-				e.sim.ScheduleKind(des.Time(ev.At), evScenario, i, e.scenarioHandler(i)))
+			e.scenEvs[i] = e.sim.ScheduleKind(des.Time(ev.At), evScenario, i, e.hScenario)
 		}
 	}
 	return nil
 }
 
-// scenarioHandler builds the firing closure for intervention i of the
-// configured scenario.
-func (e *Engine) scenarioHandler(i int) des.Handler {
-	ev := e.cfg.Scenario.Events[i]
-	return func(now des.Time) { e.onScenario(int64(now), ev) }
+// onScenarioEvent fires intervention i of the configured scenario. Its
+// scenEvs slot — indexed by the intervention's payload, not by arrival
+// order — is cleared before applying, so jobDone's pending-intervention
+// sweep can never Cancel a handle whose event already fired (and whose
+// struct may since have been recycled for a live event).
+func (e *Engine) onScenarioEvent(now des.Time, data any) {
+	i := data.(int)
+	e.scenEvs[i] = nil
+	e.onScenario(int64(now), e.cfg.Scenario.Events[i])
 }
 
 // scheduleNextArrival pulls one job from the source and schedules its
@@ -394,17 +490,16 @@ func (e *Engine) scheduleNextArrival() {
 		return
 	}
 	e.lastArrival = job.Submit
-	e.sim.ScheduleFrontKind(des.Time(job.Submit), evArrival, job, e.arrivalHandler(job))
+	e.sim.ScheduleFrontKind(des.Time(job.Submit), evArrival, job, e.hArrival)
 }
 
-// arrivalHandler builds the firing closure for one pulled job: count it
-// as outstanding, pull the next arrival, then deliver this one.
-func (e *Engine) arrivalHandler(job *workload.Job) des.Handler {
-	return func(now des.Time) {
-		e.jobsLeft++
-		e.scheduleNextArrival()
-		e.onArrival(int64(now), job)
-	}
+// onArrivalEvent delivers one pulled job: count it as outstanding, pull
+// the next arrival, then deliver this one.
+func (e *Engine) onArrivalEvent(now des.Time, data any) {
+	job := data.(*workload.Job)
+	e.jobsLeft++
+	e.scheduleNextArrival()
+	e.onArrival(int64(now), job)
 }
 
 // outstanding reports whether any work remains: an arrived job not yet
@@ -614,20 +709,17 @@ func (e *Engine) scheduleNextSample() {
 // evSample record, so a resumed run's tick chain continues the
 // checkpointed one bit-identically.
 func (e *Engine) scheduleSampleAt(at des.Time) {
-	e.sampleEv = e.sim.ScheduleKind(at, evSample, nil, e.sampleHandler())
+	e.sampleEv = e.sim.ScheduleKind(at, evSample, nil, e.hSample)
 }
 
-// sampleHandler builds the firing closure of one periodic sampling
-// tick: deliver the sample to every attached consumer, then re-arm.
-// The closure reads e.obs and e.series at fire time (it captures no
-// consumer), which is what lets Resume rebuild it from the bare
-// evSample kind tag.
-func (e *Engine) sampleHandler() des.Handler {
-	return func(des.Time) {
-		e.sampleEv = nil
-		e.emitSample()
-		e.scheduleNextSample()
-	}
+// onSampleEvent fires one periodic sampling tick: deliver the sample to
+// every attached consumer, then re-arm. It reads e.obs and e.series at
+// fire time (the event carries no consumer), which is what lets Resume
+// rebuild it from the bare evSample kind tag.
+func (e *Engine) onSampleEvent(des.Time, any) {
+	e.sampleEv = nil
+	e.emitSample()
+	e.scheduleNextSample()
 }
 
 // emitSample delivers one periodic sample to the observer and the
@@ -701,16 +793,13 @@ func (e *Engine) requestPass() {
 		return
 	}
 	e.passQueue = true
-	e.sim.ScheduleKind(e.sim.Now(), evPass, nil, e.passHandler())
+	e.sim.ScheduleKind(e.sim.Now(), evPass, nil, e.hPass)
 }
 
-// passHandler builds the firing closure of the coalesced scheduling
-// pass.
-func (e *Engine) passHandler() des.Handler {
-	return func(now des.Time) {
-		e.passQueue = false
-		e.pass(int64(now))
-	}
+// onPassEvent fires the coalesced scheduling pass.
+func (e *Engine) onPassEvent(now des.Time, _ any) {
+	e.passQueue = false
+	e.pass(int64(now))
 }
 
 func (e *Engine) pass(now int64) {
@@ -721,26 +810,31 @@ func (e *Engine) pass(now int64) {
 }
 
 // dispatchPass runs one scheduling cycle and returns how many jobs it
-// started.
+// started. The pass context, running-set snapshots and started-set are
+// engine scratch, valid only for the duration of the pass.
 func (e *Engine) dispatchPass(now int64) int {
 	if len(e.queue) == 0 {
 		return 0
 	}
-	ctx := &sched.Context{
-		Now:         now,
-		Machine:     e.m,
-		Model:       e.cfg.Model,
-		Queue:       e.queue,
-		Running:     e.runningSnapshot(),
-		ExtendLimit: e.cfg.ExtendLimit,
-		ByEndFn:     e.endSnapshot,
-	}
+	ctx := &e.passCtx
+	ctx.Reset()
+	ctx.Now = now
+	ctx.Machine = e.m
+	ctx.Model = e.cfg.Model
+	ctx.Queue = e.queue
+	ctx.Running = e.runningSnapshot()
+	ctx.ExtendLimit = e.cfg.ExtendLimit
 	e.rec.Observe(now, e.m.Usage()) // close interval at pre-dispatch usage
 	dispatches := e.cfg.Scheduler.Pass(ctx)
 	if len(dispatches) == 0 {
 		return 0
 	}
-	started := make(map[int]bool, len(dispatches))
+	if e.startedScratch == nil {
+		e.startedScratch = make(map[int]bool, len(dispatches))
+	} else {
+		clear(e.startedScratch)
+	}
+	started := e.startedScratch
 	for _, d := range dispatches {
 		started[d.Job.ID] = true
 		e.start(now, d)
@@ -757,19 +851,25 @@ func (e *Engine) dispatchPass(now int64) int {
 	return len(dispatches)
 }
 
+// runningSnapshot materialises the running set in ascending-ID order
+// into engine scratch: the returned slice is valid only until the next
+// pass (see DESIGN.md §13).
 func (e *Engine) runningSnapshot() []sched.RunningJob {
-	return e.snapshot(e.runIDs)
+	e.snapRun = e.snapshotInto(e.snapRun[:0], e.runIDs)
+	return e.snapRun
 }
 
 // endSnapshot materialises the running set in (GuaranteedEnd, ID)
 // order; it backs sched.Context.ByEnd, so it is only built for passes
-// that plan reservations.
+// that plan reservations. Like runningSnapshot it returns engine
+// scratch, distinct from runningSnapshot's so both orders can be alive
+// within one pass.
 func (e *Engine) endSnapshot() []sched.RunningJob {
-	return e.snapshot(e.endOrder)
+	e.snapEnd = e.snapshotInto(e.snapEnd[:0], e.endOrder)
+	return e.snapEnd
 }
 
-func (e *Engine) snapshot(ids []int) []sched.RunningJob {
-	out := make([]sched.RunningJob, 0, len(ids))
+func (e *Engine) snapshotInto(out []sched.RunningJob, ids []int) []sched.RunningJob {
 	for _, id := range ids {
 		rs := e.running[id]
 		out = append(out, sched.RunningJob{
@@ -777,6 +877,26 @@ func (e *Engine) snapshot(ids []int) []sched.RunningJob {
 		})
 	}
 	return out
+}
+
+// newRunningState pops a zeroed runningState from the free list (or
+// allocates the list's first tenants).
+func (e *Engine) newRunningState() *runningState {
+	if n := len(e.rsPool); n > 0 {
+		rs := e.rsPool[n-1]
+		e.rsPool[n-1] = nil
+		e.rsPool = e.rsPool[:n-1]
+		return rs
+	}
+	return new(runningState)
+}
+
+// freeRunningState zeroes a terminated job's state (dropping its job,
+// allocation and payload-box references) and returns it to the free
+// list. The caller must already have removed it from e.running.
+func (e *Engine) freeRunningState(rs *runningState) {
+	*rs = runningState{}
+	e.rsPool = append(e.rsPool, rs)
 }
 
 // guaranteedEnd returns the latest instant job id holds resources.
@@ -835,7 +955,8 @@ func (e *Engine) start(now int64, d sched.Dispatch) {
 	if e.cfg.ExtendLimit && dil > 1 {
 		limit = int64(float64(job.Estimate)*dil + 0.999999)
 	}
-	rs := &runningState{
+	rs := e.newRunningState()
+	*rs = runningState{
 		job:        job,
 		alloc:      d.Plan.Alloc,
 		start:      now,
@@ -929,13 +1050,25 @@ func (e *Engine) scheduleEnd(rs *runningState) {
 		at = now
 	}
 	id := rs.job.ID
-	rs.endEv = e.sim.ScheduleKind(des.Time(at), evEnd, endPayload{ID: id, Killed: killed}, e.endHandler(id, killed))
+	var payload any
+	if killed {
+		if rs.endKill == nil {
+			rs.endKill = endPayload{ID: id, Killed: true}
+		}
+		payload = rs.endKill
+	} else {
+		if rs.endLive == nil {
+			rs.endLive = endPayload{ID: id}
+		}
+		payload = rs.endLive
+	}
+	rs.endEv = e.sim.ScheduleKind(des.Time(at), evEnd, payload, e.hEnd)
 }
 
-// endHandler builds the firing closure for one job's scheduled
-// termination.
-func (e *Engine) endHandler(id int, killed bool) des.Handler {
-	return func(t des.Time) { e.terminate(int64(t), id, killed, false) }
+// onEndEvent fires one job's scheduled termination.
+func (e *Engine) onEndEvent(now des.Time, data any) {
+	p := data.(endPayload)
+	e.terminate(int64(now), p.ID, p.Killed, false)
 }
 
 // terminate ends a running job: normal completion, kill at the walltime
@@ -972,6 +1105,8 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 				})
 			}
 			e.queue = append(e.queue, job)
+			e.m.Recycle(rs.alloc)
+			e.freeRunningState(rs)
 			e.afterChange(now)
 			e.requestPass()
 			return
@@ -1008,6 +1143,11 @@ func (e *Engine) terminate(now int64, jobID int, killed, byFailure bool) {
 	if e.obs != nil {
 		e.obs.OnTerminate(now, rec)
 	}
+	// The released allocation's last read was the record above; return
+	// it to the machine's free list (no-op unless it came from
+	// AllocateCopy).
+	e.m.Recycle(rs.alloc)
+	e.freeRunningState(rs)
 	e.jobDone()
 	e.afterChange(now)
 	e.requestPass()
@@ -1046,13 +1186,11 @@ func (e *Engine) jobDone() {
 func (e *Engine) scheduleNextFailure() {
 	mean := float64(e.cfg.Failures.MTBFPerNodeSec) / float64(e.m.Config().TotalNodes())
 	delta := int64(e.failRNG.ExpFloat64()*mean) + 1
-	e.failEv = e.sim.ScheduleKind(e.sim.Now()+des.Time(delta), evFailure, nil, e.failureHandler())
+	e.failEv = e.sim.ScheduleKind(e.sim.Now()+des.Time(delta), evFailure, nil, e.hFailure)
 }
 
-// failureHandler builds the firing closure of the next random failure.
-func (e *Engine) failureHandler() des.Handler {
-	return func(now des.Time) { e.onFailure(int64(now)) }
-}
+// onFailureEvent fires the next random failure.
+func (e *Engine) onFailureEvent(now des.Time, _ any) { e.onFailure(int64(now)) }
 
 // onFailure fails one uniformly random up node, killing its occupant,
 // and schedules the repair.
@@ -1063,13 +1201,14 @@ func (e *Engine) onFailure(now int64) {
 	}
 	defer e.scheduleNextFailure()
 
-	// Pick a uniformly random up node.
-	var up []cluster.NodeID
+	// Pick a uniformly random up node (candidate list is engine scratch).
+	up := e.upScratch[:0]
 	for _, n := range e.m.Nodes() {
 		if !n.Down {
 			up = append(up, n.ID)
 		}
 	}
+	e.upScratch = up
 	if len(up) == 0 {
 		return // whole machine down; only repairs can help
 	}
@@ -1081,7 +1220,7 @@ func (e *Engine) onFailure(now int64) {
 	if err := e.m.SetDown(victim); err != nil {
 		panic(fmt.Sprintf("sim: failing node %d: %v", victim, err))
 	}
-	e.sim.ScheduleKind(e.sim.Now()+des.Time(e.cfg.Failures.RepairSec), evRepair, victim, e.repairHandler(victim))
+	e.sim.ScheduleKind(e.sim.Now()+des.Time(e.cfg.Failures.RepairSec), evRepair, victim, e.hRepair)
 	if e.cfg.CheckInvariants {
 		if err := e.m.CheckInvariants(); err != nil {
 			panic(fmt.Sprintf("sim: %v", err))
@@ -1089,11 +1228,8 @@ func (e *Engine) onFailure(now int64) {
 	}
 }
 
-// repairHandler builds the firing closure that returns a
-// failure-downed node to service.
-func (e *Engine) repairHandler(victim cluster.NodeID) des.Handler {
-	return func(des.Time) { e.onRepair(victim) }
-}
+// onRepairEvent returns a failure-downed node to service.
+func (e *Engine) onRepairEvent(_ des.Time, data any) { e.onRepair(data.(cluster.NodeID)) }
 
 // onRepair ends one node's repair window. A scenario "up" may have
 // repaired the node already; only a still-down node needs (and

@@ -216,8 +216,11 @@ func (c Cell) Run(o Options) (Agg, error) {
 	}
 
 	outs := make([]seedOut, o.Seeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
+	type unit struct {
+		s   int
+		key string
+	}
+	units := make([]unit, 0, o.Seeds)
 	for s := 0; s < o.Seeds; s++ {
 		key := ""
 		if o.Manifest != nil {
@@ -232,22 +235,43 @@ func (c Cell) Run(o Options) (Agg, error) {
 				}
 			}
 		}
+		units = append(units, unit{s: s, key: key})
+	}
+
+	// Fixed worker pool, each worker owning one dismem.Runner:
+	// consecutive units on a worker recycle the previous unit's
+	// machine and engine state instead of rebuilding them (see
+	// dismem.RunBatch for the reuse contract). Results merge in seed
+	// order, not completion order, so the aggregate is independent of
+	// the worker count.
+	workers := o.Workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	feed := make(chan unit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(s int, key string) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[s] = c.runUnit(o, mc, s)
-			if key != "" && outs[s].err == nil {
-				if err := o.Manifest.record(key, c.cellLabel(mc), s, unitFromSeedOut(outs[s])); err != nil {
-					outs[s].err = err
+			runner := dismem.NewRunner(dismem.Options{})
+			for u := range feed {
+				outs[u.s] = c.runUnit(o, mc, u.s, runner)
+				if u.key != "" && outs[u.s].err == nil {
+					if err := o.Manifest.record(u.key, c.cellLabel(mc), u.s, unitFromSeedOut(outs[u.s])); err != nil {
+						outs[u.s].err = err
+					}
+				}
+				if outs[u.s].err == nil && o.UnitDone != nil {
+					o.UnitDone()
 				}
 			}
-			if outs[s].err == nil && o.UnitDone != nil {
-				o.UnitDone()
-			}
-		}(s, key)
+		}()
 	}
+	for _, u := range units {
+		feed <- u
+	}
+	close(feed)
 	wg.Wait()
 	if err := c.archive(o, mc, outs); err != nil {
 		return Agg{}, err
@@ -291,13 +315,13 @@ func (c Cell) archive(o Options, mc dismem.MachineConfig, outs []seedOut) error 
 // runUnit runs one (cell, seed) simulation with the per-unit panic
 // retry budget, honouring cancellation before, during (via the sample
 // observer), and after the run.
-func (c Cell) runUnit(o Options, mc dismem.MachineConfig, s int) seedOut {
+func (c Cell) runUnit(o Options, mc dismem.MachineConfig, s int, runner *dismem.Runner) seedOut {
 	var out seedOut
 	for attempt := 0; ; attempt++ {
 		if o.interrupted() {
 			return seedOut{err: ErrInterrupted}
 		}
-		out = c.runUnitOnce(o, mc, s)
+		out = c.runUnitOnce(o, mc, s, runner)
 		var pe *unitPanicError
 		if out.err == nil || !errors.As(out.err, &pe) || attempt >= o.Retries {
 			break
@@ -324,7 +348,7 @@ func (e *unitPanicError) Error() string {
 // runUnitOnce performs a single attempt, converting a panic anywhere in
 // workload generation or simulation into a unitPanicError instead of
 // tearing down the whole sweep's worker pool.
-func (c Cell) runUnitOnce(o Options, mc dismem.MachineConfig, s int) (out seedOut) {
+func (c Cell) runUnitOnce(o Options, mc dismem.MachineConfig, s int, runner *dismem.Runner) (out seedOut) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = seedOut{err: &unitPanicError{val: r}}
@@ -334,7 +358,7 @@ func (c Cell) runUnitOnce(o Options, mc dismem.MachineConfig, s int) (out seedOu
 	if err != nil {
 		return seedOut{err: err}
 	}
-	h, err := dismem.New(opts)
+	h, err := runner.NewSimulation(opts)
 	if err != nil {
 		return seedOut{err: err}
 	}
@@ -342,6 +366,7 @@ func (c Cell) runUnitOnce(o Options, mc dismem.MachineConfig, s int) (out seedOu
 		abort.h = h
 	}
 	res, err := h.Run()
+	runner.Retire(h)
 	if err != nil {
 		return seedOut{err: err}
 	}
@@ -387,7 +412,7 @@ func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Opt
 	}
 	gen.Jobs = o.Jobs
 	gen.Seed = uint64(s + 1)
-	wl, err := dismem.GenerateWorkload(gen)
+	wl, err := cachedWorkload(gen)
 	if err != nil {
 		return dismem.Options{}, nil, err
 	}
@@ -428,6 +453,46 @@ func (c Cell) seedOptions(o Options, mc dismem.MachineConfig, s int) (dismem.Opt
 		}
 	}
 	return opts, abort, nil
+}
+
+// wlCache shares generated workloads across cells: comparison
+// experiments run many cells over identical (gen, jobs, seed) tuples,
+// and the engine never mutates a Workload, so one generation serves
+// them all. Keyed on the printed config — two configs share an entry
+// only when their full printed state matches, so a miss is the worst a
+// key collision failure mode can produce. Bounded by wholesale reset:
+// sweeps cycle through few distinct configs, so eviction precision is
+// worth less than the simplicity.
+var wlCache = struct {
+	sync.Mutex
+	m map[string]*dismem.Workload
+}{m: make(map[string]*dismem.Workload)}
+
+const wlCacheCap = 32
+
+func cachedWorkload(gen dismem.GenConfig) (*dismem.Workload, error) {
+	key := fmt.Sprintf("%#v", gen)
+	wlCache.Lock()
+	wl, ok := wlCache.m[key]
+	wlCache.Unlock()
+	if ok {
+		return wl, nil
+	}
+	// Generate outside the lock: concurrent workers generating
+	// different seeds must not serialise. A duplicate generation racing
+	// on one key is harmless — generation is deterministic, so either
+	// winner is the same workload.
+	wl, err := dismem.GenerateWorkload(gen)
+	if err != nil {
+		return nil, err
+	}
+	wlCache.Lock()
+	if len(wlCache.m) >= wlCacheCap {
+		clear(wlCache.m)
+	}
+	wlCache.m[key] = wl
+	wlCache.Unlock()
+	return wl, nil
 }
 
 // aggregate reduces per-seed outcomes to the seed-mean Agg (the first

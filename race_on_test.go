@@ -1,0 +1,8 @@
+//go:build race
+
+package dismem_test
+
+// raceEnabled reports whether this binary was built with -race; the
+// alloc-budget tests skip then, since the detector's shadow-memory
+// bookkeeping allocates on the simulator's behalf.
+const raceEnabled = true

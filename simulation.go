@@ -29,7 +29,13 @@ type Simulation struct {
 // firing any event: the returned handle sits at virtual time 0 with
 // every arrival scheduled. Drive it with Step / RunUntil / Run and
 // collect the outcome with Result.
-func New(o Options) (*Simulation, error) {
+func New(o Options) (*Simulation, error) { return newSimulation(o, nil) }
+
+// newSimulation builds a Simulation, optionally recycling a finished
+// prior engine's run-independent state (machine, event pool, scratch).
+// prev == nil is a plain fresh construction; see sim.NewReusing for
+// what reuse preserves and the bit-identity contract it keeps.
+func newSimulation(o Options, prev *sim.Engine) (*Simulation, error) {
 	if o.Workload == nil && o.Source == nil {
 		return nil, fmt.Errorf("dismem: nil workload (set Options.Workload or Options.Source)")
 	}
@@ -63,7 +69,7 @@ func New(o Options) (*Simulation, error) {
 			return nil, err
 		}
 	}
-	eng, err := sim.New(sim.Config{
+	eng, err := sim.NewReusing(sim.Config{
 		Machine:         mc,
 		Model:           model,
 		Scheduler:       s,
@@ -76,7 +82,7 @@ func New(o Options) (*Simulation, error) {
 		RecordSink:      o.RecordSink,
 		SeriesSink:      o.SeriesSink,
 		TraceSink:       o.TraceSink,
-	})
+	}, prev)
 	if err != nil {
 		return nil, err
 	}
